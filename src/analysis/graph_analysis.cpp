@@ -1,0 +1,292 @@
+#include "analysis/graph_analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/assert.h"
+
+namespace gocast::analysis {
+
+namespace {
+
+std::uint64_t pack(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+/// BFS distances from `source` over alive nodes; kInvalidNode-distance marks
+/// unreachable.
+std::vector<std::uint32_t> bfs_distances(const OverlayGraph& graph,
+                                         NodeId source) {
+  constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> dist(graph.node_count, kUnreached);
+  if (!graph.alive[source]) return dist;
+  dist[source] = 0;
+  std::deque<NodeId> queue{source};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (NodeId v : graph.adjacency[u]) {
+      if (!graph.alive[v] || dist[v] != kUnreached) continue;
+      dist[v] = dist[u] + 1;
+      queue.push_back(v);
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::size_t OverlayGraph::alive_count() const {
+  return static_cast<std::size_t>(
+      std::count(alive.begin(), alive.end(), true));
+}
+
+std::size_t OverlayGraph::link_count() const {
+  std::size_t ends = 0;
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (!alive[u]) continue;
+    for (NodeId v : adjacency[u]) {
+      if (alive[v]) ++ends;
+    }
+  }
+  return ends / 2;
+}
+
+OverlayGraph snapshot_overlay(const core::System& system) {
+  OverlayGraph graph;
+  graph.node_count = system.size();
+  graph.adjacency.resize(graph.node_count);
+  graph.alive.resize(graph.node_count);
+
+  std::unordered_set<std::uint64_t> links;
+  for (NodeId id = 0; id < graph.node_count; ++id) {
+    graph.alive[id] = system.network().alive(id);
+    for (const auto& [peer, info] : system.node(id).overlay().table().raw()) {
+      links.insert(pack(id, peer));
+    }
+  }
+  for (std::uint64_t link : links) {
+    auto a = static_cast<NodeId>(link >> 32);
+    auto b = static_cast<NodeId>(link & 0xFFFFFFFFu);
+    graph.adjacency[a].push_back(b);
+    graph.adjacency[b].push_back(a);
+  }
+  return graph;
+}
+
+ComponentStats components(const OverlayGraph& graph) {
+  ComponentStats stats;
+  std::vector<bool> visited(graph.node_count, false);
+  std::size_t alive = 0;
+  for (NodeId start = 0; start < graph.node_count; ++start) {
+    if (!graph.alive[start]) continue;
+    ++alive;
+    if (visited[start]) continue;
+    ++stats.component_count;
+    std::size_t size = 0;
+    std::deque<NodeId> queue{start};
+    visited[start] = true;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      ++size;
+      for (NodeId v : graph.adjacency[u]) {
+        if (!graph.alive[v] || visited[v]) continue;
+        visited[v] = true;
+        queue.push_back(v);
+      }
+    }
+    stats.largest_component = std::max(stats.largest_component, size);
+  }
+  if (alive > 0) {
+    stats.largest_fraction = static_cast<double>(stats.largest_component) /
+                             static_cast<double>(alive);
+  }
+  return stats;
+}
+
+std::size_t estimate_diameter(const OverlayGraph& graph, std::size_t samples,
+                              Rng& rng) {
+  std::vector<NodeId> alive;
+  for (NodeId id = 0; id < graph.node_count; ++id) {
+    if (graph.alive[id]) alive.push_back(id);
+  }
+  if (alive.size() < 2) return 0;
+
+  constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+  std::size_t best = 0;
+  NodeId frontier = alive[0];
+  for (std::size_t i = 0; i < samples; ++i) {
+    NodeId source = i == 0 ? frontier : rng.pick(alive);
+    std::vector<std::uint32_t> dist = bfs_distances(graph, source);
+    for (NodeId v : alive) {
+      if (dist[v] != kUnreached && dist[v] > best) {
+        best = dist[v];
+        frontier = v;
+      }
+    }
+    // Double sweep: restart from the farthest node found so far.
+    std::vector<std::uint32_t> dist2 = bfs_distances(graph, frontier);
+    for (NodeId v : alive) {
+      if (dist2[v] != kUnreached && dist2[v] > best) best = dist2[v];
+    }
+  }
+  return best;
+}
+
+IntDistribution degree_distribution(const core::System& system) {
+  IntDistribution dist;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    dist.add(system.node(id).overlay().degree());
+  }
+  return dist;
+}
+
+IntDistribution rand_degree_distribution(const core::System& system) {
+  IntDistribution dist;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    dist.add(system.node(id).overlay().rand_degree());
+  }
+  return dist;
+}
+
+IntDistribution near_degree_distribution(const core::System& system) {
+  IntDistribution dist;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    dist.add(system.node(id).overlay().near_degree());
+  }
+  return dist;
+}
+
+LinkLatencyStats link_latency_stats(const core::System& system) {
+  LinkLatencyStats stats;
+  std::unordered_set<std::uint64_t> overlay_links;
+  std::unordered_set<std::uint64_t> tree_links;
+
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    const auto& node = system.node(id);
+    for (const auto& [peer, info] : node.overlay().table().raw()) {
+      overlay_links.insert(pack(id, peer));
+    }
+    NodeId parent = node.tree().parent();
+    if (parent != kInvalidNode) tree_links.insert(pack(id, parent));
+  }
+
+  double overlay_sum = 0.0;
+  for (std::uint64_t link : overlay_links) {
+    overlay_sum += system.network().one_way(static_cast<NodeId>(link >> 32),
+                                            static_cast<NodeId>(link & 0xFFFFFFFFu));
+  }
+  double tree_sum = 0.0;
+  for (std::uint64_t link : tree_links) {
+    tree_sum += system.network().one_way(static_cast<NodeId>(link >> 32),
+                                         static_cast<NodeId>(link & 0xFFFFFFFFu));
+  }
+  stats.overlay_links = overlay_links.size();
+  stats.tree_links = tree_links.size();
+  if (!overlay_links.empty()) {
+    stats.mean_overlay_one_way = overlay_sum / static_cast<double>(overlay_links.size());
+  }
+  if (!tree_links.empty()) {
+    stats.mean_tree_one_way = tree_sum / static_cast<double>(tree_links.size());
+  }
+  return stats;
+}
+
+double mean_link_latency_of_kind(const core::System& system,
+                                 overlay::LinkKind kind) {
+  std::unordered_set<std::uint64_t> links;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    for (const auto& [peer, info] : system.node(id).overlay().table().raw()) {
+      if (info.kind == kind) links.insert(pack(id, peer));
+    }
+  }
+  if (links.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::uint64_t link : links) {
+    sum += system.network().one_way(static_cast<NodeId>(link >> 32),
+                                    static_cast<NodeId>(link & 0xFFFFFFFFu));
+  }
+  return sum / static_cast<double>(links.size());
+}
+
+TreeStats tree_stats(const core::System& system) {
+  TreeStats stats;
+
+  // The authoritative root: the alive self-declared root with the best epoch.
+  tree::Epoch best_epoch;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    const auto& t = system.node(id).tree();
+    if (t.is_root() && (stats.root == kInvalidNode || t.epoch().beats(best_epoch))) {
+      best_epoch = t.epoch();
+      stats.root = id;
+    }
+  }
+
+  // Tree links: parent edges of alive nodes.
+  std::unordered_set<std::uint64_t> links;
+  std::vector<std::vector<NodeId>> adjacency(system.size());
+  for (NodeId id = 0; id < system.size(); ++id) {
+    if (!system.network().alive(id)) continue;
+    NodeId parent = system.node(id).tree().parent();
+    if (parent == kInvalidNode || !system.network().alive(parent)) continue;
+    if (links.insert(pack(id, parent)).second) {
+      adjacency[id].push_back(parent);
+      adjacency[parent].push_back(id);
+    }
+  }
+  stats.tree_links = links.size();
+
+  // Cycle check (union-find): a valid tree snapshot is a forest.
+  std::vector<NodeId> uf(system.size());
+  for (NodeId id = 0; id < system.size(); ++id) uf[id] = id;
+  auto find = [&uf](NodeId x) {
+    while (uf[x] != x) {
+      uf[x] = uf[uf[x]];
+      x = uf[x];
+    }
+    return x;
+  };
+  stats.is_forest = true;
+  for (std::uint64_t link : links) {
+    NodeId a = find(static_cast<NodeId>(link >> 32));
+    NodeId b = find(static_cast<NodeId>(link & 0xFFFFFFFFu));
+    if (a == b) {
+      stats.is_forest = false;
+      break;
+    }
+    uf[a] = b;
+  }
+
+  if (stats.root != kInvalidNode) {
+    std::deque<NodeId> queue{stats.root};
+    std::vector<bool> visited(system.size(), false);
+    visited[stats.root] = true;
+    std::size_t reached = 0;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      ++reached;
+      for (NodeId v : adjacency[u]) {
+        if (!visited[v]) {
+          visited[v] = true;
+          queue.push_back(v);
+        }
+      }
+    }
+    stats.reachable_from_root = reached;
+    stats.spanning = reached == system.network().alive_count();
+  }
+  return stats;
+}
+
+}  // namespace gocast::analysis

@@ -1,0 +1,77 @@
+// Structural analysis of overlay snapshots: connectivity, components,
+// diameter, degree distributions, and link latency summaries (Figs 5 and 6,
+// and the overlay-diameter text claim).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "gocast/system.h"
+#include "overlay/link_kind.h"
+
+namespace gocast::analysis {
+
+/// An undirected snapshot of the overlay among a system's nodes. A link is
+/// present when either endpoint's neighbor table lists it (handshake windows
+/// make tables momentarily asymmetric).
+struct OverlayGraph {
+  std::size_t node_count = 0;
+  std::vector<std::vector<NodeId>> adjacency;
+  std::vector<bool> alive;
+
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] std::size_t link_count() const;  ///< undirected, alive ends
+};
+
+[[nodiscard]] OverlayGraph snapshot_overlay(const core::System& system);
+
+struct ComponentStats {
+  std::size_t component_count = 0;
+  std::size_t largest_component = 0;
+  /// Largest component over alive node count — the paper's Fig 6 metric q.
+  double largest_fraction = 0.0;
+};
+
+/// Connected components among alive nodes.
+[[nodiscard]] ComponentStats components(const OverlayGraph& graph);
+
+/// Hop-count diameter estimated by BFS from `samples` random alive nodes
+/// plus a double-sweep refinement (exact on most graphs of this size).
+[[nodiscard]] std::size_t estimate_diameter(const OverlayGraph& graph,
+                                            std::size_t samples, Rng& rng);
+
+/// Degree distribution over alive nodes (Fig 5a).
+[[nodiscard]] IntDistribution degree_distribution(const core::System& system);
+[[nodiscard]] IntDistribution rand_degree_distribution(const core::System& system);
+[[nodiscard]] IntDistribution near_degree_distribution(const core::System& system);
+
+struct LinkLatencyStats {
+  double mean_overlay_one_way = 0.0;  ///< seconds, over distinct overlay links
+  double mean_tree_one_way = 0.0;     ///< seconds, over distinct tree links
+  std::size_t overlay_links = 0;
+  std::size_t tree_links = 0;
+};
+
+/// True one-way latencies of current overlay and tree links (Fig 5b).
+[[nodiscard]] LinkLatencyStats link_latency_stats(const core::System& system);
+
+/// Mean one-way latency over links of one kind only (TXT2).
+[[nodiscard]] double mean_link_latency_of_kind(const core::System& system,
+                                               overlay::LinkKind kind);
+
+/// Number of distinct tree links and whether they span all alive nodes
+/// (tree validity check used by tests).
+struct TreeStats {
+  std::size_t tree_links = 0;
+  std::size_t reachable_from_root = 0;
+  NodeId root = kInvalidNode;
+  bool spanning = false;
+  bool is_forest = false;  ///< no cycles among tree links
+};
+
+[[nodiscard]] TreeStats tree_stats(const core::System& system);
+
+}  // namespace gocast::analysis

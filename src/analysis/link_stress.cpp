@@ -1,0 +1,28 @@
+#include "analysis/link_stress.h"
+
+#include <algorithm>
+
+namespace gocast::analysis {
+
+LinkStressReport link_stress(const net::Underlay& underlay,
+                             const net::TrafficStats& traffic,
+                             std::size_t top_k) {
+  LinkStressReport report;
+  std::vector<net::Underlay::LinkLoad> loads =
+      underlay.link_loads(traffic.site_pair_bytes());
+  report.loaded_links = loads.size();
+  for (const auto& load : loads) {
+    report.total_bytes += load.bytes;
+    report.max_link_bytes = std::max(report.max_link_bytes, load.bytes);
+  }
+  if (!loads.empty()) {
+    report.mean_link_bytes =
+        report.total_bytes / static_cast<double>(loads.size());
+  }
+  std::size_t k = std::min(top_k, loads.size());
+  report.top_links.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) report.top_links.push_back(loads[i].bytes);
+  return report;
+}
+
+}  // namespace gocast::analysis

@@ -1,0 +1,28 @@
+// Physical link-stress summary over an AS underlay (TXT4: GoCast vs gossip
+// bottleneck-link load).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/traffic_stats.h"
+#include "net/underlay.h"
+
+namespace gocast::analysis {
+
+struct LinkStressReport {
+  double max_link_bytes = 0.0;     ///< the bottleneck link's load
+  double mean_link_bytes = 0.0;    ///< over links that carried any traffic
+  double total_bytes = 0.0;
+  std::size_t loaded_links = 0;
+  std::vector<double> top_links;   ///< descending loads of the hottest links
+};
+
+/// Routes the recorded site-pair traffic over the underlay and summarizes
+/// per-physical-link load. `top_k` controls how many of the hottest links
+/// are returned individually.
+[[nodiscard]] LinkStressReport link_stress(const net::Underlay& underlay,
+                                           const net::TrafficStats& traffic,
+                                           std::size_t top_k = 10);
+
+}  // namespace gocast::analysis

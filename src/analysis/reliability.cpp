@@ -1,0 +1,28 @@
+#include "analysis/reliability.h"
+
+#include <cmath>
+
+#include "common/assert.h"
+
+namespace gocast::analysis {
+
+double push_gossip_atomicity(std::size_t n, double fanout) {
+  GOCAST_ASSERT(n >= 2);
+  return std::exp(-std::exp(std::log(static_cast<double>(n)) - fanout));
+}
+
+double push_gossip_atomicity_k(std::size_t n, double fanout, std::size_t k) {
+  GOCAST_ASSERT(n >= 2);
+  return std::exp(-static_cast<double>(k) *
+                  std::exp(std::log(static_cast<double>(n)) - fanout));
+}
+
+int min_fanout_for_atomicity(std::size_t n, std::size_t k, double target) {
+  GOCAST_ASSERT(target > 0.0 && target < 1.0);
+  for (int fanout = 1; fanout <= 64; ++fanout) {
+    if (push_gossip_atomicity_k(n, fanout, k) >= target) return fanout;
+  }
+  return -1;
+}
+
+}  // namespace gocast::analysis

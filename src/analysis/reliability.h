@@ -1,0 +1,22 @@
+// Closed-form reliability of push-based gossip (the paper's Fig 1, citing
+// Eugster et al., "From Epidemics to Distributed Computing").
+#pragma once
+
+#include <cstddef>
+
+namespace gocast::analysis {
+
+/// Probability that ALL nodes in an n-node system hear about one message
+/// gossiped push-style with fanout F:  e^{-e^{ln(n) - F}}.
+[[nodiscard]] double push_gossip_atomicity(std::size_t n, double fanout);
+
+/// Probability that all nodes hear about each of k independent messages:
+/// atomicity^k = e^{-k * e^{ln(n) - F}}.
+[[nodiscard]] double push_gossip_atomicity_k(std::size_t n, double fanout,
+                                             std::size_t k);
+
+/// Smallest integer fanout whose k-message atomicity reaches `target`.
+[[nodiscard]] int min_fanout_for_atomicity(std::size_t n, std::size_t k,
+                                           double target);
+
+}  // namespace gocast::analysis

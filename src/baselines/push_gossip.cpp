@@ -1,0 +1,258 @@
+#include "baselines/push_gossip.h"
+
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "gocast/system.h"  // default_latency_model
+
+namespace gocast::baselines {
+
+PushGossipNode::PushGossipNode(NodeId id, net::Network& network,
+                               PushGossipParams params, Rng rng)
+    : id_(id),
+      network_(network),
+      engine_(network.engine()),
+      params_(params),
+      rng_(std::move(rng)),
+      gossip_timer_(engine_, params.gossip_period, [this] { on_gossip_timer(); }),
+      gc_timer_(engine_, params.gc_sweep_period, [this] { gc_sweep(); }) {
+  GOCAST_ASSERT(params_.fanout >= 1);
+  GOCAST_ASSERT(params_.gossip_period > 0.0);
+  network_.set_endpoint(id_, this);
+}
+
+void PushGossipNode::start(SimTime stagger) {
+  if (!params_.no_wait) gossip_timer_.start(stagger + params_.gossip_period);
+  gc_timer_.start(stagger + params_.gc_sweep_period);
+}
+
+void PushGossipNode::stop() {
+  gossip_timer_.stop();
+  gc_timer_.stop();
+}
+
+void PushGossipNode::kill() {
+  network_.fail_node(id_);
+  stop();
+}
+
+MsgId PushGossipNode::multicast(std::size_t payload_bytes) {
+  GOCAST_ASSERT(network_.alive(id_));
+  MsgId id{id_, next_seq_++};
+  accept_message(id, engine_.now(), payload_bytes, core::DeliveryPath::kLocal);
+  return id;
+}
+
+NodeId PushGossipNode::random_target() {
+  GOCAST_ASSERT(network_.node_count() >= 2);
+  for (;;) {
+    NodeId target = static_cast<NodeId>(rng_.next_below(network_.node_count()));
+    if (target != id_) return target;
+  }
+}
+
+void PushGossipNode::accept_message(MsgId id, SimTime inject_time,
+                                    std::size_t payload_bytes,
+                                    core::DeliveryPath path) {
+  auto [it, inserted] = store_.try_emplace(
+      id,
+      Stored{inject_time, engine_.now(), payload_bytes, params_.fanout, true});
+  GOCAST_ASSERT(inserted);
+  ++deliveries_;
+  pull_pending_.erase(id);
+  if (delivery_hook_) {
+    delivery_hook_(core::DeliveryEvent{id_, id, inject_time, engine_.now(), path});
+  }
+  if (params_.no_wait) gossip_now(id);
+}
+
+void PushGossipNode::gossip_now(MsgId id) {
+  // Immediately tell `fanout` distinct random nodes.
+  auto it = store_.find(id);
+  GOCAST_ASSERT(it != store_.end());
+  it->second.remaining_fanout = 0;
+  std::unordered_set<NodeId> picked;
+  int wanted = std::min<int>(params_.fanout,
+                             static_cast<int>(network_.node_count()) - 1);
+  while (static_cast<int>(picked.size()) < wanted) {
+    picked.insert(random_target());
+  }
+  for (NodeId target : picked) {
+    ++gossips_sent_;
+    network_.send(id_, target,
+                  std::make_shared<core::GossipDigestMsg>(
+                      std::vector<core::DigestEntry>{
+                          core::DigestEntry{id, it->second.inject_time}},
+                      std::vector<membership::MemberEntry>{},
+                      net::PeerDegrees{}));
+  }
+}
+
+void PushGossipNode::on_gossip_timer() {
+  // One digest per period to one random node, containing every ID that
+  // still owes gossip rounds; each send consumes one round per ID.
+  std::vector<core::DigestEntry> entries;
+  for (auto& [id, stored] : store_) {
+    if (stored.remaining_fanout > 0 && stored.payload_present) {
+      entries.push_back(core::DigestEntry{id, stored.inject_time});
+      --stored.remaining_fanout;
+    }
+  }
+  if (entries.empty()) return;  // "a gossip can be saved"
+  ++gossips_sent_;
+  network_.send(id_, random_target(),
+                std::make_shared<core::GossipDigestMsg>(
+                    std::move(entries), std::vector<membership::MemberEntry>{},
+                    net::PeerDegrees{}));
+}
+
+void PushGossipNode::on_digest(NodeId from, const core::GossipDigestMsg& msg) {
+  SimTime now = engine_.now();
+  for (const core::DigestEntry& entry : msg.entries) {
+    if (store_.count(entry.id) > 0) continue;
+    if (pull_pending_.count(entry.id) > 0) continue;
+    pull_pending_[entry.id] = PullState{from, now, 0};
+    issue_pull(from, entry.id);
+  }
+}
+
+void PushGossipNode::issue_pull(NodeId target, MsgId id) {
+  network_.send(id_, target,
+                std::make_shared<core::PullRequestMsg>(std::vector<MsgId>{id},
+                                                       net::PeerDegrees{}));
+  // Self-driven retry: a lost pull or response must not orphan the message.
+  engine_.schedule_after(params_.pull_retry_timeout, [this, id] {
+    auto it = pull_pending_.find(id);
+    if (it == pull_pending_.end()) return;
+    if (store_.count(id) > 0 || !network_.alive(id_)) {
+      pull_pending_.erase(it);
+      return;
+    }
+    if (++it->second.attempts >= params_.pull_max_attempts) {
+      pull_pending_.erase(it);
+      return;
+    }
+    issue_pull(it->second.target, id);
+  });
+}
+
+void PushGossipNode::on_pull(NodeId from, const core::PullRequestMsg& msg) {
+  for (MsgId id : msg.ids) {
+    auto it = store_.find(id);
+    if (it == store_.end() || !it->second.payload_present) continue;
+    network_.send(id_, from,
+                  std::make_shared<core::DataMsg>(
+                      id, it->second.inject_time, it->second.payload_bytes,
+                      /*via_tree=*/false, net::PeerDegrees{}));
+  }
+}
+
+void PushGossipNode::on_data(NodeId from, const core::DataMsg& msg) {
+  if (store_.count(msg.id) > 0) {
+    ++duplicates_;
+    // Same abort courtesy as GoCast: a redundant transfer is cut short.
+    network_.report_aborted_transfer(from, id_, msg.payload_bytes);
+    return;
+  }
+  accept_message(msg.id, msg.inject_time, msg.payload_bytes,
+                 core::DeliveryPath::kPull);
+}
+
+void PushGossipNode::gc_sweep() {
+  SimTime now = engine_.now();
+  for (auto it = store_.begin(); it != store_.end();) {
+    SimTime age = now - it->second.received_at;
+    if (age > params_.gc_record_after) {
+      it = store_.erase(it);
+      continue;
+    }
+    if (age > params_.gc_payload_after) it->second.payload_present = false;
+    ++it;
+  }
+  for (auto it = pull_pending_.begin(); it != pull_pending_.end();) {
+    if (now - it->second.started > params_.gc_payload_after) {
+      it = pull_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PushGossipNode::handle_message(NodeId from, const net::MessagePtr& msg) {
+  switch (msg->packet_type()) {
+    case core::kPktGossipDigest:
+      on_digest(from, static_cast<const core::GossipDigestMsg&>(*msg));
+      return;
+    case core::kPktPullRequest:
+      on_pull(from, static_cast<const core::PullRequestMsg&>(*msg));
+      return;
+    case core::kPktData:
+      on_data(from, static_cast<const core::DataMsg&>(*msg));
+      return;
+    default:
+      return;  // baseline ignores anything else
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System facade
+// ---------------------------------------------------------------------------
+
+PushGossipSystem::PushGossipSystem(PushGossipSystemConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  GOCAST_ASSERT(config_.node_count >= 2);
+  latency_ = config_.latency != nullptr
+                 ? config_.latency
+                 : core::default_latency_model(config_.seed);
+  network_ = std::make_unique<net::Network>(engine_, latency_, config_.net,
+                                            rng_.fork("network"));
+  network_->add_nodes_round_robin(config_.node_count);
+  nodes_.reserve(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    nodes_.push_back(std::make_unique<PushGossipNode>(
+        id, *network_, config_.node, rng_.fork(static_cast<std::uint64_t>(id))));
+  }
+}
+
+void PushGossipSystem::start() {
+  Rng init_rng = rng_.fork("init");
+  for (auto& node : nodes_) {
+    node->start(init_rng.next_range(0.0, config_.node.gossip_period));
+  }
+}
+
+std::vector<NodeId> PushGossipSystem::fail_random_fraction(double fraction) {
+  GOCAST_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<NodeId> alive = alive_nodes();
+  Rng fail_rng = rng_.fork("failures");
+  fail_rng.shuffle(alive);
+  std::size_t count = static_cast<std::size_t>(
+      static_cast<double>(alive.size()) * fraction + 0.5);
+  std::vector<NodeId> killed(alive.begin(),
+                             alive.begin() + static_cast<long>(count));
+  for (NodeId id : killed) nodes_[id]->kill();
+  return killed;
+}
+
+NodeId PushGossipSystem::random_alive_node() {
+  GOCAST_ASSERT(network_->alive_count() > 0);
+  for (;;) {
+    NodeId id = static_cast<NodeId>(rng_.next_below(nodes_.size()));
+    if (network_->alive(id)) return id;
+  }
+}
+
+void PushGossipSystem::set_delivery_hook(const core::DeliveryHook& hook) {
+  for (auto& node : nodes_) node->set_delivery_hook(hook);
+}
+
+std::vector<NodeId> PushGossipSystem::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (network_->alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace gocast::baselines

@@ -1,0 +1,45 @@
+// Always-on invariant checking. Simulation correctness depends on protocol
+// invariants; violating one silently would corrupt every downstream result,
+// so these checks stay enabled in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gocast {
+
+/// Thrown when a GOCAST_ASSERT fails. Deriving from logic_error: an assert
+/// failure is always a programming error, never an environmental condition.
+class AssertionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw AssertionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace gocast
+
+#define GOCAST_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::gocast::detail::assert_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define GOCAST_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream gocast_assert_os;                               \
+      gocast_assert_os << msg;                                           \
+      ::gocast::detail::assert_fail(#expr, __FILE__, __LINE__,           \
+                                    gocast_assert_os.str());             \
+    }                                                                    \
+  } while (0)

@@ -1,0 +1,32 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace gocast {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  double value = std::strtod(raw, &end);
+  return end == raw ? fallback : value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr) return fallback;
+  char* end = nullptr;
+  long long value = std::strtoll(raw, &end, 10);
+  return end == raw ? fallback : static_cast<std::int64_t>(value);
+}
+
+double bench_scale() { return env_double("GOCAST_BENCH_SCALE", 1.0); }
+
+std::size_t scaled_count(std::size_t full, std::size_t min_value) {
+  double scaled = static_cast<double>(full) * bench_scale();
+  auto result = static_cast<std::size_t>(scaled);
+  return std::max(result, min_value);
+}
+
+}  // namespace gocast

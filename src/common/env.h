@@ -1,0 +1,24 @@
+// Environment-variable helpers used by benches and examples to scale
+// workloads without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gocast {
+
+/// Reads a double from the environment; returns `fallback` when unset or
+/// unparsable.
+[[nodiscard]] double env_double(const std::string& name, double fallback);
+
+/// Reads a 64-bit integer from the environment.
+[[nodiscard]] std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// GOCAST_BENCH_SCALE: global multiplier (default 1.0) applied to bench
+/// workload sizes. Values < 1 shrink runs for smoke testing.
+[[nodiscard]] double bench_scale();
+
+/// Scales a node/message count by bench_scale(), with a floor.
+[[nodiscard]] std::size_t scaled_count(std::size_t full, std::size_t min_value);
+
+}  // namespace gocast

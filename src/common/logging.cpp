@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace gocast {
+namespace {
+
+LogLevel parse_level(std::string_view s, LogLevel fallback) {
+  if (s == "trace") return LogLevel::kTrace;
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  if (s == "off") return LogLevel::kOff;
+  return fallback;
+}
+
+LogLevel initial_level() {
+  if (const char* env = std::getenv("GOCAST_LOG_LEVEL")) {
+    return parse_level(env, LogLevel::kWarn);
+  }
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg) {
+  std::ostream& os = level >= LogLevel::kWarn ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] " << msg << "\n";
+}
+}  // namespace detail
+
+}  // namespace gocast

@@ -1,0 +1,42 @@
+// Minimal leveled logging. Simulations emit millions of events, so the hot
+// path must cost one branch when the level is disabled; formatting happens
+// only for enabled records.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace gocast {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide minimum level. Defaults to kWarn; tests and examples raise
+/// or lower it explicitly. Reads GOCAST_LOG_LEVEL (trace|debug|info|warn|error|off)
+/// from the environment on first use.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// True when records at `level` should be emitted.
+inline bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace gocast
+
+#define GOCAST_LOG(level, expr)                                     \
+  do {                                                              \
+    if (::gocast::log_enabled(level)) {                             \
+      std::ostringstream gocast_log_os;                             \
+      gocast_log_os << expr;                                        \
+      ::gocast::detail::log_emit(level, gocast_log_os.str());       \
+    }                                                               \
+  } while (0)
+
+#define GOCAST_TRACE(expr) GOCAST_LOG(::gocast::LogLevel::kTrace, expr)
+#define GOCAST_DEBUG(expr) GOCAST_LOG(::gocast::LogLevel::kDebug, expr)
+#define GOCAST_INFO(expr) GOCAST_LOG(::gocast::LogLevel::kInfo, expr)
+#define GOCAST_WARN(expr) GOCAST_LOG(::gocast::LogLevel::kWarn, expr)
+#define GOCAST_ERROR(expr) GOCAST_LOG(::gocast::LogLevel::kError, expr)

@@ -1,0 +1,184 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace gocast {
+
+void Summary::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void Summary::merge(const Summary& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel-variance merge.
+  double delta = other.mean_ - mean_;
+  std::size_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double Summary::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double Summary::max() const { return count_ == 0 ? 0.0 : max_; }
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+     << " min=" << min() << " max=" << max();
+  return os.str();
+}
+
+Percentiles::Percentiles(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Percentiles::at(double q) const {
+  GOCAST_ASSERT(q >= 0.0 && q <= 1.0);
+  GOCAST_ASSERT(!sorted_.empty());
+  if (sorted_.size() == 1) return sorted_.front();
+  double rank = q * static_cast<double>(sorted_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::fraction_leq(double x) const {
+  if (sorted_.empty()) return 0.0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<Cdf::Point> Cdf::curve(std::size_t points) const {
+  GOCAST_ASSERT(points >= 2);
+  std::vector<Point> out;
+  if (sorted_.empty()) return out;
+  double lo = sorted_.front();
+  double hi = sorted_.back();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+    out.push_back({x, fraction_leq(x)});
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  GOCAST_ASSERT(hi > lo);
+  GOCAST_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) {
+  double raw = (x - lo_) / width_;
+  long bin = static_cast<long>(std::floor(raw));
+  bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count_in_bin(std::size_t bin) const {
+  GOCAST_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_high(std::size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin + 1);
+}
+
+void IntDistribution::add(long value) {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), value,
+      [](const auto& entry, long v) { return entry.first < v; });
+  if (it != counts_.end() && it->first == value) {
+    ++it->second;
+  } else {
+    counts_.insert(it, {value, 1});
+  }
+  ++total_;
+  sum_ += static_cast<double>(value);
+}
+
+std::size_t IntDistribution::count(long value) const {
+  auto it = std::lower_bound(
+      counts_.begin(), counts_.end(), value,
+      [](const auto& entry, long v) { return entry.first < v; });
+  if (it != counts_.end() && it->first == value) return it->second;
+  return 0;
+}
+
+double IntDistribution::fraction(long value) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(value)) /
+                           static_cast<double>(total_);
+}
+
+double IntDistribution::fraction_leq(long value) const {
+  if (total_ == 0) return 0.0;
+  std::size_t acc = 0;
+  for (const auto& [v, c] : counts_) {
+    if (v > value) break;
+    acc += c;
+  }
+  return static_cast<double>(acc) / static_cast<double>(total_);
+}
+
+double IntDistribution::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+long IntDistribution::min() const {
+  GOCAST_ASSERT(!counts_.empty());
+  return counts_.front().first;
+}
+
+long IntDistribution::max() const {
+  GOCAST_ASSERT(!counts_.empty());
+  return counts_.back().first;
+}
+
+std::vector<std::pair<long, std::size_t>> IntDistribution::sorted_counts() const {
+  return counts_;
+}
+
+}  // namespace gocast

@@ -1,0 +1,111 @@
+// Statistics utilities used by the analysis layer and the bench harness:
+// streaming summaries, percentiles, CDFs, and fixed-bin histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace gocast {
+
+/// Streaming mean/variance/min/max via Welford's algorithm.
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< Population variance.
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(count_); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch percentile computation over a sample set.
+class Percentiles {
+ public:
+  explicit Percentiles(std::vector<double> samples);
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  [[nodiscard]] double at(double q) const;
+  [[nodiscard]] double median() const { return at(0.5); }
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Empirical CDF: fraction of samples <= x.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  [[nodiscard]] double fraction_leq(double x) const;
+  [[nodiscard]] std::size_t count() const { return sorted_.size(); }
+
+  struct Point {
+    double x;
+    double fraction;
+  };
+  /// `points` evenly spaced sample points between min and max (inclusive),
+  /// suitable for plotting the curve the paper's figures show.
+  [[nodiscard]] std::vector<Point> curve(std::size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Fixed-width binned histogram over [lo, hi); out-of-range samples clamp to
+/// the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count_in_bin(std::size_t bin) const;
+  [[nodiscard]] double bin_low(std::size_t bin) const;
+  [[nodiscard]] double bin_high(std::size_t bin) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Integer-keyed distribution (e.g. node degrees): count per value.
+class IntDistribution {
+ public:
+  void add(long value);
+  [[nodiscard]] std::size_t count(long value) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] double fraction(long value) const;
+  /// Fraction of samples <= value (for degree CDFs as in Fig 5a).
+  [[nodiscard]] double fraction_leq(long value) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] long min() const;
+  [[nodiscard]] long max() const;
+
+ private:
+  std::vector<std::pair<long, std::size_t>> sorted_counts() const;
+  // Sparse map kept as a small sorted vector: degree values cluster tightly.
+  std::vector<std::pair<long, std::size_t>> counts_;
+  std::size_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace gocast

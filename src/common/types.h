@@ -1,0 +1,54 @@
+// Core identifier and time types shared by every GoCast module.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace gocast {
+
+/// Index of a node within a simulated system. Dense, assigned by the harness.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time in seconds since the start of the run.
+using SimTime = double;
+
+/// Sentinel for "never" / unset timestamps.
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// Identifier of a multicast message: the paper concatenates the source's IP
+/// address with a per-source monotonically increasing sequence number. We use
+/// the source NodeId in place of the IP address.
+struct MsgId {
+  NodeId origin = kInvalidNode;
+  std::uint32_t seq = 0;
+
+  friend bool operator==(const MsgId&, const MsgId&) = default;
+  friend auto operator<=>(const MsgId&, const MsgId&) = default;
+
+  /// Packs the id into one 64-bit word (origin in the high half).
+  [[nodiscard]] std::uint64_t packed() const {
+    return (static_cast<std::uint64_t>(origin) << 32) | seq;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(origin) + ":" + std::to_string(seq);
+  }
+};
+
+}  // namespace gocast
+
+template <>
+struct std::hash<gocast::MsgId> {
+  std::size_t operator()(const gocast::MsgId& id) const noexcept {
+    // SplitMix64 finalizer over the packed id: cheap and well mixed.
+    std::uint64_t z = id.packed() + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -1,0 +1,44 @@
+// Per-node cache of measured round-trip times. Maintenance protocols measure
+// one RTT per cycle; the cache remembers results so conditions C1–C4 can be
+// evaluated without re-probing.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace gocast::coord {
+
+class RttCache {
+ public:
+  void record(NodeId peer, SimTime rtt, SimTime measured_at) {
+    entries_[peer] = Entry{rtt, measured_at};
+  }
+
+  void forget(NodeId peer) { entries_.erase(peer); }
+
+  [[nodiscard]] std::optional<SimTime> rtt(NodeId peer) const {
+    auto it = entries_.find(peer);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.rtt;
+  }
+
+  [[nodiscard]] std::optional<SimTime> measured_at(NodeId peer) const {
+    auto it = entries_.find(peer);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second.measured_at;
+  }
+
+  [[nodiscard]] bool has(NodeId peer) const { return entries_.count(peer) > 0; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    SimTime rtt;
+    SimTime measured_at;
+  };
+  std::unordered_map<NodeId, Entry> entries_;
+};
+
+}  // namespace gocast::coord

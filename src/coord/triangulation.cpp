@@ -1,0 +1,35 @@
+#include "coord/triangulation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gocast::coord {
+
+std::optional<TriangulationEstimate> estimate_rtt(
+    const membership::LandmarkVector& mine,
+    const membership::LandmarkVector& theirs) {
+  double lower = 0.0;
+  double upper = std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (std::size_t i = 0; i < membership::kLandmarkSlots; ++i) {
+    float m = mine[i];
+    float t = theirs[i];
+    if (std::isnan(m) || std::isnan(t)) continue;
+    any = true;
+    lower = std::max(lower, std::abs(static_cast<double>(m) - t));
+    upper = std::min(upper, static_cast<double>(m) + t);
+  }
+  if (!any) return std::nullopt;
+  // Measurement noise can push lower above upper; collapse to the tighter
+  // bound's midpoint in that case.
+  if (lower > upper) lower = upper;
+  return TriangulationEstimate{lower, upper};
+}
+
+SimTime estimate_rtt_or_never(const membership::LandmarkVector& mine,
+                              const membership::LandmarkVector& theirs) {
+  auto est = estimate_rtt(mine, theirs);
+  return est.has_value() ? est->midpoint() : kNever;
+}
+
+}  // namespace gocast::coord

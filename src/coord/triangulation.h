@@ -1,0 +1,38 @@
+// Triangulation-based network-distance estimation (the "triangular
+// heuristic" of Ng & Zhang the paper cites).
+//
+// Each node measures its RTT to a small global landmark set once at startup
+// and piggybacks the resulting vector on membership entries. Given my vector
+// m and a candidate's vector c, the triangle inequality bounds our RTT by
+//   lower = max_i |m_i - c_i|,   upper = min_i (m_i + c_i)
+// and the estimate is the midpoint. Estimates only order candidates for real
+// measurement; they never replace measured RTTs.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "membership/member_entry.h"
+
+namespace gocast::coord {
+
+struct TriangulationEstimate {
+  SimTime lower;
+  SimTime upper;
+
+  [[nodiscard]] SimTime midpoint() const { return 0.5 * (lower + upper); }
+};
+
+/// Estimates the RTT between the owners of two landmark vectors. Returns
+/// nullopt when the vectors share no measured slot.
+[[nodiscard]] std::optional<TriangulationEstimate> estimate_rtt(
+    const membership::LandmarkVector& mine,
+    const membership::LandmarkVector& theirs);
+
+/// Convenience: midpoint estimate, or kNever when no estimate is possible
+/// (so unmeasurable candidates sort last).
+[[nodiscard]] SimTime estimate_rtt_or_never(
+    const membership::LandmarkVector& mine,
+    const membership::LandmarkVector& theirs);
+
+}  // namespace gocast::coord

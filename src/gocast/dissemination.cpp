@@ -1,0 +1,305 @@
+#include "gocast/dissemination.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::core {
+
+Dissemination::Dissemination(NodeId self, net::Network& network,
+                             membership::PartialView& view,
+                             overlay::OverlayManager& overlay,
+                             tree::TreeManager* tree, DisseminationParams params,
+                             Rng rng)
+    : self_(self),
+      network_(network),
+      engine_(network.engine()),
+      view_(view),
+      overlay_(overlay),
+      tree_(tree),
+      params_(params),
+      rng_(std::move(rng)),
+      gossip_timer_(engine_, params.gossip_period, [this] { on_gossip_timer(); }),
+      gc_timer_(engine_, params.gc_sweep_period, [this] { gc_sweep(); }) {
+  GOCAST_ASSERT(params_.gossip_period > 0.0);
+  GOCAST_ASSERT(params_.pull_delay_threshold >= 0.0);
+  GOCAST_ASSERT(params_.gc_record_after >= params_.gc_payload_after);
+  GOCAST_ASSERT(params_.gossip_period_max >= params_.gossip_period);
+  GOCAST_ASSERT(params_.gossip_backoff >= 1.0);
+  GOCAST_ASSERT(params_.pull_max_attempts >= 1);
+}
+
+void Dissemination::start(SimTime stagger) {
+  gossip_timer_.start(stagger + params_.gossip_period);
+  gc_timer_.start(stagger + params_.gc_sweep_period);
+}
+
+void Dissemination::stop() {
+  gossip_timer_.stop();
+  gc_timer_.stop();
+}
+
+MsgId Dissemination::multicast(std::size_t payload_bytes) {
+  MsgId id{self_, next_seq_++};
+  accept_message(id, engine_.now(), payload_bytes, kInvalidNode,
+                 DeliveryPath::kLocal);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Core acceptance path
+// ---------------------------------------------------------------------------
+
+void Dissemination::accept_message(MsgId id, SimTime inject_time,
+                                   std::size_t payload_bytes, NodeId learned_from,
+                                   DeliveryPath path) {
+  auto [it, inserted] = store_.try_emplace(
+      id, Stored{inject_time, engine_.now(), payload_bytes, true});
+  GOCAST_ASSERT(inserted);
+  ++deliveries_;
+  pull_pending_.erase(id);
+
+  if (params_.adaptive_gossip &&
+      gossip_timer_.period() > params_.gossip_period && gossip_timer_.running()) {
+    // Traffic resumed: gossip at full rate again, starting now.
+    gossip_timer_.set_period(params_.gossip_period);
+    gossip_timer_.start(params_.gossip_period);
+  }
+
+  if (delivery_hook_) {
+    delivery_hook_(DeliveryEvent{self_, id, inject_time, engine_.now(), path});
+  }
+
+  // Push without stop along remaining tree links (also after a pull: a
+  // message entering a tree fragment floods the whole fragment, §2.1).
+  if (params_.use_tree && tree_ != nullptr) {
+    forward_on_tree(id, it->second, learned_from);
+  }
+
+  // Queue the ID for gossiping to every overlay neighbor except the one we
+  // heard the message from.
+  for (NodeId peer : rotation_) {
+    if (peer != learned_from) pending_[peer].push_back(id);
+  }
+}
+
+void Dissemination::forward_on_tree(MsgId id, const Stored& stored, NodeId except) {
+  auto msg = std::make_shared<DataMsg>(id, stored.inject_time,
+                                       stored.payload_bytes, /*via_tree=*/true,
+                                       overlay_.my_degrees());
+  for (NodeId peer : tree_->tree_neighbors()) {
+    if (peer != except) network_.send(self_, peer, msg);
+  }
+}
+
+void Dissemination::on_data(NodeId from, const DataMsg& msg) {
+  if (store_.count(msg.id) > 0) {
+    // Redundant arrival — the paper's §2.1 "2% overhead" path. Optimization
+    // (1) of §2.1: a real deployment aborts the transfer mid-stream, so the
+    // payload bytes are not actually carried; we track them as savings.
+    ++duplicates_;
+    aborted_bytes_ += msg.payload_bytes;
+    network_.report_aborted_transfer(from, self_, msg.payload_bytes);
+    return;
+  }
+  accept_message(msg.id, msg.inject_time, msg.payload_bytes, from,
+                 msg.via_tree ? DeliveryPath::kTree : DeliveryPath::kPull);
+}
+
+// ---------------------------------------------------------------------------
+// Gossip
+// ---------------------------------------------------------------------------
+
+void Dissemination::on_gossip_timer() {
+  if (params_.adaptive_gossip) {
+    // Back off while idle (no IDs waiting for any neighbor).
+    bool idle = true;
+    for (const auto& [peer, ids] : pending_) {
+      if (!ids.empty()) {
+        idle = false;
+        break;
+      }
+    }
+    if (idle) {
+      gossip_timer_.set_period(std::min(
+          gossip_timer_.period() * params_.gossip_backoff,
+          params_.gossip_period_max));
+    } else {
+      gossip_timer_.set_period(params_.gossip_period);
+    }
+  }
+  if (rotation_.empty()) return;
+  if (rotation_idx_ >= rotation_.size()) rotation_idx_ = 0;
+  NodeId target = rotation_[rotation_idx_];
+  rotation_idx_ = (rotation_idx_ + 1) % rotation_.size();
+
+  std::vector<DigestEntry> entries;
+  auto pending_it = pending_.find(target);
+  if (pending_it != pending_.end() && !pending_it->second.empty()) {
+    entries.reserve(pending_it->second.size());
+    for (MsgId id : pending_it->second) {
+      auto it = store_.find(id);
+      if (it == store_.end() || !it->second.payload_present) continue;
+      entries.push_back(DigestEntry{id, it->second.inject_time});
+    }
+    pending_it->second.clear();
+  }
+
+  if (entries.empty() && params_.skip_empty_gossips) return;
+
+  ++gossips_sent_;
+  digest_entries_sent_ += entries.size();
+  network_.send(self_, target,
+                std::make_shared<GossipDigestMsg>(
+                    std::move(entries), piggyback_members(), overlay_.my_degrees()));
+}
+
+std::vector<membership::MemberEntry> Dissemination::piggyback_members() {
+  std::vector<membership::MemberEntry> members;
+  members.reserve(params_.piggyback_members + 1);
+
+  // Our own (fresh) entry always rides along; it carries our landmark
+  // vector, which keeps proximity estimates flowing through the system.
+  membership::MemberEntry self_entry;
+  self_entry.id = self_;
+  self_entry.landmark_rtt = own_landmarks_;
+  self_entry.heard_at = engine_.now();
+  members.push_back(self_entry);
+
+  const auto& entries = view_.entries();
+  if (entries.empty()) return members;
+  for (std::size_t i = 0; i < params_.piggyback_members; ++i) {
+    // With-replacement picks: O(1) per gossip; duplicates are harmless.
+    members.push_back(
+        entries[static_cast<std::size_t>(rng_.next_below(entries.size()))]);
+  }
+  return members;
+}
+
+void Dissemination::on_gossip_digest(NodeId from, const GossipDigestMsg& msg) {
+  view_.integrate(msg.members);
+
+  SimTime now = engine_.now();
+  for (const DigestEntry& entry : msg.entries) {
+    // The peer evidently knows this message: never gossip it back.
+    remove_from_pending(from, entry.id);
+
+    if (store_.count(entry.id) > 0) continue;
+    if (pull_pending_.count(entry.id) > 0) continue;  // pull in flight
+    pull_pending_[entry.id] = PullState{from, now, 0};
+
+    // Pull-delay threshold f: give the tree a head start before pulling.
+    SimTime age = now - entry.inject_time;
+    SimTime delay = std::max(0.0, params_.pull_delay_threshold - age);
+    if (delay <= 0.0) {
+      issue_pull(from, entry.id);
+    } else {
+      engine_.schedule_after(delay, [this, from, id = entry.id] {
+        if (store_.count(id) > 0) {
+          pull_pending_.erase(id);  // the tree won the race
+          return;
+        }
+        if (!network_.alive(self_)) return;
+        issue_pull(from, id);
+      });
+    }
+  }
+}
+
+void Dissemination::issue_pull(NodeId target, MsgId id) {
+  ++pulls_sent_;
+  network_.send(self_, target,
+                std::make_shared<PullRequestMsg>(std::vector<MsgId>{id},
+                                                 overlay_.my_degrees()));
+  schedule_pull_retry(id);
+}
+
+void Dissemination::schedule_pull_retry(MsgId id) {
+  // Self-driven retries: a lost pull request or a lost response must not
+  // orphan the message (each neighbor advertises an ID only once).
+  engine_.schedule_after(params_.pull_retry_timeout, [this, id] {
+    auto it = pull_pending_.find(id);
+    if (it == pull_pending_.end()) return;  // satisfied
+    if (store_.count(id) > 0 || !network_.alive(self_)) {
+      pull_pending_.erase(it);
+      return;
+    }
+    if (++it->second.attempts >= params_.pull_max_attempts) {
+      pull_pending_.erase(it);  // give up; a future digest may re-trigger
+      return;
+    }
+    issue_pull(it->second.target, id);
+  });
+}
+
+void Dissemination::on_pull_request(NodeId from, const PullRequestMsg& msg) {
+  for (MsgId id : msg.ids) {
+    auto it = store_.find(id);
+    if (it == store_.end() || !it->second.payload_present) continue;
+    network_.send(self_, from,
+                  std::make_shared<DataMsg>(id, it->second.inject_time,
+                                            it->second.payload_bytes,
+                                            /*via_tree=*/false,
+                                            overlay_.my_degrees()));
+  }
+}
+
+void Dissemination::remove_from_pending(NodeId neighbor, MsgId id) {
+  auto it = pending_.find(neighbor);
+  if (it == pending_.end()) return;
+  auto& vec = it->second;
+  auto pos = std::find(vec.begin(), vec.end(), id);
+  if (pos != vec.end()) {
+    *pos = vec.back();
+    vec.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Garbage collection
+// ---------------------------------------------------------------------------
+
+void Dissemination::gc_sweep() {
+  SimTime now = engine_.now();
+  for (auto it = store_.begin(); it != store_.end();) {
+    SimTime age = now - it->second.received_at;
+    if (age > params_.gc_record_after) {
+      it = store_.erase(it);
+      continue;
+    }
+    if (age > params_.gc_payload_after) it->second.payload_present = false;
+    ++it;
+  }
+  for (auto it = pull_pending_.begin(); it != pull_pending_.end();) {
+    if (now - it->second.started > params_.gc_payload_after) {
+      it = pull_pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overlay listener
+// ---------------------------------------------------------------------------
+
+void Dissemination::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
+  (void)kind;
+  if (std::find(rotation_.begin(), rotation_.end(), peer) == rotation_.end()) {
+    rotation_.push_back(peer);
+  }
+}
+
+void Dissemination::on_neighbor_removed(NodeId peer) {
+  auto it = std::find(rotation_.begin(), rotation_.end(), peer);
+  if (it != rotation_.end()) {
+    std::size_t idx = static_cast<std::size_t>(it - rotation_.begin());
+    rotation_.erase(it);
+    if (rotation_idx_ > idx) --rotation_idx_;
+  }
+  pending_.erase(peer);
+}
+
+}  // namespace gocast::core

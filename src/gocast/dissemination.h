@@ -1,0 +1,136 @@
+// Message dissemination (paper §2.1): unconditional push along tree links,
+// plus background gossip of message IDs to overlay neighbors (round-robin,
+// one per gossip period) with pull-based recovery, the pull-delay threshold
+// f, and payload garbage collection after the waiting period b.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "gocast/messages.h"
+#include "gocast/params.h"
+#include "membership/partial_view.h"
+#include "net/network.h"
+#include "overlay/overlay_manager.h"
+#include "sim/timer.h"
+#include "tree/tree_manager.h"
+
+namespace gocast::core {
+
+enum class DeliveryPath { kLocal, kTree, kPull };
+
+struct DeliveryEvent {
+  NodeId node;
+  MsgId id;
+  SimTime inject_time;
+  SimTime deliver_time;
+  DeliveryPath path;
+};
+
+using DeliveryHook = std::function<void(const DeliveryEvent&)>;
+
+class Dissemination final : public overlay::OverlayListener {
+ public:
+  /// `tree` may be null (gossip-only baselines).
+  Dissemination(NodeId self, net::Network& network, membership::PartialView& view,
+                overlay::OverlayManager& overlay, tree::TreeManager* tree,
+                DisseminationParams params, Rng rng);
+
+  void start(SimTime stagger);
+  void stop();
+
+  void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
+  void set_own_landmarks(const membership::LandmarkVector& landmarks) {
+    own_landmarks_ = landmarks;
+  }
+
+  /// Starts a multicast from this node. Returns the assigned message id.
+  MsgId multicast(std::size_t payload_bytes);
+
+  // -- message entry points --
+  void on_data(NodeId from, const DataMsg& msg);
+  void on_gossip_digest(NodeId from, const GossipDigestMsg& msg);
+  void on_pull_request(NodeId from, const PullRequestMsg& msg);
+
+  // -- OverlayListener (keeps the gossip rotation in sync) --
+  void on_neighbor_added(NodeId peer, overlay::LinkKind kind) override;
+  void on_neighbor_removed(NodeId peer) override;
+
+  // -- queries / stats --
+  [[nodiscard]] bool has_message(MsgId id) const { return store_.count(id) > 0; }
+  [[nodiscard]] std::size_t store_size() const { return store_.size(); }
+  [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] std::uint64_t pulls_sent() const { return pulls_sent_; }
+  /// Payload bytes of redundant transfers that the abort optimization
+  /// (§2.1 item 1) would avoid carrying.
+  [[nodiscard]] std::uint64_t aborted_bytes() const { return aborted_bytes_; }
+  [[nodiscard]] std::uint64_t gossips_sent() const { return gossips_sent_; }
+  [[nodiscard]] std::uint64_t digest_entries_sent() const {
+    return digest_entries_sent_;
+  }
+  [[nodiscard]] const DisseminationParams& params() const { return params_; }
+
+ private:
+  struct Stored {
+    SimTime inject_time;
+    SimTime received_at;
+    std::size_t payload_bytes;
+    bool payload_present;
+  };
+
+  /// First receipt of a message from any path: store, deliver, push along
+  /// tree links (except `learned_from`), and queue its ID for gossiping to
+  /// every overlay neighbor except `learned_from`.
+  void accept_message(MsgId id, SimTime inject_time, std::size_t payload_bytes,
+                      NodeId learned_from, DeliveryPath path);
+
+  void forward_on_tree(MsgId id, const Stored& stored, NodeId except);
+  void on_gossip_timer();
+  void gc_sweep();
+  void issue_pull(NodeId target, MsgId id);
+  void schedule_pull_retry(MsgId id);
+  void remove_from_pending(NodeId neighbor, MsgId id);
+
+  [[nodiscard]] std::vector<membership::MemberEntry> piggyback_members();
+
+  NodeId self_;
+  net::Network& network_;
+  sim::Engine& engine_;
+  membership::PartialView& view_;
+  overlay::OverlayManager& overlay_;
+  tree::TreeManager* tree_;
+  DisseminationParams params_;
+  Rng rng_;
+
+  std::unordered_map<MsgId, Stored> store_;
+  std::unordered_map<NodeId, std::vector<MsgId>> pending_;
+  std::vector<NodeId> rotation_;
+  std::size_t rotation_idx_ = 0;
+  struct PullState {
+    NodeId target;
+    SimTime started;
+    int attempts;
+  };
+  std::unordered_map<MsgId, PullState> pull_pending_;
+  std::uint32_t next_seq_ = 0;
+
+  membership::LandmarkVector own_landmarks_ = membership::empty_landmarks();
+  DeliveryHook delivery_hook_;
+
+  sim::PeriodicTimer gossip_timer_;
+  sim::PeriodicTimer gc_timer_;
+
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t aborted_bytes_ = 0;
+  std::uint64_t pulls_sent_ = 0;
+  std::uint64_t gossips_sent_ = 0;
+  std::uint64_t digest_entries_sent_ = 0;
+};
+
+}  // namespace gocast::core

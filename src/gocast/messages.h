@@ -1,0 +1,95 @@
+// Dissemination wire protocol: multicast payloads, gossip digests, pulls.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "membership/member_entry.h"
+#include "net/message.h"
+
+namespace gocast::core {
+
+inline constexpr int kPktData = 300;
+inline constexpr int kPktGossipDigest = 301;
+inline constexpr int kPktPullRequest = 302;
+
+/// A multicast message (payload is simulated by its size). `inject_time`
+/// implements the paper's piggybacked elapsed-time estimate: messages carry
+/// the accumulated time since injection so receivers can apply the
+/// pull-delay threshold f. (The simulator's shared clock makes the estimate
+/// exact; the paper builds it by summing per-hop delays.)
+struct DataMsg final : net::Message {
+  DataMsg(MsgId id, SimTime inject_time, std::size_t payload_bytes,
+          bool via_tree, net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kData, kPktData),
+        id(id),
+        inject_time(inject_time),
+        payload_bytes(payload_bytes),
+        via_tree(via_tree),
+        degrees(degrees) {}
+
+  MsgId id;
+  SimTime inject_time;
+  std::size_t payload_bytes;
+  bool via_tree;  ///< pushed along a tree link (vs. sent as a pull response)
+  net::PeerDegrees degrees;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 32 + payload_bytes + net::PeerDegrees::wire_size();
+  }
+  [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
+    return &degrees;
+  }
+};
+
+struct DigestEntry {
+  MsgId id;
+  SimTime inject_time;
+
+  [[nodiscard]] static constexpr std::size_t wire_size() { return 12; }
+};
+
+/// The gossip: IDs of messages received or started since the last gossip to
+/// this neighbor (minus those heard from it), plus piggybacked membership.
+struct GossipDigestMsg final : net::Message {
+  GossipDigestMsg(std::vector<DigestEntry> entries,
+                  std::vector<membership::MemberEntry> members,
+                  net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kGossipDigest, kPktGossipDigest),
+        entries(std::move(entries)),
+        members(std::move(members)),
+        degrees(degrees) {}
+
+  std::vector<DigestEntry> entries;
+  std::vector<membership::MemberEntry> members;
+  net::PeerDegrees degrees;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + entries.size() * DigestEntry::wire_size() +
+           members.size() * membership::MemberEntry::wire_size() +
+           net::PeerDegrees::wire_size();
+  }
+  [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
+    return &degrees;
+  }
+};
+
+/// Request for messages whose IDs were learned from a gossip.
+struct PullRequestMsg final : net::Message {
+  PullRequestMsg(std::vector<MsgId> ids, net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kPullRequest, kPktPullRequest),
+        ids(std::move(ids)),
+        degrees(degrees) {}
+
+  std::vector<MsgId> ids;
+  net::PeerDegrees degrees;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + ids.size() * 8 + net::PeerDegrees::wire_size();
+  }
+  [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
+    return &degrees;
+  }
+};
+
+}  // namespace gocast::core

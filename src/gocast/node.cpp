@@ -1,0 +1,189 @@
+#include "gocast/node.h"
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "overlay/messages.h"
+#include "tree/messages.h"
+
+namespace gocast::core {
+
+namespace {
+GoCastConfig normalize(GoCastConfig config) {
+  // Gossip-only baselines have no tree; keep the flags consistent.
+  if (!config.dissemination.use_tree) config.tree.enabled = false;
+  return config;
+}
+}  // namespace
+
+GoCastNode::GoCastNode(NodeId id, net::Network& network, GoCastConfig config,
+                       Rng rng)
+    : id_(id),
+      network_(network),
+      config_(normalize(std::move(config))),
+      view_(id, config_.view_capacity, rng.fork("view")),
+      overlay_(id, network, view_, config_.overlay, rng.fork("overlay")),
+      tree_(id, network, overlay_, config_.tree),
+      dissemination_(id, network, view_, overlay_,
+                     config_.tree.enabled ? &tree_ : nullptr,
+                     config_.dissemination, rng.fork("dissemination")),
+      own_landmarks_(membership::empty_landmarks()) {
+  overlay_.add_listener(&tree_);
+  overlay_.add_listener(&dissemination_);
+  network_.set_endpoint(id_, this);
+}
+
+void GoCastNode::start(SimTime stagger) {
+  overlay_.start(stagger);
+  tree_.start(stagger);
+  dissemination_.start(stagger);
+  measure_landmarks();
+}
+
+void GoCastNode::stop() {
+  overlay_.stop();
+  tree_.stop();
+  dissemination_.stop();
+}
+
+void GoCastNode::freeze() {
+  overlay_.freeze();
+  tree_.freeze();
+}
+
+void GoCastNode::kill() {
+  network_.fail_node(id_);
+  stop();
+}
+
+void GoCastNode::join_via(NodeId bootstrap) {
+  GOCAST_ASSERT(bootstrap != id_);
+  network_.send(id_, bootstrap, std::make_shared<overlay::JoinRequestMsg>());
+}
+
+void GoCastNode::seed_view(std::span<const membership::MemberEntry> entries) {
+  view_.integrate(entries);
+}
+
+void GoCastNode::bootstrap_link(NodeId peer, overlay::LinkKind kind) {
+  overlay_.bootstrap_link(peer, kind);
+}
+
+void GoCastNode::become_root() { tree_.become_root(); }
+
+MsgId GoCastNode::multicast(std::size_t payload_bytes) {
+  GOCAST_ASSERT_MSG(network_.alive(id_), "dead node starting a multicast");
+  return dissemination_.multicast(payload_bytes);
+}
+
+void GoCastNode::set_delivery_hook(DeliveryHook hook) {
+  dissemination_.set_delivery_hook(std::move(hook));
+}
+
+void GoCastNode::measure_landmarks() {
+  const auto& landmarks = config_.landmarks;
+  for (std::size_t i = 0;
+       i < landmarks.size() && i < membership::kLandmarkSlots; ++i) {
+    NodeId lm = landmarks[i];
+    if (lm == id_) {
+      own_landmarks_[i] = 0.0f;
+      overlay_.set_own_landmarks(own_landmarks_);
+      dissemination_.set_own_landmarks(own_landmarks_);
+      continue;
+    }
+    overlay_.measure_rtt(lm, [this, i](SimTime rtt) {
+      own_landmarks_[i] = static_cast<float>(rtt);
+      overlay_.set_own_landmarks(own_landmarks_);
+      dissemination_.set_own_landmarks(own_landmarks_);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void GoCastNode::handle_message(NodeId from, const net::MessagePtr& msg) {
+  if (const net::PeerDegrees* degrees = msg->peer_degrees()) {
+    overlay_.note_peer_degrees(from, *degrees);
+  }
+
+  switch (msg->packet_type()) {
+    case overlay::kPktNeighborRequest:
+      overlay_.on_neighbor_request(
+          from, static_cast<const overlay::NeighborRequestMsg&>(*msg));
+      return;
+    case overlay::kPktNeighborAccept:
+      overlay_.on_neighbor_accept(
+          from, static_cast<const overlay::NeighborAcceptMsg&>(*msg));
+      return;
+    case overlay::kPktNeighborReject:
+      overlay_.on_neighbor_reject(
+          from, static_cast<const overlay::NeighborRejectMsg&>(*msg));
+      return;
+    case overlay::kPktNeighborDrop:
+      overlay_.on_neighbor_drop(from,
+                                static_cast<const overlay::NeighborDropMsg&>(*msg));
+      return;
+    case overlay::kPktLinkTransfer:
+      overlay_.on_link_transfer(from,
+                                static_cast<const overlay::LinkTransferMsg&>(*msg));
+      return;
+    case overlay::kPktPing:
+      overlay_.on_ping(from, static_cast<const overlay::PingMsg&>(*msg));
+      return;
+    case overlay::kPktPong:
+      overlay_.on_pong(from, static_cast<const overlay::PongMsg&>(*msg));
+      return;
+    case overlay::kPktJoinRequest:
+      on_join_request(from);
+      return;
+    case overlay::kPktJoinReply:
+      on_join_reply(static_cast<const overlay::JoinReplyMsg&>(*msg));
+      return;
+    case tree::kPktHeartbeat:
+      tree_.on_heartbeat(from, static_cast<const tree::HeartbeatMsg&>(*msg));
+      return;
+    case tree::kPktChildJoin:
+      tree_.on_child_join(from, static_cast<const tree::ChildJoinMsg&>(*msg));
+      return;
+    case tree::kPktChildLeave:
+      tree_.on_child_leave(from, static_cast<const tree::ChildLeaveMsg&>(*msg));
+      return;
+    case kPktData:
+      dissemination_.on_data(from, static_cast<const DataMsg&>(*msg));
+      return;
+    case kPktGossipDigest:
+      dissemination_.on_gossip_digest(from,
+                                      static_cast<const GossipDigestMsg&>(*msg));
+      return;
+    case kPktPullRequest:
+      dissemination_.on_pull_request(from,
+                                     static_cast<const PullRequestMsg&>(*msg));
+      return;
+    default:
+      GOCAST_WARN("node " << id_ << " ignoring unknown packet type "
+                          << msg->packet_type() << " from " << from);
+  }
+}
+
+void GoCastNode::handle_send_failure(NodeId to, const net::MessagePtr& msg) {
+  (void)msg;
+  overlay_.on_peer_failure(to);
+}
+
+void GoCastNode::on_join_request(NodeId from) {
+  std::vector<membership::MemberEntry> members = view_.sample(64);
+  membership::MemberEntry self_entry;
+  self_entry.id = id_;
+  self_entry.landmark_rtt = own_landmarks_;
+  self_entry.heard_at = network_.engine().now();
+  members.push_back(self_entry);
+  network_.send(id_, from,
+                std::make_shared<overlay::JoinReplyMsg>(std::move(members)));
+}
+
+void GoCastNode::on_join_reply(const overlay::JoinReplyMsg& msg) {
+  view_.integrate(msg.members);
+}
+
+}  // namespace gocast::core

@@ -1,0 +1,105 @@
+// A complete GoCast node: partial membership view, overlay maintenance,
+// embedded tree, and the dissemination layer, wired to the simulated
+// network. This is the main public entry point for using the protocol.
+#pragma once
+
+#include <memory>
+#include <span>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "gocast/dissemination.h"
+#include "gocast/params.h"
+#include "membership/partial_view.h"
+#include "net/network.h"
+#include "overlay/overlay_manager.h"
+#include "tree/tree_manager.h"
+
+namespace gocast::core {
+
+class GoCastNode final : public net::Endpoint {
+ public:
+  /// Registers itself as `id`'s endpoint on `network`.
+  GoCastNode(NodeId id, net::Network& network, GoCastConfig config, Rng rng);
+
+  GoCastNode(const GoCastNode&) = delete;
+  GoCastNode& operator=(const GoCastNode&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  /// Starts all protocol timers and measures landmark RTTs. `stagger`
+  /// de-synchronizes periodic activity across nodes.
+  void start(SimTime stagger);
+  void stop();
+
+  /// Freezes overlay and tree maintenance (Fig 3(b) stress mode): no link
+  /// adds/drops/replacements, no tree repair. Dissemination keeps running.
+  void freeze();
+
+  /// Crashes the node: marks it dead on the network and stops all timers.
+  void kill();
+
+  /// Joins an existing overlay through a known bootstrap node: requests its
+  /// member list; the maintenance protocols then establish links.
+  void join_via(NodeId bootstrap);
+
+  /// Seeds the membership view directly (harness initialization).
+  void seed_view(std::span<const membership::MemberEntry> entries);
+
+  /// Installs a pre-established overlay link (harness initialization; must
+  /// be mirrored on the peer).
+  void bootstrap_link(NodeId peer, overlay::LinkKind kind);
+
+  /// Makes this node the tree root.
+  void become_root();
+
+  /// Starts a multicast from this node.
+  MsgId multicast(std::size_t payload_bytes);
+  MsgId multicast() { return multicast(config_.dissemination.payload_bytes); }
+
+  void set_delivery_hook(DeliveryHook hook);
+
+  /// Protocol-agnostic counters (shared with the baselines by the harness).
+  [[nodiscard]] std::uint64_t deliveries_count() const {
+    return dissemination_.deliveries();
+  }
+  [[nodiscard]] std::uint64_t duplicates_count() const {
+    return dissemination_.duplicates();
+  }
+
+  // -- subsystem access (tests, analysis) --
+  [[nodiscard]] membership::PartialView& view() { return view_; }
+  [[nodiscard]] const membership::PartialView& view() const { return view_; }
+  [[nodiscard]] overlay::OverlayManager& overlay() { return overlay_; }
+  [[nodiscard]] const overlay::OverlayManager& overlay() const { return overlay_; }
+  [[nodiscard]] tree::TreeManager& tree() { return tree_; }
+  [[nodiscard]] const tree::TreeManager& tree() const { return tree_; }
+  [[nodiscard]] Dissemination& dissemination() { return dissemination_; }
+  [[nodiscard]] const Dissemination& dissemination() const {
+    return dissemination_;
+  }
+  [[nodiscard]] const GoCastConfig& config() const { return config_; }
+  [[nodiscard]] const membership::LandmarkVector& landmarks() const {
+    return own_landmarks_;
+  }
+
+  // -- net::Endpoint --
+  void handle_message(NodeId from, const net::MessagePtr& msg) override;
+  void handle_send_failure(NodeId to, const net::MessagePtr& msg) override;
+
+ private:
+  void measure_landmarks();
+  void on_join_request(NodeId from);
+  void on_join_reply(const overlay::JoinReplyMsg& msg);
+
+  NodeId id_;
+  net::Network& network_;
+  GoCastConfig config_;
+  membership::PartialView view_;
+  overlay::OverlayManager overlay_;
+  tree::TreeManager tree_;
+  Dissemination dissemination_;
+  membership::LandmarkVector own_landmarks_;
+};
+
+}  // namespace gocast::core

@@ -1,0 +1,81 @@
+// Tunable parameters of the GoCast dissemination layer (paper §2.1) and the
+// aggregate per-node configuration.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "overlay/overlay_manager.h"
+#include "tree/tree_manager.h"
+
+namespace gocast::core {
+
+struct DisseminationParams {
+  /// Gossip period t: every t seconds one overlay neighbor (round-robin)
+  /// receives a summary of new message IDs. 0.1 s per the paper (suggested
+  /// by Bimodal Multicast).
+  SimTime gossip_period = 0.1;
+
+  /// Pull-delay threshold f: delay pulling a message discovered via gossip
+  /// until it is at least f seconds old, giving the tree time to deliver it
+  /// first. 0 disables the optimization. The paper recommends the 90th
+  /// percentile tree delay (0.3 s for 1,024 nodes).
+  SimTime pull_delay_threshold = 0.0;
+
+  /// Waiting period b: payload is reclaimed this long after the ID was
+  /// gossiped to the last neighbor (two minutes in the paper).
+  SimTime gc_payload_after = 120.0;
+
+  /// Message records (IDs) are kept a further period to suppress duplicate
+  /// deliveries of stragglers.
+  SimTime gc_record_after = 240.0;
+
+  /// How often the garbage collector sweeps the store.
+  SimTime gc_sweep_period = 5.0;
+
+  /// Simulated multicast payload size in bytes (traffic accounting only).
+  std::size_t payload_bytes = 1024;
+
+  /// False for the gossip-only baselines ("proximity overlay", "random
+  /// overlay"): messages then spread exclusively via neighbor gossip pulls.
+  bool use_tree = true;
+
+  /// Membership entries piggybacked per gossip (partial-view refresh).
+  std::size_t piggyback_members = 3;
+
+  /// When true, a gossip carrying no message IDs is suppressed ("a gossip
+  /// can be saved if there is no multicast message during that period").
+  /// Off by default so membership piggybacking keeps flowing.
+  bool skip_empty_gossips = false;
+
+  /// The paper: "the gossip period t is dynamically tunable according to
+  /// the message rate". When enabled, the period stretches toward
+  /// gossip_period_max while no messages flow and snaps back to
+  /// gossip_period the moment one arrives.
+  bool adaptive_gossip = false;
+  SimTime gossip_period_max = 1.0;
+  double gossip_backoff = 1.5;
+
+  /// An unanswered pull is re-issued after this (a lost pull request or a
+  /// lost response would otherwise orphan the message: each neighbor
+  /// advertises an ID only once).
+  SimTime pull_retry_timeout = 2.0;
+  /// Retries per pull before giving up and waiting for a fresh digest.
+  int pull_max_attempts = 5;
+};
+
+/// Everything one GoCast node needs.
+struct GoCastConfig {
+  overlay::OverlayParams overlay;
+  tree::TreeParams tree;
+  DisseminationParams dissemination;
+
+  /// Partial-view capacity (bounded member list).
+  std::size_t view_capacity = 256;
+
+  /// Global landmark node ids used for triangulation estimates.
+  std::vector<NodeId> landmarks;
+};
+
+}  // namespace gocast::core

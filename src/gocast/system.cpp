@@ -1,0 +1,186 @@
+#include "gocast/system.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::core {
+
+std::shared_ptr<const net::LatencyModel> default_latency_model(
+    std::uint64_t seed, std::size_t sites) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::uint64_t, std::size_t>,
+                  std::shared_ptr<const net::LatencyModel>>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(seed, sites);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+
+  net::SyntheticKingParams params;
+  params.sites = sites;
+  auto model = std::shared_ptr<const net::LatencyModel>(
+      net::make_synthetic_king(params, Rng(seed).fork("king")));
+  cache[key] = model;
+  return model;
+}
+
+System::System(SystemConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  GOCAST_ASSERT(config_.node_count >= 2);
+
+  latency_ = config_.latency != nullptr
+                 ? config_.latency
+                 : default_latency_model(config_.seed);
+  network_ = std::make_unique<net::Network>(engine_, latency_, config_.net,
+                                            rng_.fork("network"));
+  network_->add_nodes_round_robin(config_.node_count);
+
+  // Landmarks: the first k nodes (the bootstrap set a deployment would use).
+  GoCastConfig node_config = config_.node;
+  node_config.landmarks.clear();
+  std::size_t landmark_count =
+      std::min({config_.landmark_count, config_.node_count,
+                membership::kLandmarkSlots});
+  for (std::size_t i = 0; i < landmark_count; ++i) {
+    node_config.landmarks.push_back(static_cast<NodeId>(i));
+  }
+
+  GOCAST_ASSERT(config_.deferred_nodes < config_.node_count - 1);
+
+  nodes_.reserve(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    GoCastConfig this_config = node_config;
+    if (config_.capacity_of) {
+      // Capacity-aware degrees: scale the nearby target per node.
+      double capacity = config_.capacity_of(id);
+      GOCAST_ASSERT_MSG(capacity > 0.0, "capacity must be positive");
+      int scaled = static_cast<int>(
+          std::lround(node_config.overlay.target_near_degree * capacity));
+      this_config.overlay.target_near_degree = std::max(1, scaled);
+    }
+    nodes_.push_back(std::make_unique<GoCastNode>(
+        id, *network_, this_config, rng_.fork(static_cast<std::uint64_t>(id))));
+  }
+}
+
+void System::start() {
+  GOCAST_ASSERT_MSG(!started_, "System::start called twice");
+  started_ = true;
+  // Deferred nodes stay offline until spawn_next().
+  std::size_t n = nodes_.size() - config_.deferred_nodes;
+  for (NodeId id = static_cast<NodeId>(n); id < nodes_.size(); ++id) {
+    network_->fail_node(id);
+  }
+  Rng init_rng = rng_.fork("init");
+
+  // Seed partial views with uniform random subsets.
+  std::size_t view_seed = std::min(config_.initial_view_size, n - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    std::vector<membership::MemberEntry> seed;
+    seed.reserve(view_seed);
+    std::unordered_set<NodeId> chosen;
+    while (chosen.size() < view_seed) {
+      NodeId other = static_cast<NodeId>(init_rng.next_below(n));
+      if (other == id || !chosen.insert(other).second) continue;
+      membership::MemberEntry entry;
+      entry.id = other;
+      entry.heard_at = 0.0;
+      seed.push_back(entry);
+    }
+    nodes_[id]->seed_view(seed);
+  }
+
+  // Each node initiates bootstrap_links_per_node random links (both sides
+  // install the link, as an accepted TCP connection would).
+  for (NodeId id = 0; id < n; ++id) {
+    std::size_t made = 0;
+    std::size_t attempts = 0;
+    while (made < config_.bootstrap_links_per_node && attempts < 20 * n) {
+      ++attempts;
+      NodeId other = static_cast<NodeId>(init_rng.next_below(n));
+      if (other == id || nodes_[id]->overlay().is_neighbor(other)) continue;
+      nodes_[id]->bootstrap_link(other, overlay::LinkKind::kRandom);
+      nodes_[other]->bootstrap_link(id, overlay::LinkKind::kRandom);
+      ++made;
+    }
+  }
+
+  // One random node is designated the tree root (the paper: "originally,
+  // the first node in the overlay acts as the root").
+  if (config_.node.tree.enabled && config_.node.dissemination.use_tree) {
+    NodeId root = static_cast<NodeId>(init_rng.next_below(n));
+    nodes_[root]->become_root();
+  }
+
+  for (NodeId id = 0; id < n; ++id) {
+    SimTime stagger =
+        init_rng.next_range(0.0, config_.node.overlay.maintenance_period);
+    nodes_[id]->start(stagger);
+  }
+}
+
+std::vector<NodeId> System::fail_random_fraction(double fraction) {
+  GOCAST_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  std::vector<NodeId> alive = alive_nodes();
+  Rng fail_rng = rng_.fork("failures");
+  fail_rng.shuffle(alive);
+  std::size_t count = static_cast<std::size_t>(
+      static_cast<double>(alive.size()) * fraction + 0.5);
+  std::vector<NodeId> killed(alive.begin(),
+                             alive.begin() + static_cast<long>(count));
+  for (NodeId id : killed) nodes_[id]->kill();
+  GOCAST_INFO("failed " << killed.size() << " of " << alive.size() << " nodes");
+  return killed;
+}
+
+void System::freeze_all() {
+  for (auto& node : nodes_) {
+    if (network_->alive(node->id())) node->freeze();
+  }
+}
+
+NodeId System::random_alive_node() {
+  GOCAST_ASSERT(network_->alive_count() > 0);
+  for (;;) {
+    NodeId id = static_cast<NodeId>(rng_.next_below(nodes_.size()));
+    if (network_->alive(id)) return id;
+  }
+}
+
+void System::set_delivery_hook(const DeliveryHook& hook) {
+  for (auto& node : nodes_) node->set_delivery_hook(hook);
+}
+
+NodeId System::spawn_next() {
+  GOCAST_ASSERT_MSG(started_, "System::spawn_next before start");
+  if (spawned_ >= config_.deferred_nodes) return kInvalidNode;
+  NodeId id = static_cast<NodeId>(nodes_.size() - config_.deferred_nodes +
+                                  spawned_);
+  ++spawned_;
+  network_->recover_node(id);
+  NodeId bootstrap;
+  do {
+    bootstrap = random_alive_node();
+  } while (bootstrap == id);
+  nodes_[id]->join_via(bootstrap);
+  nodes_[id]->start(
+      rng_.next_range(0.0, config_.node.overlay.maintenance_period));
+  GOCAST_INFO("spawned node " << id << " via bootstrap " << bootstrap);
+  return id;
+}
+
+std::vector<NodeId> System::alive_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (network_->alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace gocast::core

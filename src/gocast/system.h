@@ -1,0 +1,108 @@
+// Facade that assembles a complete simulated GoCast deployment: engine,
+// latency model, network, and nodes, with the initialization procedure the
+// paper's experiments use (seeded partial views, C_degree/2 random bootstrap
+// links per node, one designated root).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "gocast/node.h"
+#include "net/latency_model.h"
+#include "net/network.h"
+#include "sim/engine.h"
+
+namespace gocast::core {
+
+struct SystemConfig {
+  std::size_t node_count = 64;
+  GoCastConfig node;  ///< per-node configuration (landmarks filled in by System)
+  net::NetworkConfig net;
+  /// Latency model; when null a synthetic King-like model is generated from
+  /// the seed (see net::make_synthetic_king).
+  std::shared_ptr<const net::LatencyModel> latency;
+  std::uint64_t seed = 1;
+  /// Initial random links each node initiates (the paper uses C_degree/2, so
+  /// the initial average degree is C_degree).
+  std::size_t bootstrap_links_per_node = 3;
+  std::size_t landmark_count = 8;
+  /// Members seeded into each node's partial view at start.
+  std::size_t initial_view_size = 64;
+
+  /// Capacity-aware degrees (the paper: "tuning node degree according to
+  /// node capacity can be accommodated in our protocol"): per-node
+  /// multiplier applied to the nearby-degree target. Null means uniform.
+  std::function<double(NodeId)> capacity_of;
+
+  /// The last `deferred_nodes` nodes are created but not started: they join
+  /// later through spawn_next() (churn experiments). They count as dead
+  /// until spawned.
+  std::size_t deferred_nodes = 0;
+};
+
+class System {
+ public:
+  explicit System(SystemConfig config);
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  /// Seeds views, installs bootstrap links, designates the root, and starts
+  /// every node with a small random stagger.
+  void start();
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] const net::Network& network() const { return *network_; }
+  [[nodiscard]] GoCastNode& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] const GoCastNode& node(NodeId id) const { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  void run_for(SimTime duration) { engine_.run_until(engine_.now() + duration); }
+  void run_until(SimTime t) { engine_.run_until(t); }
+
+  /// Kills a uniformly random `fraction` of the currently alive nodes.
+  /// Returns the killed ids.
+  std::vector<NodeId> fail_random_fraction(double fraction);
+
+  /// Freezes overlay/tree maintenance on every alive node (Fig 3(b) mode).
+  void freeze_all();
+
+  /// A uniformly random alive node id.
+  [[nodiscard]] NodeId random_alive_node();
+
+  /// Installs the hook on every node.
+  void set_delivery_hook(const DeliveryHook& hook);
+
+  /// Ids of currently alive nodes.
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+
+  /// Brings the next deferred node online: it joins through a random alive
+  /// bootstrap node and integrates via the normal maintenance protocols.
+  /// Returns its id, or kInvalidNode when none remain.
+  NodeId spawn_next();
+  [[nodiscard]] std::size_t deferred_remaining() const {
+    return config_.deferred_nodes - spawned_;
+  }
+
+ private:
+  SystemConfig config_;
+  Rng rng_;
+  sim::Engine engine_;
+  std::shared_ptr<const net::LatencyModel> latency_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<GoCastNode>> nodes_;
+  bool started_ = false;
+  std::size_t spawned_ = 0;
+};
+
+/// Builds (and caches per-process, keyed by seed/sites) the default synthetic
+/// King-like latency model. Generation costs ~n² work; experiments reuse it.
+[[nodiscard]] std::shared_ptr<const net::LatencyModel> default_latency_model(
+    std::uint64_t seed, std::size_t sites = 1740);
+
+}  // namespace gocast::core

@@ -1,0 +1,79 @@
+#include "harness/args.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/assert.h"
+
+namespace gocast::harness {
+
+Args::Args(int argc, char** argv, const std::vector<std::string>& allowed) {
+  auto is_allowed = [&allowed](const std::string& name) {
+    return std::find(allowed.begin(), allowed.end(), name) != allowed.end();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      // "--flag value" unless the next token is another flag or missing.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    if (!is_allowed(name)) {
+      std::cerr << "unknown flag --" << name << "\nallowed:";
+      for (const auto& a : allowed) std::cerr << " --" << a;
+      std::cerr << "\n";
+      std::exit(2);
+    }
+    values_[name] = value;
+  }
+}
+
+bool Args::has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Args::get(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  GOCAST_ASSERT_MSG(end != it->second.c_str(), "bad number for --" << name);
+  return v;
+}
+
+long Args::get_int(const std::string& name, long fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  long v = std::strtol(it->second.c_str(), &end, 10);
+  GOCAST_ASSERT_MSG(end != it->second.c_str(), "bad integer for --" << name);
+  return v;
+}
+
+bool Args::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace gocast::harness

@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for the tools and examples:
+// --name=value or --name value; unknown flags are fatal (typos should not
+// silently run the wrong experiment).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gocast::harness {
+
+class Args {
+ public:
+  /// Parses argv. `allowed` lists every legal flag name (without "--").
+  Args(int argc, char** argv, const std::vector<std::string>& allowed);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] long get_int(const std::string& name, long fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gocast::harness

@@ -1,0 +1,75 @@
+#include "harness/csv.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/assert.h"
+
+namespace gocast::harness {
+
+namespace {
+
+double sample_curve(
+    const std::vector<analysis::DeliveryTracker::CurvePoint>& curve, double x) {
+  double fraction = 0.0;
+  for (const auto& point : curve) {
+    if (point.delay <= x) fraction = point.fraction;
+  }
+  return fraction;
+}
+
+}  // namespace
+
+void write_curve_csv(
+    const std::string& path,
+    const std::vector<analysis::DeliveryTracker::CurvePoint>& curve) {
+  std::ofstream out(path);
+  GOCAST_ASSERT_MSG(out.good(), "cannot write " << path);
+  out << "delay_seconds,fraction\n";
+  for (const auto& point : curve) {
+    out << point.delay << "," << point.fraction << "\n";
+  }
+}
+
+void write_curves_csv(
+    const std::string& path, const std::vector<std::string>& labels,
+    const std::vector<std::vector<analysis::DeliveryTracker::CurvePoint>>& curves,
+    std::size_t points) {
+  GOCAST_ASSERT(labels.size() == curves.size());
+  GOCAST_ASSERT(points >= 2);
+  std::ofstream out(path);
+  GOCAST_ASSERT_MSG(out.good(), "cannot write " << path);
+
+  double hi = 0.0;
+  for (const auto& curve : curves) {
+    if (!curve.empty()) hi = std::max(hi, curve.back().delay);
+  }
+  out << "delay_seconds";
+  for (const auto& label : labels) out << "," << label;
+  out << "\n";
+  for (std::size_t i = 0; i < points; ++i) {
+    double x = hi * static_cast<double>(i) / static_cast<double>(points - 1);
+    out << x;
+    for (const auto& curve : curves) out << "," << sample_curve(curve, x);
+    out << "\n";
+  }
+}
+
+void append_summary_csv(const std::string& path, const std::string& label,
+                        std::size_t nodes, double fail_fraction,
+                        const ScenarioResult& result) {
+  bool fresh = !std::filesystem::exists(path);
+  std::ofstream out(path, std::ios::app);
+  GOCAST_ASSERT_MSG(out.good(), "cannot write " << path);
+  if (fresh) {
+    out << "protocol,nodes,fail_fraction,mean_delay,p50,p90,p99,max_delay,"
+           "delivered_fraction,redundancy\n";
+  }
+  const auto& r = result.report;
+  out << label << "," << nodes << "," << fail_fraction << "," << r.delay.mean()
+      << "," << r.p50 << "," << r.p90 << "," << r.p99 << "," << r.max_delay
+      << "," << r.delivered_fraction << "," << result.redundancy() << "\n";
+}
+
+}  // namespace gocast::harness

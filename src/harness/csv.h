@@ -1,0 +1,32 @@
+// CSV export for experiment results, so curves can be re-plotted outside
+// the terminal (gnuplot / matplotlib / spreadsheets).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/delivery_tracker.h"
+#include "harness/scenario.h"
+
+namespace gocast::harness {
+
+/// Writes one CDF curve as "delay_seconds,fraction" rows.
+void write_curve_csv(const std::string& path,
+                     const std::vector<analysis::DeliveryTracker::CurvePoint>& curve);
+
+/// Writes a labeled family of curves on a shared grid:
+/// "delay_seconds,<label1>,<label2>,..." — the format the paper's Fig 3
+/// plots want. Curves are step-sampled onto `points` grid positions spanning
+/// the slowest curve.
+void write_curves_csv(const std::string& path,
+                      const std::vector<std::string>& labels,
+                      const std::vector<std::vector<analysis::DeliveryTracker::CurvePoint>>& curves,
+                      std::size_t points = 64);
+
+/// Appends a scenario's summary as one CSV row (writing a header first when
+/// the file is new): protocol,nodes,failures,mean,p50,p90,p99,max,delivered.
+void append_summary_csv(const std::string& path, const std::string& label,
+                        std::size_t nodes, double fail_fraction,
+                        const ScenarioResult& result);
+
+}  // namespace gocast::harness

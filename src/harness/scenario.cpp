@@ -1,0 +1,145 @@
+#include "harness/scenario.h"
+
+#include "baselines/push_gossip.h"
+#include "common/assert.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "gocast/system.h"
+
+namespace gocast::harness {
+
+const char* protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kGoCast: return "GoCast";
+    case Protocol::kProximityOverlay: return "proximity overlay";
+    case Protocol::kRandomOverlay: return "random overlay";
+    case Protocol::kPushGossip: return "gossip";
+    case Protocol::kNoWaitGossip: return "no-wait gossip";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t kCurvePoints = 41;
+
+/// Drives the shared run phases against either system facade.
+template <typename SystemT>
+ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
+                     analysis::DeliveryTracker& tracker) {
+  system.set_delivery_hook(tracker.hook());
+  system.start();
+  system.run_for(config.warmup);
+
+  if (config.fail_fraction > 0.0) {
+    system.fail_random_fraction(config.fail_fraction);
+    if constexpr (requires { system.freeze_all(); }) {
+      if (config.freeze_after_failure) system.freeze_all();
+    }
+    system.run_for(config.post_failure_settle);
+  }
+
+  tracker.set_recording(true);
+  // Link-stress comparisons measure the message workload, not warmup
+  // control traffic: restart site-pair accounting at injection time.
+  if (config.record_site_pairs) system.network().traffic().clear_site_pairs();
+  SimTime inject_start = system.now();
+  Rng source_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < config.message_count; ++i) {
+    SimTime at = inject_start + static_cast<double>(i) / config.message_rate;
+    system.engine().schedule_at(at, [&system, &config] {
+      NodeId source = system.random_alive_node();
+      system.node(source).multicast(config.payload_bytes);
+    });
+  }
+  SimTime inject_end = inject_start + static_cast<double>(config.message_count) /
+                                          config.message_rate;
+  system.run_until(inject_end + config.drain);
+
+  ScenarioResult result;
+  std::vector<NodeId> alive = system.alive_nodes();
+  result.report = tracker.report(alive);
+  result.curve = tracker.pair_delay_curve(alive, kCurvePoints);
+  result.alive_nodes = alive.size();
+  result.sim_end = system.now();
+  result.traffic = system.network().traffic();
+  for (NodeId id : alive) {
+    result.deliveries += system.node(id).deliveries_count();
+    result.duplicates += system.node(id).duplicates_count();
+  }
+  return result;
+}
+
+ScenarioResult run_gocast_family(const ScenarioConfig& config) {
+  core::SystemConfig sys;
+  sys.node_count = config.node_count;
+  sys.seed = config.seed;
+  sys.latency = config.latency;
+  sys.net.record_site_pairs = config.record_site_pairs;
+
+  core::GoCastConfig& node = sys.node;
+  node.dissemination.payload_bytes = config.payload_bytes;
+  node.dissemination.pull_delay_threshold = config.pull_delay_threshold;
+
+  switch (config.protocol) {
+    case Protocol::kGoCast:
+      node.overlay.target_rand_degree = config.target_rand_degree;
+      node.overlay.target_near_degree = config.target_near_degree;
+      break;
+    case Protocol::kProximityOverlay:
+      node.overlay.target_rand_degree = config.target_rand_degree;
+      node.overlay.target_near_degree = config.target_near_degree;
+      node.dissemination.use_tree = false;
+      break;
+    case Protocol::kRandomOverlay:
+      node.overlay.target_rand_degree =
+          config.target_rand_degree + config.target_near_degree;
+      node.overlay.target_near_degree = 0;
+      node.overlay.maintain_nearby = false;
+      node.dissemination.use_tree = false;
+      break;
+    default:
+      GOCAST_ASSERT_MSG(false, "not a GoCast-family protocol");
+  }
+  sys.bootstrap_links_per_node =
+      static_cast<std::size_t>(node.overlay.target_degree() / 2);
+
+  core::System system(sys);
+  analysis::DeliveryTracker tracker(config.node_count);
+  return drive(system, config, tracker);
+}
+
+ScenarioResult run_push_gossip(const ScenarioConfig& config) {
+  baselines::PushGossipSystemConfig sys;
+  sys.node_count = config.node_count;
+  sys.seed = config.seed;
+  sys.latency = config.latency;
+  sys.net.record_site_pairs = config.record_site_pairs;
+  sys.node.fanout = config.fanout;
+  sys.node.no_wait = config.protocol == Protocol::kNoWaitGossip;
+  sys.node.payload_bytes = config.payload_bytes;
+
+  baselines::PushGossipSystem system(sys);
+  analysis::DeliveryTracker tracker(config.node_count);
+  return drive(system, config, tracker);
+}
+
+}  // namespace
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+  GOCAST_ASSERT(config.node_count >= 8);
+  GOCAST_ASSERT(config.message_rate > 0.0);
+  switch (config.protocol) {
+    case Protocol::kGoCast:
+    case Protocol::kProximityOverlay:
+    case Protocol::kRandomOverlay:
+      return run_gocast_family(config);
+    case Protocol::kPushGossip:
+    case Protocol::kNoWaitGossip:
+      return run_push_gossip(config);
+  }
+  GOCAST_ASSERT_MSG(false, "unknown protocol");
+  return {};
+}
+
+}  // namespace gocast::harness

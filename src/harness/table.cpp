@@ -1,0 +1,72 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace gocast::harness {
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_ms(double seconds, int precision) {
+  return fmt(seconds * 1000.0, precision) + " ms";
+}
+
+std::string fmt_pct(double fraction, int precision) {
+  return fmt(fraction * 100.0, precision) + "%";
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GOCAST_ASSERT(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GOCAST_ASSERT_MSG(cells.size() == headers_.size(),
+                    "row has " << cells.size() << " cells, want "
+                               << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+         << cells[c] << " |";
+    }
+    os << "\n";
+  };
+  print_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim) {
+  os << "\n==== " << experiment << " ====\n";
+  if (!paper_claim.empty()) os << "paper: " << paper_claim << "\n\n";
+}
+
+void print_claim(std::ostream& os, const std::string& what,
+                 const std::string& paper, const std::string& measured) {
+  os << "  " << what << ": paper=" << paper << " measured=" << measured << "\n";
+}
+
+}  // namespace gocast::harness

@@ -1,0 +1,36 @@
+// Text tables for the bench harness: every bench prints the paper's value
+// next to the measured one.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gocast::harness {
+
+/// Fixed formatting helpers.
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+[[nodiscard]] std::string fmt_ms(double seconds, int precision = 1);
+[[nodiscard]] std::string fmt_pct(double fraction, int precision = 1);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner: the experiment id and what the paper reports.
+void print_banner(std::ostream& os, const std::string& experiment,
+                  const std::string& paper_claim);
+
+/// One paper-vs-measured line.
+void print_claim(std::ostream& os, const std::string& what,
+                 const std::string& paper, const std::string& measured);
+
+}  // namespace gocast::harness

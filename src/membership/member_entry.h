@@ -1,0 +1,38 @@
+// A partial-view entry: a node address plus the small landmark-RTT vector
+// piggybacked for proximity estimation (see coord::TriangulationEstimator).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace gocast::membership {
+
+/// Number of landmark slots carried per member entry. Eight single-precision
+/// RTTs cost 32 bytes on the wire — small enough to piggyback on gossips.
+inline constexpr std::size_t kLandmarkSlots = 8;
+
+/// RTT vector to the global landmark set; NaN marks unmeasured slots.
+using LandmarkVector = std::array<float, kLandmarkSlots>;
+
+[[nodiscard]] inline LandmarkVector empty_landmarks() {
+  LandmarkVector v{};
+  v.fill(std::nanf(""));
+  return v;
+}
+
+struct MemberEntry {
+  NodeId id = kInvalidNode;
+  LandmarkVector landmark_rtt = empty_landmarks();
+  SimTime heard_at = 0.0;  ///< local time the entry was last refreshed
+
+  /// Wire footprint of one piggybacked entry: 4-byte address + landmark
+  /// vector + 2-byte age.
+  [[nodiscard]] static constexpr std::size_t wire_size() {
+    return 4 + kLandmarkSlots * 4 + 2;
+  }
+};
+
+}  // namespace gocast::membership

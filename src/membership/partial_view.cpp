@@ -1,0 +1,83 @@
+#include "membership/partial_view.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace gocast::membership {
+
+PartialView::PartialView(NodeId self, std::size_t capacity, Rng rng)
+    : self_(self), capacity_(capacity), rng_(std::move(rng)) {
+  GOCAST_ASSERT(capacity_ >= 1);
+  entries_.reserve(capacity_);
+}
+
+void PartialView::insert(const MemberEntry& entry) {
+  if (entry.id == self_ || entry.id == kInvalidNode) return;
+
+  auto it = index_.find(entry.id);
+  if (it != index_.end()) {
+    MemberEntry& existing = entries_[it->second];
+    if (entry.heard_at >= existing.heard_at) {
+      SimTime prev = existing.heard_at;
+      existing = entry;
+      existing.heard_at = std::max(prev, entry.heard_at);
+    }
+    return;
+  }
+
+  if (entries_.size() >= capacity_) {
+    // Uniform random eviction keeps the view an (approximately) uniform
+    // sample of the membership stream.
+    std::size_t victim = static_cast<std::size_t>(rng_.next_below(entries_.size()));
+    index_.erase(entries_[victim].id);
+    entries_[victim] = entry;
+    index_[entry.id] = victim;
+    return;
+  }
+
+  index_[entry.id] = entries_.size();
+  entries_.push_back(entry);
+}
+
+void PartialView::integrate(std::span<const MemberEntry> entries) {
+  for (const MemberEntry& e : entries) insert(e);
+}
+
+void PartialView::remove(NodeId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  std::size_t pos = it->second;
+  std::size_t last = entries_.size() - 1;
+  if (pos != last) {
+    entries_[pos] = entries_[last];
+    index_[entries_[pos].id] = pos;
+  }
+  entries_.pop_back();
+  index_.erase(it);
+  if (cursor_ > entries_.size()) cursor_ = 0;
+}
+
+bool PartialView::contains(NodeId id) const { return index_.count(id) > 0; }
+
+const MemberEntry* PartialView::find(NodeId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+NodeId PartialView::random_member() {
+  if (entries_.empty()) return kInvalidNode;
+  return entries_[static_cast<std::size_t>(rng_.next_below(entries_.size()))].id;
+}
+
+std::vector<MemberEntry> PartialView::sample(std::size_t k) {
+  return rng_.sample(entries_, k);
+}
+
+const MemberEntry* PartialView::next_round_robin() {
+  if (entries_.empty()) return nullptr;
+  if (cursor_ >= entries_.size()) cursor_ = 0;
+  return &entries_[cursor_++];
+}
+
+}  // namespace gocast::membership

@@ -1,0 +1,66 @@
+// Bounded uniform partial membership view (lpbcast-style).
+//
+// The paper maintains per-node knowledge of a random subset of the system by
+// piggybacking random node addresses on gossips; it cites [5, 16] for the
+// details and relies only on the view being "uniformly random enough". This
+// implementation keeps a bounded set refreshed by piggybacked entries, with
+// uniform random eviction when full — the core mechanism of lpbcast.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "membership/member_entry.h"
+
+namespace gocast::membership {
+
+class PartialView {
+ public:
+  PartialView(NodeId self, std::size_t capacity, Rng rng);
+
+  /// Inserts or refreshes an entry. Entries for `self` are ignored. When the
+  /// view is full, a uniformly random existing entry is evicted. The policy
+  /// is mildly recency-biased: entries that keep being recirculated by
+  /// gossip stay present, one-shot entries (e.g. dead nodes) wash out.
+  void insert(const MemberEntry& entry);
+
+  /// Merges a batch of piggybacked entries.
+  void integrate(std::span<const MemberEntry> entries);
+
+  /// Drops a member (e.g. observed dead).
+  void remove(NodeId id);
+
+  [[nodiscard]] bool contains(NodeId id) const;
+  [[nodiscard]] const MemberEntry* find(NodeId id) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// All current entries (order unspecified and unstable across mutation).
+  [[nodiscard]] const std::vector<MemberEntry>& entries() const { return entries_; }
+
+  /// Uniformly random member id; kInvalidNode when empty.
+  [[nodiscard]] NodeId random_member();
+
+  /// `k` entries sampled without replacement, for piggybacking on a gossip.
+  [[nodiscard]] std::vector<MemberEntry> sample(std::size_t k);
+
+  /// Round-robin cursor over the view, used by the nearby-neighbor
+  /// maintenance protocol to consider candidates one per cycle. Skips
+  /// nothing; wraps around. Returns nullptr when the view is empty.
+  [[nodiscard]] const MemberEntry* next_round_robin();
+
+ private:
+  NodeId self_;
+  std::size_t capacity_;
+  Rng rng_;
+  std::vector<MemberEntry> entries_;
+  std::unordered_map<NodeId, std::size_t> index_;  // id -> position in entries_
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gocast::membership

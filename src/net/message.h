@@ -1,0 +1,84 @@
+// Message base type. Protocols exchange subclasses of Message through
+// net::Network; wire_size() feeds traffic accounting (the simulator does not
+// model packet-level detail, matching the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace gocast::net {
+
+/// Coarse message category used for traffic breakdowns. Every protocol's
+/// message types map onto one of these.
+enum class MsgKind : std::uint8_t {
+  kData = 0,        ///< full multicast payload (tree push or pull response)
+  kGossipDigest,    ///< message-ID summary
+  kPullRequest,     ///< request for messages discovered via gossip
+  kOverlayControl,  ///< neighbor add/drop/transfer handshakes
+  kTreeControl,     ///< heartbeats, parent/child registration
+  kPing,            ///< RTT measurement probe
+  kPong,            ///< RTT measurement reply
+  kMembership,      ///< join / member-list transfer
+  kOther,
+  kCount,  // sentinel
+};
+
+[[nodiscard]] constexpr const char* msg_kind_name(MsgKind kind) {
+  switch (kind) {
+    case MsgKind::kData: return "data";
+    case MsgKind::kGossipDigest: return "gossip";
+    case MsgKind::kPullRequest: return "pull";
+    case MsgKind::kOverlayControl: return "overlay-ctl";
+    case MsgKind::kTreeControl: return "tree-ctl";
+    case MsgKind::kPing: return "ping";
+    case MsgKind::kPong: return "pong";
+    case MsgKind::kMembership: return "membership";
+    case MsgKind::kOther: return "other";
+    case MsgKind::kCount: return "?";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kMsgKindCount = static_cast<std::size_t>(MsgKind::kCount);
+
+/// Node-degree snapshot piggybacked on inter-neighbor messages. The overlay
+/// maintenance conditions (C1–C4, §2.2 of the paper) need neighbors' degrees
+/// and worst-nearby-link RTT; piggybacking keeps those caches fresh without
+/// dedicated probes.
+struct PeerDegrees {
+  std::uint16_t rand_degree = 0;
+  std::uint16_t near_degree = 0;
+  float max_nearby_rtt = 0.0f;  ///< seconds; 0 when no nearby neighbor
+
+  [[nodiscard]] static constexpr std::size_t wire_size() { return 8; }
+};
+
+class Message {
+ public:
+  Message(MsgKind kind, int packet_type)
+      : kind_(kind), packet_type_(packet_type) {}
+  virtual ~Message() = default;
+
+  [[nodiscard]] MsgKind kind() const { return kind_; }
+
+  /// Protocol-specific discriminator used by nodes to dispatch without RTTI.
+  /// Ranges: 100+ overlay, 200+ tree, 300+ gocast dissemination,
+  /// 400+ baselines.
+  [[nodiscard]] int packet_type() const { return packet_type_; }
+
+  /// Approximate serialized size in bytes, for traffic and link-stress
+  /// accounting.
+  [[nodiscard]] virtual std::size_t wire_size() const = 0;
+
+  /// Degree snapshot of the sender, when this message type carries one.
+  [[nodiscard]] virtual const PeerDegrees* peer_degrees() const { return nullptr; }
+
+ private:
+  MsgKind kind_;
+  int packet_type_;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+}  // namespace gocast::net

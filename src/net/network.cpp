@@ -1,0 +1,140 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::net {
+
+Network::Network(sim::Engine& engine, std::shared_ptr<const LatencyModel> latency,
+                 NetworkConfig config, Rng rng)
+    : engine_(engine),
+      latency_(std::move(latency)),
+      config_(config),
+      rng_(std::move(rng)) {
+  GOCAST_ASSERT(latency_ != nullptr);
+  GOCAST_ASSERT(config_.intra_site_one_way >= 0.0);
+  GOCAST_ASSERT(config_.loss_probability >= 0.0 && config_.loss_probability < 1.0);
+  GOCAST_ASSERT(config_.uplink_bytes_per_second >= 0.0);
+}
+
+NodeId Network::add_node(std::uint32_t site) {
+  GOCAST_ASSERT_MSG(site < latency_->site_count(),
+                    "site " << site << " out of range");
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeRecord{nullptr, site, true});
+  ++alive_count_;
+  return id;
+}
+
+void Network::add_nodes_round_robin(std::size_t count) {
+  auto sites = static_cast<std::uint32_t>(latency_->site_count());
+  for (std::size_t i = 0; i < count; ++i) {
+    add_node(static_cast<std::uint32_t>(nodes_.size()) % sites);
+  }
+}
+
+void Network::set_endpoint(NodeId node, Endpoint* endpoint) {
+  GOCAST_ASSERT(node < nodes_.size());
+  nodes_[node].endpoint = endpoint;
+}
+
+std::uint32_t Network::site_of(NodeId node) const {
+  GOCAST_ASSERT(node < nodes_.size());
+  return nodes_[node].site;
+}
+
+bool Network::alive(NodeId node) const {
+  GOCAST_ASSERT(node < nodes_.size());
+  return nodes_[node].alive;
+}
+
+void Network::fail_node(NodeId node) {
+  GOCAST_ASSERT(node < nodes_.size());
+  if (!nodes_[node].alive) return;
+  nodes_[node].alive = false;
+  GOCAST_ASSERT(alive_count_ > 0);
+  --alive_count_;
+}
+
+void Network::recover_node(NodeId node) {
+  GOCAST_ASSERT(node < nodes_.size());
+  if (nodes_[node].alive) return;
+  nodes_[node].alive = true;
+  ++alive_count_;
+}
+
+SimTime Network::one_way(NodeId a, NodeId b) const {
+  GOCAST_ASSERT(a < nodes_.size() && b < nodes_.size());
+  if (a == b) return 0.0;
+  std::uint32_t sa = nodes_[a].site;
+  std::uint32_t sb = nodes_[b].site;
+  if (sa == sb) return config_.intra_site_one_way;
+  return latency_->one_way(sa, sb);
+}
+
+void Network::report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes) {
+  GOCAST_ASSERT(from < nodes_.size() && to < nodes_.size());
+  if (config_.record_site_pairs) {
+    traffic_.refund_site_pair(nodes_[from].site, nodes_[to].site, bytes);
+  }
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  GOCAST_ASSERT(from < nodes_.size() && to < nodes_.size());
+  GOCAST_ASSERT(msg != nullptr);
+  GOCAST_ASSERT_MSG(from != to, "node " << from << " sending to itself");
+
+  if (!nodes_[from].alive) {
+    traffic_.record_sender_dead();
+    return;
+  }
+
+  std::size_t bytes = msg->wire_size();
+  traffic_.record_send(msg->kind(), bytes);
+  if (trace_ != nullptr) trace_->on_send(engine_.now(), from, to, *msg);
+  if (config_.record_site_pairs) {
+    traffic_.record_site_pair(nodes_[from].site, nodes_[to].site, bytes);
+  }
+
+  if (config_.loss_probability > 0.0 && rng_.next_bool(config_.loss_probability)) {
+    traffic_.record_lost();
+    if (trace_ != nullptr) trace_->on_drop(engine_.now(), from, to, *msg);
+    return;
+  }
+
+  SimTime delay = one_way(from, to);
+  if (config_.uplink_bytes_per_second > 0.0) {
+    // Fluid uplink: serialization queues behind earlier sends.
+    NodeRecord& sender = nodes_[from];
+    SimTime start = std::max(engine_.now(), sender.uplink_free_at);
+    SimTime serialize = static_cast<double>(bytes) / config_.uplink_bytes_per_second;
+    sender.uplink_free_at = start + serialize;
+    delay += (sender.uplink_free_at - engine_.now());
+  }
+  engine_.schedule_after(delay, [this, from, to, msg = std::move(msg)] {
+    NodeRecord& target = nodes_[to];
+    if (target.alive && target.endpoint != nullptr) {
+      traffic_.record_delivered();
+      if (trace_ != nullptr) trace_->on_deliver(engine_.now(), from, to, *msg);
+      target.endpoint->handle_message(from, msg);
+      return;
+    }
+    traffic_.record_dropped_dead();
+    if (trace_ != nullptr) trace_->on_drop(engine_.now(), from, to, *msg);
+    if (!config_.notify_send_failures) return;
+    NodeRecord& sender = nodes_[from];
+    // The reset notification takes another one-way trip back.
+    engine_.schedule_after(one_way(from, to), [this, from, to, msg] {
+      NodeRecord& s = nodes_[from];
+      if (s.alive && s.endpoint != nullptr) {
+        s.endpoint->handle_send_failure(to, msg);
+      }
+    });
+    (void)sender;
+  });
+}
+
+}  // namespace gocast::net

@@ -1,0 +1,135 @@
+// Simulated wide-area network. Delivers messages between nodes with one-way
+// latencies drawn from a LatencyModel, models node failure (silent drop of
+// inbound traffic plus a TCP-reset analogue notification to the sender), and
+// accounts traffic for the analysis layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/latency_model.h"
+#include "net/message.h"
+#include "net/trace.h"
+#include "net/traffic_stats.h"
+#include "sim/engine.h"
+
+namespace gocast::net {
+
+/// Interface protocol nodes implement to receive traffic.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// A message from `from` arrived. `from` may have died after sending.
+  virtual void handle_message(NodeId from, const MessagePtr& msg) = 0;
+
+  /// TCP-reset analogue: the message sent to `to` could not be delivered
+  /// because `to` is dead. Arrives one RTT after the failed send.
+  virtual void handle_send_failure(NodeId to, const MessagePtr& msg) {
+    (void)to;
+    (void)msg;
+  }
+};
+
+struct NetworkConfig {
+  /// One-way latency between two distinct nodes mapped to the same site
+  /// (the paper co-locates surplus nodes at measured DNS-server sites).
+  SimTime intra_site_one_way = 0.0005;
+
+  /// Probability that a message is silently lost in transit. Neighbor links
+  /// are TCP in GoCast, so the default is 0; failure-injection tests raise it
+  /// to exercise gossip recovery.
+  double loss_probability = 0.0;
+
+  /// Whether senders receive handle_send_failure for messages to dead nodes.
+  bool notify_send_failures = true;
+
+  /// Collect per site-pair byte counts for underlay link-stress analysis.
+  bool record_site_pairs = false;
+
+  /// Per-node uplink bandwidth in bytes/second; 0 disables transmission
+  /// delay (the paper's model). When set, a message's delivery time is
+  /// latency + wire_size / bandwidth, and concurrent sends from one node
+  /// queue behind each other (a simple fluid uplink model).
+  double uplink_bytes_per_second = 0.0;
+};
+
+class Network {
+ public:
+  Network(sim::Engine& engine, std::shared_ptr<const LatencyModel> latency,
+          NetworkConfig config, Rng rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Registers a node at a site. Endpoints are attached separately so nodes
+  /// can be constructed after their ids are known.
+  NodeId add_node(std::uint32_t site);
+
+  /// Adds `count` nodes with the default round-robin site mapping
+  /// (node i -> site i mod site_count).
+  void add_nodes_round_robin(std::size_t count);
+
+  void set_endpoint(NodeId node, Endpoint* endpoint);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint32_t site_of(NodeId node) const;
+  [[nodiscard]] bool alive(NodeId node) const;
+  [[nodiscard]] std::size_t alive_count() const { return alive_count_; }
+
+  /// Marks the node dead: inbound traffic is dropped, outbound sends are
+  /// suppressed. The owning protocol node must also stop its timers (the
+  /// harness calls both together).
+  void fail_node(NodeId node);
+
+  /// Brings a previously failed node back (used by churn tests).
+  void recover_node(NodeId node);
+
+  /// One-way latency between two nodes (0 for self, intra-site value for
+  /// distinct co-located nodes).
+  [[nodiscard]] SimTime one_way(NodeId a, NodeId b) const;
+  [[nodiscard]] SimTime rtt(NodeId a, NodeId b) const { return 2.0 * one_way(a, b); }
+
+  /// Sends `msg` from `from` to `to`. Drops silently (with accounting) when
+  /// the sender is dead; notifies the sender after one RTT when the receiver
+  /// is dead and notify_send_failures is set.
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  /// Reports that a transfer from `from` to `to` was aborted after `bytes`
+  /// of its recorded size turned out redundant (the receiver already had
+  /// the message — paper §2.1 optimization 1). Corrects site-pair traffic.
+  void report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes);
+
+  /// Installs (or clears, with nullptr) a message-flow observer. The sink
+  /// must outlive the network.
+  void set_trace(TraceSink* sink) { trace_ = sink; }
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const LatencyModel& latency_model() const { return *latency_; }
+  [[nodiscard]] TrafficStats& traffic() { return traffic_; }
+  [[nodiscard]] const TrafficStats& traffic() const { return traffic_; }
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+ private:
+  struct NodeRecord {
+    Endpoint* endpoint = nullptr;
+    std::uint32_t site = 0;
+    bool alive = true;
+    /// When the node's uplink frees up (fluid queueing model).
+    SimTime uplink_free_at = 0.0;
+  };
+
+  sim::Engine& engine_;
+  std::shared_ptr<const LatencyModel> latency_;
+  NetworkConfig config_;
+  Rng rng_;
+  std::vector<NodeRecord> nodes_;
+  std::size_t alive_count_ = 0;
+  TrafficStats traffic_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace gocast::net

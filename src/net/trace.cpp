@@ -1,0 +1,34 @@
+#include "net/trace.h"
+
+#include "common/assert.h"
+
+namespace gocast::net {
+
+CsvTraceSink::CsvTraceSink(const std::string& path) : out_(path) {
+  GOCAST_ASSERT_MSG(out_.good(), "cannot open trace file " << path);
+  out_ << "event,time,from,to,kind,packet_type,bytes\n";
+}
+
+void CsvTraceSink::row(const char* event, SimTime at, NodeId from, NodeId to,
+                       const Message& msg) {
+  out_ << event << "," << at << "," << from << "," << to << ","
+       << msg_kind_name(msg.kind()) << "," << msg.packet_type() << ","
+       << msg.wire_size() << "\n";
+}
+
+void CsvTraceSink::on_send(SimTime at, NodeId from, NodeId to,
+                           const Message& msg) {
+  row("send", at, from, to, msg);
+}
+
+void CsvTraceSink::on_deliver(SimTime at, NodeId from, NodeId to,
+                              const Message& msg) {
+  row("deliver", at, from, to, msg);
+}
+
+void CsvTraceSink::on_drop(SimTime at, NodeId from, NodeId to,
+                           const Message& msg) {
+  row("drop", at, from, to, msg);
+}
+
+}  // namespace gocast::net

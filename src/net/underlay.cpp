@@ -1,0 +1,363 @@
+#include "net/underlay.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "common/assert.h"
+
+namespace gocast::net {
+
+namespace {
+constexpr std::uint32_t kNoParent = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+Underlay Underlay::barabasi_albert(std::size_t routers, std::size_t edges_per_new,
+                                   Rng rng) {
+  GOCAST_ASSERT(edges_per_new >= 1);
+  GOCAST_ASSERT(routers > edges_per_new + 1);
+
+  Underlay g;
+  g.adjacency_.resize(routers);
+
+  // Seed clique of (edges_per_new + 1) routers.
+  std::size_t seed = edges_per_new + 1;
+  for (std::uint32_t i = 0; i < seed; ++i) {
+    for (std::uint32_t j = i + 1; j < seed; ++j) {
+      g.add_link(i, j);
+    }
+  }
+
+  // Degree-proportional attachment via the repeated-endpoints trick: sampling
+  // a uniform element of the endpoint list samples routers proportionally to
+  // their degree.
+  std::vector<std::uint32_t> endpoints;
+  endpoints.reserve(routers * edges_per_new * 2);
+  for (const auto& [a, b] : g.link_endpoints_) {
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+  }
+
+  for (std::uint32_t v = static_cast<std::uint32_t>(seed); v < routers; ++v) {
+    std::vector<std::uint32_t> targets;
+    while (targets.size() < edges_per_new) {
+      std::uint32_t candidate =
+          endpoints[static_cast<std::size_t>(rng.next_below(endpoints.size()))];
+      if (candidate == v) continue;
+      if (std::find(targets.begin(), targets.end(), candidate) != targets.end()) {
+        continue;
+      }
+      targets.push_back(candidate);
+    }
+    for (std::uint32_t t : targets) {
+      g.add_link(v, t);
+      endpoints.push_back(v);
+      endpoints.push_back(t);
+    }
+  }
+  return g;
+}
+
+Underlay Underlay::hierarchical(std::size_t routers, std::size_t regions,
+                                std::size_t edges_per_new, Rng rng) {
+  GOCAST_ASSERT(regions >= 2);
+  GOCAST_ASSERT(routers >= regions * (edges_per_new + 2));
+
+  Underlay g;
+  g.adjacency_.resize(routers);
+  g.regions_ = regions;
+  g.region_of_router_.resize(routers);
+
+  // Carve routers into contiguous region ranges; router `base` of each
+  // region acts as its backbone gateway.
+  std::size_t per_region = routers / regions;
+  std::vector<std::uint32_t> gateways;
+  for (std::size_t r = 0; r < regions; ++r) {
+    std::size_t base = r * per_region;
+    std::size_t size = r + 1 == regions ? routers - base : per_region;
+    for (std::size_t i = 0; i < size; ++i) {
+      g.region_of_router_[base + i] = static_cast<std::uint32_t>(r);
+    }
+    gateways.push_back(static_cast<std::uint32_t>(base));
+
+    // Regional BA subgraph.
+    Rng region_rng = rng.fork(static_cast<std::uint64_t>(r));
+    Underlay sub = barabasi_albert(size, edges_per_new, std::move(region_rng));
+    for (const auto& [a, b] : sub.link_endpoints_) {
+      g.add_link(static_cast<std::uint32_t>(base + a),
+                 static_cast<std::uint32_t>(base + b));
+    }
+  }
+
+  // Backbone: full mesh over the gateways — tier-1 transit networks peer
+  // densely, so inter-region traffic takes a single backbone hop.
+  for (std::size_t a = 0; a < regions; ++a) {
+    for (std::size_t b = a + 1; b < regions; ++b) {
+      g.add_link(gateways[a], gateways[b]);
+    }
+  }
+  return g;
+}
+
+std::uint32_t Underlay::region_of_router(std::uint32_t router) const {
+  GOCAST_ASSERT(router < region_of_router_.size());
+  return region_of_router_[router];
+}
+
+void Underlay::assign_sites_by_latency(const LatencyModel& latency, Rng& rng) {
+  GOCAST_ASSERT_MSG(regions_ >= 2, "requires a hierarchical underlay");
+  std::size_t sites = latency.site_count();
+  site_router_.resize(sites);
+
+  // Farthest-point (k-center) seeding: the first seed is random, each
+  // subsequent seed maximizes its distance to all chosen seeds. Regions
+  // then align with the latency geography (one seed per latency cluster
+  // before any cluster is split) — the alignment real AS regions have.
+  std::vector<std::uint32_t> seeds;
+  seeds.reserve(regions_);
+  seeds.push_back(static_cast<std::uint32_t>(rng.next_below(sites)));
+  std::vector<double> dist_to_seeds(sites, std::numeric_limits<double>::infinity());
+  while (seeds.size() < regions_) {
+    std::uint32_t last = seeds.back();
+    std::uint32_t farthest = 0;
+    double best = -1.0;
+    for (std::uint32_t s = 0; s < sites; ++s) {
+      dist_to_seeds[s] = std::min(dist_to_seeds[s],
+                                  static_cast<double>(latency.one_way(s, last)));
+      if (dist_to_seeds[s] > best) {
+        best = dist_to_seeds[s];
+        farthest = s;
+      }
+    }
+    seeds.push_back(farthest);
+  }
+
+  // Routers available per region. Gateways are transit routers: sites
+  // attach to access routers, never directly to the backbone.
+  std::vector<std::vector<std::uint32_t>> routers_in_region(regions_);
+  std::vector<bool> is_gateway(adjacency_.size(), false);
+  {
+    std::size_t per_region = adjacency_.size() / regions_;
+    for (std::size_t r = 0; r < regions_; ++r) {
+      is_gateway[r * per_region] = true;
+    }
+  }
+  for (std::uint32_t router = 0; router < adjacency_.size(); ++router) {
+    if (!is_gateway[router]) {
+      routers_in_region[region_of_router_[router]].push_back(router);
+    }
+  }
+
+  // Pass 1: each site joins the region of its latency-nearest seed.
+  std::vector<std::uint32_t> region_of_site(sites);
+  std::vector<std::vector<std::uint32_t>> sites_in_region(regions_);
+  for (std::uint32_t site = 0; site < sites; ++site) {
+    std::size_t best_region = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < regions_; ++r) {
+      double d = latency.one_way(site, seeds[r]);
+      if (d < best) {
+        best = d;
+        best_region = r;
+      }
+    }
+    region_of_site[site] = static_cast<std::uint32_t>(best_region);
+    sites_in_region[best_region].push_back(site);
+  }
+
+  // Pass 2: within each region, every router gets a random anchor site and
+  // each site attaches to the router with the latency-nearest anchor. This
+  // clusters co-located sites onto shared access routers, as metro-area
+  // servers share infrastructure in reality.
+  for (std::size_t r = 0; r < regions_; ++r) {
+    const auto& region_sites = sites_in_region[r];
+    const auto& region_routers = routers_in_region[r];
+    if (region_sites.empty()) continue;
+    std::vector<std::uint32_t> anchors(region_routers.size());
+    for (std::size_t i = 0; i < region_routers.size(); ++i) {
+      anchors[i] = region_sites[static_cast<std::size_t>(
+          rng.next_below(region_sites.size()))];
+    }
+    for (std::uint32_t site : region_sites) {
+      std::size_t best_router = 0;
+      double best = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < anchors.size(); ++i) {
+        double d = latency.one_way(site, anchors[i]);
+        if (d < best) {
+          best = d;
+          best_router = i;
+        }
+      }
+      site_router_[site] = region_routers[best_router];
+    }
+  }
+}
+
+void Underlay::add_regional_peering(const LatencyModel& latency,
+                                    std::size_t max_links_per_pair, Rng& rng) {
+  GOCAST_ASSERT_MSG(!site_router_.empty(), "assign sites first");
+  GOCAST_ASSERT(regions_ >= 2);
+  GOCAST_ASSERT(max_links_per_pair >= 1);
+
+  // Representative latency between two regions: median over sampled
+  // cross-region site pairs.
+  std::vector<std::vector<std::uint32_t>> sites_in_region(regions_);
+  for (std::uint32_t site = 0; site < site_router_.size(); ++site) {
+    sites_in_region[region_of_router_[site_router_[site]]].push_back(site);
+  }
+  std::vector<std::vector<std::uint32_t>> routers_in_region(regions_);
+  for (std::uint32_t router = 0; router < adjacency_.size(); ++router) {
+    routers_in_region[region_of_router_[router]].push_back(router);
+  }
+
+  // Scale: the closest region pair gets max_links_per_pair peerings; a pair
+  // twice as distant gets half, and so on.
+  std::vector<std::vector<double>> pair_latency(regions_,
+                                                std::vector<double>(regions_, 0));
+  double closest = std::numeric_limits<double>::infinity();
+  for (std::size_t a = 0; a < regions_; ++a) {
+    for (std::size_t b = a + 1; b < regions_; ++b) {
+      if (sites_in_region[a].empty() || sites_in_region[b].empty()) continue;
+      std::vector<double> samples;
+      for (int i = 0; i < 32; ++i) {
+        std::uint32_t sa = rng.pick(sites_in_region[a]);
+        std::uint32_t sb = rng.pick(sites_in_region[b]);
+        samples.push_back(latency.one_way(sa, sb));
+      }
+      std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                       samples.end());
+      pair_latency[a][b] = samples[samples.size() / 2];
+      closest = std::min(closest, pair_latency[a][b]);
+    }
+  }
+  if (!std::isfinite(closest) || closest <= 0.0) return;
+
+  for (std::size_t a = 0; a < regions_; ++a) {
+    for (std::size_t b = a + 1; b < regions_; ++b) {
+      if (pair_latency[a][b] <= 0.0) continue;
+      auto links = static_cast<std::size_t>(
+          static_cast<double>(max_links_per_pair) * closest / pair_latency[a][b] +
+          0.5);
+      for (std::size_t i = 0; i < links; ++i) {
+        std::uint32_t ra = rng.pick(routers_in_region[a]);
+        std::uint32_t rb = rng.pick(routers_in_region[b]);
+        if (ra != rb) add_link(ra, rb);
+      }
+    }
+  }
+}
+
+void Underlay::add_link(std::uint32_t a, std::uint32_t b) {
+  GOCAST_ASSERT(a != b);
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  if (a > b) std::swap(a, b);
+  link_endpoints_.emplace_back(a, b);
+}
+
+void Underlay::assign_sites(std::size_t site_count, Rng& rng) {
+  site_router_.resize(site_count);
+  for (std::size_t s = 0; s < site_count; ++s) {
+    site_router_[s] =
+        static_cast<std::uint32_t>(rng.next_below(adjacency_.size()));
+  }
+}
+
+std::uint32_t Underlay::router_of_site(std::uint32_t site) const {
+  GOCAST_ASSERT(site < site_router_.size());
+  return site_router_[site];
+}
+
+std::vector<std::uint32_t> Underlay::bfs_parents(std::uint32_t source) const {
+  std::vector<std::uint32_t> parent(adjacency_.size(), kNoParent);
+  parent[source] = source;
+  std::deque<std::uint32_t> queue{source};
+  while (!queue.empty()) {
+    std::uint32_t u = queue.front();
+    queue.pop_front();
+    for (std::uint32_t v : adjacency_[u]) {
+      if (parent[v] == kNoParent) {
+        parent[v] = u;
+        queue.push_back(v);
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Underlay::LinkLoad> Underlay::link_loads(
+    const std::unordered_map<std::uint64_t, double>& site_pair_bytes) const {
+  GOCAST_ASSERT_MSG(!site_router_.empty(), "assign_sites not called");
+
+  // Group traffic by source router so each BFS tree is computed once.
+  std::unordered_map<std::uint32_t,
+                     std::vector<std::pair<std::uint32_t, double>>>
+      by_source;
+  for (const auto& [key, bytes] : site_pair_bytes) {
+    auto site_a = static_cast<std::uint32_t>(key >> 32);
+    auto site_b = static_cast<std::uint32_t>(key & 0xFFFFFFFFu);
+    std::uint32_t ra = router_of_site(site_a);
+    std::uint32_t rb = router_of_site(site_b);
+    if (ra == rb) continue;  // never leaves the router: no inter-AS stress
+    if (ra > rb) std::swap(ra, rb);
+    by_source[ra].emplace_back(rb, bytes);
+  }
+
+  std::unordered_map<std::uint64_t, double> per_link;
+  for (const auto& [source, dests] : by_source) {
+    std::vector<std::uint32_t> parent = bfs_parents(source);
+    for (const auto& [dest, bytes] : dests) {
+      std::uint32_t v = dest;
+      while (v != source) {
+        std::uint32_t p = parent[v];
+        GOCAST_ASSERT_MSG(p != kNoParent, "underlay disconnected");
+        std::uint64_t link = (static_cast<std::uint64_t>(std::min(v, p)) << 32) |
+                             std::max(v, p);
+        per_link[link] += bytes;
+        v = p;
+      }
+    }
+  }
+
+  std::vector<LinkLoad> loads;
+  loads.reserve(per_link.size());
+  for (const auto& [link, bytes] : per_link) {
+    loads.push_back(LinkLoad{static_cast<std::uint32_t>(link >> 32),
+                             static_cast<std::uint32_t>(link & 0xFFFFFFFFu),
+                             bytes});
+  }
+  std::sort(loads.begin(), loads.end(),
+            [](const LinkLoad& a, const LinkLoad& b) { return a.bytes > b.bytes; });
+  return loads;
+}
+
+double Underlay::mean_router_distance() const {
+  std::size_t n = adjacency_.size();
+  double sum = 0.0;
+  std::size_t pairs = 0;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    // Reuse BFS parents to get hop counts by walking up; cheaper: do a
+    // distance BFS directly.
+    std::vector<std::uint32_t> dist(n, kNoParent);
+    dist[s] = 0;
+    std::deque<std::uint32_t> queue{s};
+    while (!queue.empty()) {
+      std::uint32_t u = queue.front();
+      queue.pop_front();
+      for (std::uint32_t v : adjacency_[u]) {
+        if (dist[v] == kNoParent) {
+          dist[v] = dist[u] + 1;
+          queue.push_back(v);
+        }
+      }
+    }
+    for (std::uint32_t v = s + 1; v < n; ++v) {
+      GOCAST_ASSERT(dist[v] != kNoParent);
+      sum += dist[v];
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace gocast::net

@@ -1,0 +1,96 @@
+// AS-level underlay for physical link-stress accounting.
+//
+// The paper measures the traffic overlay protocols impose on underlying
+// network links using Internet AS-topology snapshots. We substitute a
+// preferential-attachment (Barabási–Albert) router graph — the standard
+// synthetic model reproducing the power-law degree structure of the AS graph
+// — route site-to-site traffic along shortest paths, and accumulate bytes per
+// physical link (see DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/latency_model.h"
+
+namespace gocast::net {
+
+class Underlay {
+ public:
+  /// Builds a connected BA graph: starts from a small clique, then each new
+  /// router attaches to `edges_per_new` existing routers with probability
+  /// proportional to their degree.
+  static Underlay barabasi_albert(std::size_t routers, std::size_t edges_per_new,
+                                  Rng rng);
+
+  /// Builds a two-level Internet-like topology: `regions` regional BA
+  /// subgraphs joined by a backbone over per-region gateway routers. This is
+  /// the shape that makes link stress meaningful: intra-region overlay links
+  /// stay off the backbone, random long-haul links cross it.
+  static Underlay hierarchical(std::size_t routers, std::size_t regions,
+                               std::size_t edges_per_new, Rng rng);
+
+  [[nodiscard]] std::size_t region_count() const { return region_of_router_.empty() ? 0 : regions_; }
+  [[nodiscard]] std::uint32_t region_of_router(std::uint32_t router) const;
+
+  [[nodiscard]] std::size_t router_count() const { return adjacency_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return link_endpoints_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& neighbors(std::uint32_t router) const {
+    return adjacency_[router];
+  }
+
+  /// Assigns each site uniformly at random to a router. (Ignores latency
+  /// locality — only appropriate for locality-free baselines or tests.)
+  void assign_sites(std::size_t site_count, Rng& rng);
+
+  /// Latency-aware assignment (requires a hierarchical underlay): regions
+  /// are seeded by farthest-point sampling over the latency space, every
+  /// site joins its latency-nearest seed's region, and within a region each
+  /// site attaches to the access router with the latency-nearest anchor
+  /// site. This restores the real-world correlation between latency
+  /// proximity and AS-path locality that link-stress results depend on.
+  void assign_sites_by_latency(const LatencyModel& latency, Rng& rng);
+
+  /// Adds peering links between regions in proportion to their latency
+  /// proximity (close regions peer densely, like adjacent real-world
+  /// networks; distant ones rely on the backbone). Call after
+  /// assign_sites_by_latency. `max_links_per_pair` bounds the density.
+  void add_regional_peering(const LatencyModel& latency,
+                            std::size_t max_links_per_pair, Rng& rng);
+  [[nodiscard]] std::uint32_t router_of_site(std::uint32_t site) const;
+  [[nodiscard]] std::size_t site_count() const { return site_router_.size(); }
+
+  struct LinkLoad {
+    std::uint32_t router_a;
+    std::uint32_t router_b;
+    double bytes;
+  };
+
+  /// Routes every site-pair's bytes along the (BFS) shortest router path and
+  /// returns per-link byte totals, sorted descending. Keys are the packed
+  /// site pairs produced by TrafficStats::pack_pair.
+  [[nodiscard]] std::vector<LinkLoad> link_loads(
+      const std::unordered_map<std::uint64_t, double>& site_pair_bytes) const;
+
+  /// Average router-hop distance between two random distinct routers
+  /// (diagnostic; small graphs only).
+  [[nodiscard]] double mean_router_distance() const;
+
+ private:
+  Underlay() = default;
+
+  void add_link(std::uint32_t a, std::uint32_t b);
+
+  /// BFS predecessor tree rooted at `source`.
+  [[nodiscard]] std::vector<std::uint32_t> bfs_parents(std::uint32_t source) const;
+
+  std::vector<std::vector<std::uint32_t>> adjacency_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> link_endpoints_;
+  std::vector<std::uint32_t> site_router_;
+  std::vector<std::uint32_t> region_of_router_;  // empty for flat graphs
+  std::size_t regions_ = 0;
+};
+
+}  // namespace gocast::net

@@ -1,0 +1,14 @@
+// Overlay link classification: the paper distinguishes links to randomly
+// chosen neighbors ("random links") from links chosen for network proximity
+// ("nearby links").
+#pragma once
+
+namespace gocast::overlay {
+
+enum class LinkKind { kRandom, kNearby };
+
+[[nodiscard]] constexpr const char* link_kind_name(LinkKind kind) {
+  return kind == LinkKind::kRandom ? "random" : "nearby";
+}
+
+}  // namespace gocast::overlay

@@ -1,0 +1,148 @@
+// Overlay maintenance wire protocol: neighbor handshakes, degree-rebalancing
+// transfers, and RTT probes. All carry the sender's degree snapshot so peers'
+// caches stay fresh (needed by maintenance conditions C1–C4).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "membership/member_entry.h"
+#include "net/message.h"
+#include "overlay/link_kind.h"
+
+namespace gocast::overlay {
+
+inline constexpr int kPktNeighborRequest = 100;
+inline constexpr int kPktNeighborAccept = 101;
+inline constexpr int kPktNeighborReject = 102;
+inline constexpr int kPktNeighborDrop = 103;
+inline constexpr int kPktLinkTransfer = 104;
+inline constexpr int kPktPing = 105;
+inline constexpr int kPktPong = 106;
+inline constexpr int kPktJoinRequest = 107;
+inline constexpr int kPktJoinReply = 108;
+
+/// Base for overlay control messages that carry the sender's degrees.
+class OverlayMessage : public net::Message {
+ public:
+  OverlayMessage(int packet_type, net::PeerDegrees degrees,
+                 net::MsgKind kind = net::MsgKind::kOverlayControl)
+      : net::Message(kind, packet_type), degrees_(degrees) {}
+
+  [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
+    return &degrees_;
+  }
+
+ private:
+  net::PeerDegrees degrees_;
+};
+
+/// X asks Q to become a neighbor. `measured_rtt` is the RTT X measured to Q
+/// (kNever when unmeasured); Q uses it to evaluate condition C3.
+struct NeighborRequestMsg final : OverlayMessage {
+  NeighborRequestMsg(LinkKind link, SimTime measured_rtt, bool is_transfer,
+                     net::PeerDegrees degrees)
+      : OverlayMessage(kPktNeighborRequest, degrees),
+        link(link),
+        measured_rtt(measured_rtt),
+        is_transfer(is_transfer) {}
+
+  LinkKind link;
+  SimTime measured_rtt;
+  bool is_transfer;  ///< part of a degree-rebalancing transfer (§2.2.2 op 1)
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + net::PeerDegrees::wire_size();
+  }
+};
+
+struct NeighborAcceptMsg final : OverlayMessage {
+  NeighborAcceptMsg(LinkKind link, SimTime rtt_echo, net::PeerDegrees degrees)
+      : OverlayMessage(kPktNeighborAccept, degrees),
+        link(link),
+        rtt_echo(rtt_echo) {}
+
+  LinkKind link;
+  SimTime rtt_echo;  ///< the RTT from the request, echoed back
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 12 + net::PeerDegrees::wire_size();
+  }
+};
+
+struct NeighborRejectMsg final : OverlayMessage {
+  NeighborRejectMsg(LinkKind link, net::PeerDegrees degrees)
+      : OverlayMessage(kPktNeighborReject, degrees), link(link) {}
+
+  LinkKind link;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::PeerDegrees::wire_size();
+  }
+};
+
+struct NeighborDropMsg final : OverlayMessage {
+  NeighborDropMsg(net::PeerDegrees degrees)
+      : OverlayMessage(kPktNeighborDrop, degrees) {}
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::PeerDegrees::wire_size();
+  }
+};
+
+/// X → Y: "establish a random link to `target`; our own link is dropped."
+/// Implements §2.2.2 operation 1 (reduce X's random degree by two while
+/// leaving Y's and Z's unchanged).
+struct LinkTransferMsg final : OverlayMessage {
+  LinkTransferMsg(NodeId target, net::PeerDegrees degrees)
+      : OverlayMessage(kPktLinkTransfer, degrees), target(target) {}
+
+  NodeId target;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 12 + net::PeerDegrees::wire_size();
+  }
+};
+
+/// UDP-style RTT probe (non-neighbor communication in the paper uses UDP).
+struct PingMsg final : net::Message {
+  explicit PingMsg(std::uint32_t nonce)
+      : net::Message(net::MsgKind::kPing, kPktPing), nonce(nonce) {}
+
+  std::uint32_t nonce;
+
+  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+};
+
+struct PongMsg final : OverlayMessage {
+  PongMsg(std::uint32_t nonce, net::PeerDegrees degrees)
+      : OverlayMessage(kPktPong, degrees, net::MsgKind::kPong), nonce(nonce) {}
+
+  std::uint32_t nonce;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 12 + net::PeerDegrees::wire_size();
+  }
+};
+
+/// New node N → bootstrap node P: request P's member list.
+struct JoinRequestMsg final : net::Message {
+  JoinRequestMsg() : net::Message(net::MsgKind::kMembership, kPktJoinRequest) {}
+
+  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+};
+
+/// P → N: P's member list (entries carry landmark vectors).
+struct JoinReplyMsg final : net::Message {
+  explicit JoinReplyMsg(std::vector<membership::MemberEntry> members)
+      : net::Message(net::MsgKind::kMembership, kPktJoinReply),
+        members(std::move(members)) {}
+
+  std::vector<membership::MemberEntry> members;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + members.size() * membership::MemberEntry::wire_size();
+  }
+};
+
+}  // namespace gocast::overlay

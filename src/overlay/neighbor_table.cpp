@@ -1,0 +1,142 @@
+#include "overlay/neighbor_table.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace gocast::overlay {
+
+bool NeighborTable::add(NodeId id, LinkKind kind, SimTime rtt, SimTime now) {
+  auto [it, inserted] = table_.try_emplace(id);
+  if (!inserted) return false;
+  it->second.kind = kind;
+  it->second.rtt = rtt;
+  it->second.added_at = now;
+  it->second.last_heard = now;
+  (kind == LinkKind::kRandom ? rand_degree_ : near_degree_) += 1;
+  return true;
+}
+
+std::optional<NeighborInfo> NeighborTable::remove(NodeId id) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return std::nullopt;
+  NeighborInfo info = it->second;
+  (info.kind == LinkKind::kRandom ? rand_degree_ : near_degree_) -= 1;
+  table_.erase(it);
+  GOCAST_ASSERT(rand_degree_ >= 0 && near_degree_ >= 0);
+  return info;
+}
+
+const NeighborInfo* NeighborTable::find(NodeId id) const {
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void NeighborTable::update_degrees(NodeId id, const net::PeerDegrees& degrees,
+                                   SimTime now) {
+  auto it = table_.find(id);
+  if (it == table_.end()) return;
+  it->second.degrees = degrees;
+  it->second.last_heard = now;
+}
+
+void NeighborTable::update_rtt(NodeId id, SimTime rtt) {
+  auto it = table_.find(id);
+  if (it != table_.end()) it->second.rtt = rtt;
+}
+
+SimTime NeighborTable::max_nearby_rtt() const {
+  SimTime worst = 0.0;
+  for (const auto& [id, info] : table_) {
+    if (info.kind == LinkKind::kNearby && info.rtt != kNever) {
+      worst = std::max(worst, info.rtt);
+    }
+  }
+  return worst;
+}
+
+std::optional<NodeId> NeighborTable::worst_replaceable_nearby(
+    int min_near_degree) const {
+  NodeId worst = kInvalidNode;
+  SimTime worst_rtt = -1.0;
+  for (const auto& [id, info] : table_) {
+    if (info.kind != LinkKind::kNearby) continue;
+    if (info.degrees.near_degree < min_near_degree) continue;
+    SimTime rtt = info.rtt == kNever ? 0.0 : info.rtt;
+    if (rtt > worst_rtt) {
+      worst_rtt = rtt;
+      worst = id;
+    }
+  }
+  if (worst == kInvalidNode) return std::nullopt;
+  return worst;
+}
+
+std::vector<NodeId> NeighborTable::droppable_nearby(int min_near_degree) const {
+  std::vector<std::pair<SimTime, NodeId>> candidates;
+  for (const auto& [id, info] : table_) {
+    if (info.kind != LinkKind::kNearby) continue;
+    if (info.degrees.near_degree < min_near_degree) continue;
+    candidates.emplace_back(info.rtt == kNever ? 0.0 : info.rtt, id);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<NodeId> out;
+  out.reserve(candidates.size());
+  for (const auto& [rtt, id] : candidates) out.push_back(id);
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::random_with_degree_above(int threshold) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, info] : table_) {
+    if (info.kind == LinkKind::kRandom && info.degrees.rand_degree > threshold) {
+      out.push_back(id);
+    }
+  }
+  std::sort(out.begin(), out.end());  // determinism across hash orders
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& [id, info] : table_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<NodeId> NeighborTable::ids_of_kind(LinkKind kind) const {
+  std::vector<NodeId> out;
+  for (const auto& [id, info] : table_) {
+    if (info.kind == kind) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double NeighborTable::mean_rtt() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, info] : table_) {
+    if (info.rtt != kNever) {
+      sum += info.rtt;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double NeighborTable::mean_rtt_of_kind(LinkKind kind) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, info] : table_) {
+    if (info.kind == kind && info.rtt != kNever) {
+      sum += info.rtt;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+}  // namespace gocast::overlay

@@ -1,0 +1,77 @@
+// The per-node neighbor table: established overlay links, their kinds,
+// measured RTTs, and cached peer degrees. Pure state + queries; the
+// OverlayManager drives mutations.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/message.h"
+#include "overlay/link_kind.h"
+
+namespace gocast::overlay {
+
+struct NeighborInfo {
+  LinkKind kind = LinkKind::kRandom;
+  SimTime rtt = kNever;  ///< measured RTT to this neighbor, seconds
+  net::PeerDegrees degrees;
+  SimTime added_at = 0.0;
+  SimTime last_heard = 0.0;
+};
+
+class NeighborTable {
+ public:
+  /// Adds a neighbor; returns false if already present (no overwrite).
+  bool add(NodeId id, LinkKind kind, SimTime rtt, SimTime now);
+
+  /// Removes a neighbor; returns its info if it existed.
+  std::optional<NeighborInfo> remove(NodeId id);
+
+  [[nodiscard]] bool has(NodeId id) const { return table_.count(id) > 0; }
+  [[nodiscard]] const NeighborInfo* find(NodeId id) const;
+
+  void update_degrees(NodeId id, const net::PeerDegrees& degrees, SimTime now);
+  void update_rtt(NodeId id, SimTime rtt);
+
+  [[nodiscard]] std::size_t size() const { return table_.size(); }
+  [[nodiscard]] int rand_degree() const { return rand_degree_; }
+  [[nodiscard]] int near_degree() const { return near_degree_; }
+  [[nodiscard]] int degree() const { return static_cast<int>(table_.size()); }
+
+  /// Max measured RTT among nearby neighbors; 0 when there are none
+  /// (mirrors max_nearby_RTT in condition C3).
+  [[nodiscard]] SimTime max_nearby_rtt() const;
+
+  /// Condition C1: among nearby neighbors whose cached nearby degree is
+  /// >= min_near_degree, the one with the longest RTT. nullopt when none
+  /// qualifies.
+  [[nodiscard]] std::optional<NodeId> worst_replaceable_nearby(
+      int min_near_degree) const;
+
+  /// Nearby neighbors satisfying C1, sorted by descending RTT (drop order).
+  [[nodiscard]] std::vector<NodeId> droppable_nearby(int min_near_degree) const;
+
+  /// Random neighbors whose cached random degree exceeds `threshold`
+  /// (§2.2.2 operation 2 candidates).
+  [[nodiscard]] std::vector<NodeId> random_with_degree_above(int threshold) const;
+
+  [[nodiscard]] std::vector<NodeId> ids() const;
+  [[nodiscard]] std::vector<NodeId> ids_of_kind(LinkKind kind) const;
+
+  [[nodiscard]] const std::unordered_map<NodeId, NeighborInfo>& raw() const {
+    return table_;
+  }
+
+  /// Mean measured RTT over all links / links of one kind (for Fig 5b).
+  [[nodiscard]] double mean_rtt() const;
+  [[nodiscard]] double mean_rtt_of_kind(LinkKind kind) const;
+
+ private:
+  std::unordered_map<NodeId, NeighborInfo> table_;
+  int rand_degree_ = 0;
+  int near_degree_ = 0;
+};
+
+}  // namespace gocast::overlay

@@ -1,0 +1,480 @@
+#include "overlay/overlay_manager.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+#include "common/logging.h"
+#include "coord/triangulation.h"
+
+namespace gocast::overlay {
+
+OverlayManager::OverlayManager(NodeId self, net::Network& network,
+                               membership::PartialView& view,
+                               OverlayParams params, Rng rng)
+    : self_(self),
+      network_(network),
+      engine_(network.engine()),
+      view_(view),
+      params_(params),
+      rng_(std::move(rng)),
+      maintenance_timer_(engine_, params.maintenance_period,
+                         [this] { on_maintenance(); }) {
+  GOCAST_ASSERT(params_.target_rand_degree >= 0);
+  GOCAST_ASSERT(params_.target_near_degree >= 0);
+  GOCAST_ASSERT(params_.target_degree() > 0);
+  GOCAST_ASSERT(params_.maintenance_period > 0.0);
+  GOCAST_ASSERT(params_.replace_ratio > 0.0 && params_.replace_ratio <= 1.0);
+  GOCAST_ASSERT(params_.replace_floor_offset >= 0);
+  GOCAST_ASSERT(params_.drop_slack >= 1);
+  GOCAST_ASSERT(params_.maintenance_period_max >= params_.maintenance_period);
+  GOCAST_ASSERT(params_.maintenance_backoff >= 1.0);
+}
+
+void OverlayManager::start(SimTime stagger) {
+  maintenance_timer_.start(stagger + params_.maintenance_period);
+}
+
+void OverlayManager::stop() { maintenance_timer_.stop(); }
+
+void OverlayManager::freeze() { frozen_ = true; }
+
+void OverlayManager::bootstrap_link(NodeId peer, LinkKind kind) {
+  GOCAST_ASSERT(peer != self_);
+  if (table_.has(peer)) return;
+  establish(peer, kind);
+}
+
+void OverlayManager::add_listener(OverlayListener* listener) {
+  GOCAST_ASSERT(listener != nullptr);
+  listeners_.push_back(listener);
+}
+
+void OverlayManager::set_own_landmarks(const membership::LandmarkVector& landmarks) {
+  own_landmarks_ = landmarks;
+}
+
+net::PeerDegrees OverlayManager::my_degrees() const {
+  net::PeerDegrees d;
+  d.rand_degree = static_cast<std::uint16_t>(table_.rand_degree());
+  d.near_degree = static_cast<std::uint16_t>(table_.near_degree());
+  d.max_nearby_rtt = static_cast<float>(table_.max_nearby_rtt());
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance cycle
+// ---------------------------------------------------------------------------
+
+void OverlayManager::on_maintenance() {
+  if (frozen_) return;
+  prune_pending();
+  keepalive_check();
+  maintain_random();
+  if (params_.maintain_nearby) maintain_nearby();
+
+  if (params_.adaptive_maintenance) {
+    // Future-work extension the paper sketches: back the cycle off while
+    // the neighbor set is stable, snap back on any change.
+    std::uint64_t changes = links_added_ + links_dropped_;
+    if (changes == last_cycle_changes_) {
+      maintenance_timer_.set_period(
+          std::min(maintenance_timer_.period() * params_.maintenance_backoff,
+                   params_.maintenance_period_max));
+    } else {
+      maintenance_timer_.set_period(params_.maintenance_period);
+    }
+    last_cycle_changes_ = changes;
+  }
+}
+
+void OverlayManager::keepalive_check() {
+  // TCP-keepalive analogue: probe the most-stale neighbor so degree caches
+  // stay fresh and dead neighbors are discovered even when the higher
+  // layers are quiet. At most one probe per maintenance cycle.
+  SimTime now = engine_.now();
+  NodeId stalest = kInvalidNode;
+  SimTime oldest = now - params_.keepalive_interval;
+  for (const auto& [peer, info] : table_.raw()) {
+    if (info.last_heard < oldest) {
+      oldest = info.last_heard;
+      stalest = peer;
+    }
+  }
+  if (stalest != kInvalidNode) {
+    // Pre-date last_heard refresh via the pong (or removal via the reset).
+    table_.update_degrees(stalest, table_.find(stalest)->degrees, now);
+    measure_rtt(stalest, [](SimTime) {});
+  }
+}
+
+void OverlayManager::prune_pending() {
+  SimTime now = engine_.now();
+  for (auto it = pending_adds_.begin(); it != pending_adds_.end();) {
+    if (now - it->second.started > params_.pending_timeout) {
+      (it->second.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
+      it = pending_adds_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_pings_.begin(); it != pending_pings_.end();) {
+    if (now - it->second.sent > params_.pending_timeout) {
+      it = pending_pings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void OverlayManager::maintain_random() {
+  const int c_rand = params_.target_rand_degree;
+  int degree = table_.rand_degree();
+
+  if (degree + pending_rand_ < c_rand) {
+    // Add: connect to a uniformly random member (§2.2.2).
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      NodeId target = view_.random_member();
+      if (target == kInvalidNode) return;
+      if (!eligible_candidate(target)) continue;
+      pending_adds_[target] = PendingAdd{LinkKind::kRandom, engine_.now()};
+      ++pending_rand_;
+      send_request(target, LinkKind::kRandom, kNever, /*transfer=*/false);
+      return;
+    }
+    return;
+  }
+
+  if (degree >= c_rand + 2) {
+    // Operation 1: hand two random neighbors to each other; our degree
+    // drops by two, theirs stay unchanged.
+    std::vector<NodeId> rand_ids = table_.ids_of_kind(LinkKind::kRandom);
+    GOCAST_ASSERT(rand_ids.size() >= 2);
+    std::size_t i = static_cast<std::size_t>(rng_.next_below(rand_ids.size()));
+    std::size_t j = static_cast<std::size_t>(rng_.next_below(rand_ids.size() - 1));
+    if (j >= i) ++j;
+    NodeId y = rand_ids[i];
+    NodeId z = rand_ids[j];
+    network_.send(self_, y,
+                  std::make_shared<LinkTransferMsg>(z, my_degrees()));
+    drop_link(y, /*notify_peer=*/false);  // the transfer message implies it
+    drop_link(z, /*notify_peer=*/true);
+    return;
+  }
+
+  if (degree == c_rand + 1) {
+    // Operation 2: drop the link to a random neighbor whose own random
+    // degree exceeds the target; both sides stay >= C_rand.
+    std::vector<NodeId> over = table_.random_with_degree_above(c_rand);
+    if (!over.empty()) {
+      NodeId victim = over[static_cast<std::size_t>(rng_.next_below(over.size()))];
+      drop_link(victim, /*notify_peer=*/true);
+    }
+    // Otherwise stay at C_rand + 1 (the paper proves degrees settle at
+    // C_rand or C_rand + 1).
+  }
+}
+
+void OverlayManager::maintain_nearby() {
+  const int c_near = params_.target_near_degree;
+  int degree = table_.near_degree();
+
+  if (degree >= c_near + params_.drop_slack) {
+    drop_excess_nearby();
+    return;
+  }
+  if (degree + pending_near_ < c_near) {
+    start_nearby_add();
+    return;
+  }
+  replace_step();
+}
+
+void OverlayManager::drop_excess_nearby() {
+  const int c_near = params_.target_near_degree;
+  // Drop longest-RTT neighbors first, but only those whose degree is not
+  // dangerously low (condition C1's floor), until we are back at C_near.
+  std::vector<NodeId> order =
+      table_.droppable_nearby(c_near - params_.replace_floor_offset);
+  for (NodeId victim : order) {
+    if (table_.near_degree() <= c_near) break;
+    drop_link(victim, /*notify_peer=*/true);
+  }
+}
+
+void OverlayManager::start_nearby_add() {
+  NodeId candidate = next_nearby_candidate();
+  if (candidate == kInvalidNode) return;
+  // Measure first so the request carries a real RTT for Q's C3 check.
+  pending_adds_[candidate] = PendingAdd{LinkKind::kNearby, engine_.now()};
+  ++pending_near_;
+  measure_rtt(candidate, [this, candidate](SimTime rtt) {
+    auto it = pending_adds_.find(candidate);
+    if (it == pending_adds_.end() || it->second.kind != LinkKind::kNearby) return;
+    if (table_.has(candidate)) return;  // raced with an inbound add
+    send_request(candidate, LinkKind::kNearby, rtt, /*transfer=*/false);
+  });
+}
+
+void OverlayManager::replace_step() {
+  NodeId candidate = next_nearby_candidate();
+  if (candidate == kInvalidNode) return;
+  if (pending_near_ > 0) return;  // one replacement in flight at a time
+  measure_rtt(candidate, [this, candidate](SimTime rtt) {
+    evaluate_replace_candidate(candidate, rtt);
+  });
+}
+
+void OverlayManager::evaluate_replace_candidate(NodeId candidate, SimTime rtt) {
+  if (frozen_) return;
+  if (table_.has(candidate) || pending_adds_.count(candidate) > 0) return;
+  if (pending_near_ > 0) return;
+  const int c_near = params_.target_near_degree;
+  if (table_.near_degree() < c_near) return;  // the add path handles this
+
+  // C1: a replaceable victim must exist (degree floor C_near - 1 with the
+  // default offset); among those, the one with the longest RTT is replaced.
+  std::optional<NodeId> victim =
+      table_.worst_replaceable_nearby(c_near - params_.replace_floor_offset);
+  if (!victim.has_value()) return;
+  const NeighborInfo* u = table_.find(*victim);
+  GOCAST_ASSERT(u != nullptr);
+
+  // C4: only adopt a significantly better link.
+  SimTime u_rtt = u->rtt == kNever ? kNever : u->rtt;
+  if (!(rtt <= params_.replace_ratio * u_rtt)) return;
+
+  // C2 and C3 are evaluated by the candidate when it receives the request.
+  PendingAdd pending{LinkKind::kNearby, engine_.now()};
+  pending.replace_victim = *victim;
+  pending_adds_[candidate] = pending;
+  ++pending_near_;
+  send_request(candidate, LinkKind::kNearby, rtt, /*transfer=*/false);
+}
+
+NodeId OverlayManager::next_nearby_candidate() {
+  if (!initial_queue_built_ && !view_.empty()) build_initial_measure_queue();
+
+  // Phase 1: probe members in increasing estimated latency.
+  while (!measure_queue_.empty()) {
+    NodeId id = measure_queue_.front();
+    measure_queue_.pop_front();
+    if (eligible_candidate(id) && view_.contains(id)) return id;
+  }
+
+  // Phase 2: round-robin over the (evolving) member list.
+  for (std::size_t i = 0; i < view_.size(); ++i) {
+    const membership::MemberEntry* entry = view_.next_round_robin();
+    if (entry == nullptr) return kInvalidNode;
+    if (eligible_candidate(entry->id)) return entry->id;
+  }
+  return kInvalidNode;
+}
+
+void OverlayManager::build_initial_measure_queue() {
+  initial_queue_built_ = true;
+  std::vector<std::pair<SimTime, NodeId>> est;
+  est.reserve(view_.size());
+  for (const membership::MemberEntry& entry : view_.entries()) {
+    SimTime estimate =
+        coord::estimate_rtt_or_never(own_landmarks_, entry.landmark_rtt);
+    est.emplace_back(estimate, entry.id);
+  }
+  std::sort(est.begin(), est.end());
+  for (const auto& [estimate, id] : est) measure_queue_.push_back(id);
+}
+
+bool OverlayManager::eligible_candidate(NodeId id) const {
+  return id != self_ && id != kInvalidNode && !table_.has(id) &&
+         pending_adds_.count(id) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// RTT measurement
+// ---------------------------------------------------------------------------
+
+void OverlayManager::measure_rtt(NodeId target, std::function<void(SimTime)> done) {
+  GOCAST_ASSERT(target != self_);
+  std::uint32_t nonce = next_nonce_++;
+  pending_pings_[nonce] = PendingPing{target, engine_.now(), std::move(done)};
+  ++pings_sent_;
+  network_.send(self_, target, std::make_shared<PingMsg>(nonce));
+}
+
+void OverlayManager::on_ping(NodeId from, const PingMsg& msg) {
+  network_.send(self_, from, std::make_shared<PongMsg>(msg.nonce, my_degrees()));
+}
+
+void OverlayManager::on_pong(NodeId from, const PongMsg& msg) {
+  auto it = pending_pings_.find(msg.nonce);
+  if (it == pending_pings_.end()) return;
+  if (it->second.target != from) return;
+  SimTime rtt = engine_.now() - it->second.sent;
+  auto done = std::move(it->second.done);
+  pending_pings_.erase(it);
+  table_.update_rtt(from, rtt);  // refresh if the peer is a neighbor
+  if (done) done(rtt);
+}
+
+// ---------------------------------------------------------------------------
+// Handshake
+// ---------------------------------------------------------------------------
+
+void OverlayManager::send_request(NodeId target, LinkKind kind, SimTime rtt,
+                                  bool transfer) {
+  network_.send(self_, target, std::make_shared<NeighborRequestMsg>(
+                                   kind, rtt, transfer, my_degrees()));
+}
+
+void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& msg) {
+  if (table_.has(from)) {
+    // Duplicate (e.g. retry after a lost accept): re-accept idempotently.
+    network_.send(self_, from, std::make_shared<NeighborAcceptMsg>(
+                                   msg.link, msg.measured_rtt, my_degrees()));
+    return;
+  }
+
+  bool accept = false;
+  if (msg.link == LinkKind::kRandom) {
+    accept = table_.rand_degree() <
+             params_.target_rand_degree + params_.degree_slack;
+  } else {
+    const int c_near = params_.target_near_degree;
+    // C2: our nearby degree must not be too high.
+    bool c2 = table_.near_degree() < c_near + params_.degree_slack;
+    // C3: once we have enough nearby neighbors, only accept links better
+    // than our current worst nearby link.
+    bool c3 = true;
+    if (table_.near_degree() >= c_near) {
+      SimTime rtt = msg.measured_rtt;
+      if (rtt == kNever) rtt = network_.rtt(self_, from);
+      c3 = rtt < table_.max_nearby_rtt();
+    }
+    accept = c2 && c3;
+  }
+
+  if (frozen_) accept = false;
+
+  if (!accept) {
+    network_.send(self_, from,
+                  std::make_shared<NeighborRejectMsg>(msg.link, my_degrees()));
+    return;
+  }
+
+  establish(from, msg.link);
+  // The request carried the peer's degrees, but it was not yet a neighbor
+  // when the dispatcher cached them; seed the cache now.
+  if (const net::PeerDegrees* degrees = msg.peer_degrees()) {
+    table_.update_degrees(from, *degrees, engine_.now());
+  }
+  network_.send(self_, from, std::make_shared<NeighborAcceptMsg>(
+                                 msg.link, msg.measured_rtt, my_degrees()));
+}
+
+void OverlayManager::on_neighbor_accept(NodeId from, const NeighborAcceptMsg& msg) {
+  auto it = pending_adds_.find(from);
+  if (it == pending_adds_.end()) {
+    // We gave up on this handshake (timeout) but the peer established the
+    // link; tear its half down.
+    if (!table_.has(from)) {
+      network_.send(self_, from, std::make_shared<NeighborDropMsg>(my_degrees()));
+    }
+    return;
+  }
+  PendingAdd pending = it->second;
+  (pending.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
+  pending_adds_.erase(it);
+
+  if (table_.has(from)) return;  // simultaneous handshakes; already linked
+  establish(from, msg.link);
+  if (const net::PeerDegrees* degrees = msg.peer_degrees()) {
+    table_.update_degrees(from, *degrees, engine_.now());
+  }
+
+  // Replacement: drop the victim chosen under C1, re-validated now.
+  if (pending.replace_victim != kInvalidNode &&
+      table_.near_degree() > params_.target_near_degree &&
+      table_.has(pending.replace_victim)) {
+    const NeighborInfo* u = table_.find(pending.replace_victim);
+    if (u != nullptr && u->kind == LinkKind::kNearby &&
+        u->degrees.near_degree >=
+            params_.target_near_degree - params_.replace_floor_offset) {
+      drop_link(pending.replace_victim, /*notify_peer=*/true);
+    }
+  }
+}
+
+void OverlayManager::on_neighbor_reject(NodeId from, const NeighborRejectMsg& msg) {
+  (void)msg;
+  auto it = pending_adds_.find(from);
+  if (it == pending_adds_.end()) return;
+  (it->second.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
+  pending_adds_.erase(it);
+}
+
+void OverlayManager::on_neighbor_drop(NodeId from, const NeighborDropMsg& msg) {
+  (void)msg;
+  if (!table_.has(from)) return;
+  drop_link(from, /*notify_peer=*/false);
+}
+
+void OverlayManager::on_link_transfer(NodeId from, const LinkTransferMsg& msg) {
+  // `from` handed us off to msg.target and dropped our link.
+  if (table_.has(from)) drop_link(from, /*notify_peer=*/false);
+  if (frozen_) return;
+  NodeId target = msg.target;
+  if (target == self_ || table_.has(target) || pending_adds_.count(target) > 0) {
+    return;
+  }
+  pending_adds_[target] = PendingAdd{LinkKind::kRandom, engine_.now()};
+  ++pending_rand_;
+  send_request(target, LinkKind::kRandom, kNever, /*transfer=*/true);
+}
+
+void OverlayManager::note_peer_degrees(NodeId from, const net::PeerDegrees& degrees) {
+  table_.update_degrees(from, degrees, engine_.now());
+}
+
+void OverlayManager::on_peer_failure(NodeId peer) {
+  view_.remove(peer);
+  if (auto it = pending_adds_.find(peer); it != pending_adds_.end()) {
+    (it->second.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
+    pending_adds_.erase(it);
+  }
+  if (table_.has(peer)) {
+    drop_link(peer, /*notify_peer=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link state changes
+// ---------------------------------------------------------------------------
+
+void OverlayManager::establish(NodeId peer, LinkKind kind) {
+  // RTT known from handshake timing (TCP connect) — the simulator provides
+  // the true value the timing measurement would produce.
+  SimTime rtt = network_.rtt(self_, peer);
+  bool added = table_.add(peer, kind, rtt, engine_.now());
+  GOCAST_ASSERT(added);
+  ++links_added_;
+  record_link_change();
+  for (OverlayListener* l : listeners_) l->on_neighbor_added(peer, kind);
+}
+
+void OverlayManager::drop_link(NodeId peer, bool notify_peer) {
+  std::optional<NeighborInfo> info = table_.remove(peer);
+  if (!info.has_value()) return;
+  ++links_dropped_;
+  record_link_change();
+  if (notify_peer) {
+    network_.send(self_, peer, std::make_shared<NeighborDropMsg>(my_degrees()));
+  }
+  for (OverlayListener* l : listeners_) l->on_neighbor_removed(peer);
+}
+
+void OverlayManager::record_link_change() {
+  if (params_.record_link_changes) {
+    link_change_times_.push_back(engine_.now());
+  }
+}
+
+}  // namespace gocast::overlay

@@ -1,0 +1,101 @@
+// Discrete-event simulation engine.
+//
+// Deterministic: events with equal timestamps fire in scheduling order, so a
+// run is a pure function of the seed that fed its callbacks. Cancelation is
+// O(1) via generation-checked slots (canceled entries are skipped lazily when
+// popped).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/types.h"
+
+namespace gocast::sim {
+
+/// Handle to a scheduled event; valid until the event fires or is canceled.
+struct EventId {
+  std::uint32_t slot = 0;
+  std::uint32_t generation = 0;
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Sentinel handle that never names a live event.
+inline constexpr EventId kInvalidEvent{0xFFFFFFFFu, 0xFFFFFFFFu};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` after `delay` seconds (must be >= 0).
+  EventId schedule_after(SimTime delay, Callback cb) {
+    GOCAST_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// canceled (safe to call either way).
+  bool cancel(EventId id);
+
+  /// Runs the earliest pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with timestamp <= t, then advances now() to t.
+  /// Returns the number of events processed.
+  std::size_t run_until(SimTime t);
+
+  /// Runs until the queue drains. Returns the number of events processed.
+  std::size_t run();
+
+  /// Timestamp of the earliest pending event, or kNever when empty.
+  [[nodiscard]] SimTime next_event_time() const;
+
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+  [[nodiscard]] std::size_t processed() const { return processed_; }
+
+ private:
+  struct Slot {
+    Callback callback;
+    std::uint32_t generation = 0;
+    bool active = false;
+  };
+
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;  // breaks ties: FIFO among same-time events
+    EventId id;
+
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops heap entries until one names a live event; loads it into
+  /// `out`. Returns false when no live event remains.
+  bool pop_live(HeapEntry& out);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_events_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+};
+
+}  // namespace gocast::sim

@@ -1,0 +1,72 @@
+// Periodic timer built on the engine. Owns its pending event: destroying or
+// stopping the timer cancels the event, so callbacks never outlive their
+// owner.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "common/assert.h"
+#include "sim/engine.h"
+
+namespace gocast::sim {
+
+class PeriodicTimer {
+ public:
+  /// `fn` fires every `period` seconds once started.
+  PeriodicTimer(Engine& engine, SimTime period, std::function<void()> fn)
+      : engine_(engine), period_(period), fn_(std::move(fn)) {
+    GOCAST_ASSERT(period_ > 0.0);
+    GOCAST_ASSERT(fn_ != nullptr);
+  }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  ~PeriodicTimer() { stop(); }
+
+  /// Starts (or restarts) the timer; the first firing happens after
+  /// `first_delay` seconds.
+  void start(SimTime first_delay) {
+    stop();
+    running_ = true;
+    arm(first_delay);
+  }
+
+  /// Convenience: first firing after one full period.
+  void start() { start(period_); }
+
+  void stop() {
+    if (!running_) return;
+    running_ = false;
+    engine_.cancel(pending_);
+    pending_ = kInvalidEvent;
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] SimTime period() const { return period_; }
+
+  /// Changes the period; takes effect from the next re-arm.
+  void set_period(SimTime period) {
+    GOCAST_ASSERT(period > 0.0);
+    period_ = period;
+  }
+
+ private:
+  void arm(SimTime delay) {
+    pending_ = engine_.schedule_after(delay, [this] {
+      // Re-arm before invoking: the callback may stop() us, and stopping
+      // must win over re-arming.
+      arm(period_);
+      fn_();
+    });
+  }
+
+  Engine& engine_;
+  SimTime period_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  EventId pending_ = kInvalidEvent;
+};
+
+}  // namespace gocast::sim

@@ -1,0 +1,85 @@
+// Tree protocol wire messages: root heartbeats flooded over every overlay
+// link, and parent/child registration.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "net/message.h"
+
+namespace gocast::tree {
+
+inline constexpr int kPktHeartbeat = 200;
+inline constexpr int kPktChildJoin = 201;
+inline constexpr int kPktChildLeave = 202;
+
+/// Identifies a root incarnation. Higher term wins; within a term, the
+/// smaller node id wins (deterministic resolution of concurrent takeovers).
+struct Epoch {
+  std::uint32_t term = 0;
+  NodeId root = kInvalidNode;
+
+  friend bool operator==(const Epoch&, const Epoch&) = default;
+
+  /// True when *this denotes a strictly better (more authoritative) epoch.
+  [[nodiscard]] bool beats(const Epoch& other) const {
+    if (term != other.term) return term > other.term;
+    return root < other.root;
+  }
+};
+
+class TreeMessage : public net::Message {
+ public:
+  TreeMessage(int packet_type, net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kTreeControl, packet_type),
+        degrees_(degrees) {}
+
+  [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
+    return &degrees_;
+  }
+
+ private:
+  net::PeerDegrees degrees_;
+};
+
+/// Flooded with distance-vector relaxation: each node forwards the heartbeat
+/// with its own cumulative latency to the root; tree links end up lying on
+/// shortest latency paths from the root (DVMRP-style, single tree).
+struct HeartbeatMsg final : TreeMessage {
+  HeartbeatMsg(Epoch epoch, std::uint32_t seq, SimTime cum_latency,
+               net::PeerDegrees degrees)
+      : TreeMessage(kPktHeartbeat, degrees),
+        epoch(epoch),
+        seq(seq),
+        cum_latency(cum_latency) {}
+
+  Epoch epoch;
+  std::uint32_t seq;
+  SimTime cum_latency;  ///< latency from the root to the sender
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 24 + net::PeerDegrees::wire_size();
+  }
+};
+
+struct ChildJoinMsg final : TreeMessage {
+  ChildJoinMsg(Epoch epoch, net::PeerDegrees degrees)
+      : TreeMessage(kPktChildJoin, degrees), epoch(epoch) {}
+
+  Epoch epoch;
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 16 + net::PeerDegrees::wire_size();
+  }
+};
+
+struct ChildLeaveMsg final : TreeMessage {
+  ChildLeaveMsg(net::PeerDegrees degrees)
+      : TreeMessage(kPktChildLeave, degrees) {}
+
+  [[nodiscard]] std::size_t wire_size() const override {
+    return 8 + net::PeerDegrees::wire_size();
+  }
+};
+
+}  // namespace gocast::tree

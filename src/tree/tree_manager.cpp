@@ -1,0 +1,223 @@
+#include "tree/tree_manager.h"
+
+#include <memory>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::tree {
+
+namespace {
+constexpr double kRelaxEpsilon = 1e-9;
+}  // namespace
+
+TreeManager::TreeManager(NodeId self, net::Network& network,
+                         overlay::OverlayManager& overlay, TreeParams params)
+    : self_(self),
+      network_(network),
+      overlay_(overlay),
+      params_(params),
+      root_timer_(network.engine(), params.heartbeat_period,
+                  [this] { flood_heartbeat(); }),
+      watchdog_(network.engine(), params.heartbeat_period,
+                [this] { watchdog_check(); }) {
+  GOCAST_ASSERT(params_.heartbeat_period > 0.0);
+  GOCAST_ASSERT(params_.neighbor_takeover_periods <
+                params_.distant_takeover_periods);
+}
+
+void TreeManager::start(SimTime stagger) {
+  if (!params_.enabled) return;
+  last_heartbeat_ = network_.engine().now();
+  watchdog_.start(stagger + params_.heartbeat_period);
+  if (is_root()) root_timer_.start(stagger + 0.01);
+}
+
+void TreeManager::stop() {
+  root_timer_.stop();
+  watchdog_.stop();
+}
+
+void TreeManager::freeze() {
+  frozen_ = true;
+  stop();
+}
+
+void TreeManager::become_root() {
+  GOCAST_ASSERT(params_.enabled);
+  adopt_epoch(Epoch{epoch_.term + 1, self_});
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats
+// ---------------------------------------------------------------------------
+
+void TreeManager::flood_heartbeat() {
+  if (!is_root() || frozen_) return;
+  ++flood_seq_;
+  last_heartbeat_ = network_.engine().now();
+  auto msg = std::make_shared<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
+                                            overlay_.my_degrees());
+  for (NodeId peer : overlay_.neighbor_ids()) {
+    network_.send(self_, peer, msg);
+  }
+}
+
+void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
+  if (!params_.enabled || frozen_) return;
+  const overlay::NeighborInfo* link = overlay_.table().find(from);
+  if (link == nullptr) return;  // heartbeats only flow on overlay links
+
+  if (epoch_.beats(msg.epoch)) return;  // stale incarnation
+  if (msg.epoch.beats(epoch_)) adopt_epoch(msg.epoch);
+  if (is_root()) return;  // our own flood echoed back through a cycle
+
+  last_heartbeat_ = network_.engine().now();
+
+  if (msg.seq < current_seq_) return;  // stale round
+  if (msg.seq > current_seq_) {
+    // New round: restart relaxation but keep the current parent until a
+    // better path shows up, to avoid gratuitous churn.
+    current_seq_ = msg.seq;
+    best_dist_ = kNever;
+  }
+
+  SimTime link_latency = link->rtt == kNever
+                             ? network_.one_way(self_, from)
+                             : link->rtt / 2.0;
+  SimTime candidate = msg.cum_latency + link_latency;
+  neighbor_dist_[from] = msg.cum_latency;
+
+  if (candidate + kRelaxEpsilon < best_dist_) {
+    best_dist_ = candidate;
+    set_parent(from);
+    auto fwd = std::make_shared<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
+                                              overlay_.my_degrees());
+    for (NodeId peer : overlay_.neighbor_ids()) {
+      if (peer != from) network_.send(self_, peer, fwd);
+    }
+  }
+}
+
+void TreeManager::watchdog_check() {
+  if (!params_.enabled || frozen_ || is_root()) return;
+  if (epoch_.root == kInvalidNode) return;  // no root designated yet
+  SimTime now = network_.engine().now();
+  double silent = now - last_heartbeat_;
+  double threshold = overlay_.is_neighbor(epoch_.root)
+                         ? params_.neighbor_takeover_periods
+                         : params_.distant_takeover_periods;
+  if (silent > threshold * params_.heartbeat_period) {
+    GOCAST_DEBUG("node " << self_ << " promoting self to root, old root "
+                         << epoch_.root << " silent for " << silent << "s");
+    promote_self();
+  }
+}
+
+void TreeManager::promote_self() {
+  adopt_epoch(Epoch{epoch_.term + 1, self_});
+  flood_heartbeat();
+}
+
+void TreeManager::adopt_epoch(const Epoch& epoch) {
+  bool was_root = is_root();
+  epoch_ = epoch;
+  current_seq_ = 0;
+  best_dist_ = is_root() ? 0.0 : kNever;
+  neighbor_dist_.clear();
+  last_heartbeat_ = network_.engine().now();
+  if (is_root()) {
+    set_parent(kInvalidNode);
+    if (!was_root && params_.enabled && !frozen_) {
+      root_timer_.start(0.01);
+    }
+  } else if (was_root) {
+    root_timer_.stop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parent / child bookkeeping
+// ---------------------------------------------------------------------------
+
+void TreeManager::set_parent(NodeId new_parent) {
+  if (parent_ == new_parent) {
+    // Refresh the child registration: every heartbeat round re-selects the
+    // parent, and an idempotent re-join heals any parent that missed (or
+    // rejected during a link-handshake window) the original ChildJoin.
+    if (new_parent != kInvalidNode) {
+      network_.send(self_, new_parent,
+                    std::make_shared<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+    }
+    return;
+  }
+  NodeId old_parent = parent_;
+  parent_ = new_parent;
+  if (old_parent != kInvalidNode && network_.alive(self_)) {
+    network_.send(self_, old_parent,
+                  std::make_shared<ChildLeaveMsg>(overlay_.my_degrees()));
+  }
+  if (new_parent != kInvalidNode) {
+    network_.send(self_, new_parent,
+                  std::make_shared<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+  }
+}
+
+void TreeManager::on_child_join(NodeId from, const ChildJoinMsg& msg) {
+  if (!params_.enabled) return;
+  if (!overlay_.is_neighbor(from)) return;  // tree links must be overlay links
+  if (epoch_.beats(msg.epoch)) return;      // child follows a stale root
+  children_.insert(from);
+}
+
+void TreeManager::on_child_leave(NodeId from, const ChildLeaveMsg& msg) {
+  (void)msg;
+  children_.erase(from);
+}
+
+void TreeManager::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
+  (void)peer;
+  (void)kind;
+}
+
+void TreeManager::on_neighbor_removed(NodeId peer) {
+  children_.erase(peer);
+  neighbor_dist_.erase(peer);
+  if (parent_ == peer) {
+    parent_ = kInvalidNode;
+    best_dist_ = kNever;
+    if (frozen_) return;  // no repair in the stress test
+    // Fail over to the best alternative we heard from this epoch.
+    NodeId best = kInvalidNode;
+    SimTime best_dist = kNever;
+    for (const auto& [neighbor, dist] : neighbor_dist_) {
+      const overlay::NeighborInfo* link = overlay_.table().find(neighbor);
+      if (link == nullptr) continue;
+      SimTime through = dist + (link->rtt == kNever ? 0.0 : link->rtt / 2.0);
+      if (through < best_dist) {
+        best_dist = through;
+        best = neighbor;
+      }
+    }
+    if (best != kInvalidNode) {
+      best_dist_ = best_dist;
+      set_parent(best);
+    }
+  }
+}
+
+std::vector<NodeId> TreeManager::tree_neighbors() const {
+  std::vector<NodeId> out;
+  out.reserve(children_.size() + 1);
+  if (parent_ != kInvalidNode) out.push_back(parent_);
+  for (NodeId c : children_) {
+    if (c != parent_) out.push_back(c);
+  }
+  return out;
+}
+
+bool TreeManager::is_tree_neighbor(NodeId peer) const {
+  return peer == parent_ || children_.count(peer) > 0;
+}
+
+}  // namespace gocast::tree

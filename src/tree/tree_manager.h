@@ -1,0 +1,102 @@
+// The efficient tree embedded in the overlay (paper §2.3).
+//
+// The tree conceptually has a root; every 15 seconds the root floods a
+// heartbeat over every overlay link. Heartbeats carry cumulative latency and
+// are re-forwarded only on improvement (distance-vector relaxation), so each
+// node's parent lies on a shortest latency path to the root and tree links
+// are always overlay links. Parent choices are registered with ChildJoin /
+// ChildLeave so both ends treat the link as a tree link. If the root fails,
+// one of its overlay neighbors takes over (elected by heartbeat-timeout plus
+// deterministic epoch ordering).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "net/network.h"
+#include "overlay/overlay_manager.h"
+#include "sim/timer.h"
+#include "tree/messages.h"
+
+namespace gocast::tree {
+
+struct TreeParams {
+  SimTime heartbeat_period = 15.0;
+  /// A root neighbor promotes itself after this many silent periods.
+  double neighbor_takeover_periods = 2.5;
+  /// Other nodes wait longer, so a live root neighbor wins the race.
+  double distant_takeover_periods = 4.5;
+  bool enabled = true;
+};
+
+class TreeManager final : public overlay::OverlayListener {
+ public:
+  TreeManager(NodeId self, net::Network& network, overlay::OverlayManager& overlay,
+              TreeParams params);
+
+  /// Starts heartbeat/watchdog timers. `stagger` de-synchronizes nodes.
+  void start(SimTime stagger);
+  void stop();
+
+  /// Stops all repair: no heartbeats, no takeover, no parent re-selection.
+  /// Existing tree links persist except those lost to dead neighbors
+  /// (fragments, as in the paper's Fig 3(b) stress test).
+  void freeze();
+
+  /// Designates this node as the initial root (harness calls on one node).
+  void become_root();
+
+  // -- message entry points --
+  void on_heartbeat(NodeId from, const HeartbeatMsg& msg);
+  void on_child_join(NodeId from, const ChildJoinMsg& msg);
+  void on_child_leave(NodeId from, const ChildLeaveMsg& msg);
+
+  // -- OverlayListener --
+  void on_neighbor_added(NodeId peer, overlay::LinkKind kind) override;
+  void on_neighbor_removed(NodeId peer) override;
+
+  // -- queries --
+  [[nodiscard]] bool is_root() const { return epoch_.root == self_; }
+  [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] NodeId parent() const { return parent_; }
+  [[nodiscard]] const std::unordered_set<NodeId>& children() const {
+    return children_;
+  }
+
+  /// Parent plus children: the endpoints of this node's tree links.
+  [[nodiscard]] std::vector<NodeId> tree_neighbors() const;
+  [[nodiscard]] bool is_tree_neighbor(NodeId peer) const;
+
+  /// Latency from the root along the tree, as learned from heartbeats.
+  [[nodiscard]] SimTime root_distance() const { return best_dist_; }
+
+ private:
+  void flood_heartbeat();
+  void watchdog_check();
+  void set_parent(NodeId new_parent);
+  void adopt_epoch(const Epoch& epoch);
+  void promote_self();
+
+  NodeId self_;
+  net::Network& network_;
+  overlay::OverlayManager& overlay_;
+  TreeParams params_;
+
+  Epoch epoch_;
+  std::uint32_t current_seq_ = 0;
+  std::uint32_t flood_seq_ = 0;  ///< seq counter when we are root
+  SimTime best_dist_ = kNever;
+  NodeId parent_ = kInvalidNode;
+  std::unordered_set<NodeId> children_;
+  /// Last cumulative latency each neighbor advertised (parent failover).
+  std::unordered_map<NodeId, SimTime> neighbor_dist_;
+  SimTime last_heartbeat_ = 0.0;
+
+  sim::PeriodicTimer root_timer_;
+  sim::PeriodicTimer watchdog_;
+  bool frozen_ = false;
+};
+
+}  // namespace gocast::tree

@@ -1,0 +1,208 @@
+// Tests for the analysis layer: delivery tracker, graph analysis on known
+// systems, reliability closed forms, link-stress summaries.
+#include <gtest/gtest.h>
+
+#include "analysis/delivery_tracker.h"
+#include "analysis/graph_analysis.h"
+#include "analysis/link_stress.h"
+#include "analysis/reliability.h"
+#include "gocast/system.h"
+
+namespace gocast::analysis {
+namespace {
+
+core::DeliveryEvent event(NodeId node, MsgId id, SimTime inject, SimTime at) {
+  return core::DeliveryEvent{node, id, inject, at, core::DeliveryPath::kTree};
+}
+
+TEST(DeliveryTracker, IgnoresUntrackedMessagesWhileNotRecording) {
+  DeliveryTracker tracker(4);
+  tracker.on_delivery(event(0, MsgId{0, 0}, 0.0, 0.1));
+  EXPECT_EQ(tracker.message_count(), 0u);
+  EXPECT_EQ(tracker.delivery_count(), 0u);
+}
+
+TEST(DeliveryTracker, RecordsOnceRecordingStarts) {
+  DeliveryTracker tracker(4);
+  tracker.set_recording(true);
+  tracker.on_delivery(event(0, MsgId{0, 0}, 1.0, 1.0));
+  tracker.on_delivery(event(1, MsgId{0, 0}, 1.0, 1.2));
+  tracker.set_recording(false);
+  // Known message: still recorded after recording stops.
+  tracker.on_delivery(event(2, MsgId{0, 0}, 1.0, 1.5));
+  EXPECT_EQ(tracker.message_count(), 1u);
+  EXPECT_EQ(tracker.delivery_count(), 3u);
+}
+
+TEST(DeliveryTracker, ReportComputesDelaysAndLosses) {
+  DeliveryTracker tracker(3);
+  tracker.set_recording(true);
+  // Message A delivered to all 3 nodes; message B only to node 0.
+  tracker.on_delivery(event(0, MsgId{0, 0}, 0.0, 0.0));
+  tracker.on_delivery(event(1, MsgId{0, 0}, 0.0, 0.1));
+  tracker.on_delivery(event(2, MsgId{0, 0}, 0.0, 0.3));
+  tracker.on_delivery(event(0, MsgId{1, 0}, 1.0, 1.0));
+
+  auto report = tracker.report({0, 1, 2});
+  EXPECT_EQ(report.messages, 2u);
+  EXPECT_EQ(report.live_nodes, 3u);
+  EXPECT_DOUBLE_EQ(report.delivered_fraction, 4.0 / 6.0);
+  EXPECT_EQ(report.undelivered_pairs, 2u);
+  EXPECT_NEAR(report.nodes_with_all_messages, 1.0 / 3.0, 1e-12);
+  // Delays are stored as float internally.
+  EXPECT_NEAR(report.max_delay, 0.3, 1e-6);
+  EXPECT_EQ(report.per_node_mean_delay.size(), 3u);
+}
+
+TEST(DeliveryTracker, ReportRestrictedToLiveNodes) {
+  DeliveryTracker tracker(3);
+  tracker.set_recording(true);
+  tracker.on_delivery(event(0, MsgId{0, 0}, 0.0, 0.1));
+  tracker.on_delivery(event(1, MsgId{0, 0}, 0.0, 0.5));
+  auto report = tracker.report({0});  // node 1 considered dead
+  EXPECT_DOUBLE_EQ(report.delivered_fraction, 1.0);
+  EXPECT_NEAR(report.max_delay, 0.1, 1e-6);
+}
+
+TEST(DeliveryTracker, NegativeDelayRejected) {
+  DeliveryTracker tracker(2);
+  tracker.set_recording(true);
+  EXPECT_THROW(tracker.on_delivery(event(0, MsgId{0, 0}, 5.0, 4.0)),
+               AssertionError);
+}
+
+TEST(DeliveryTracker, CurveIsMonotoneAndBounded) {
+  DeliveryTracker tracker(2);
+  tracker.set_recording(true);
+  tracker.on_delivery(event(0, MsgId{0, 0}, 0.0, 0.1));
+  tracker.on_delivery(event(1, MsgId{0, 0}, 0.0, 0.4));
+  tracker.on_delivery(event(0, MsgId{0, 1}, 0.0, 0.2));
+  auto curve = tracker.pair_delay_curve({0, 1}, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fraction, curve[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 3.0 / 4.0);  // one pair missing
+}
+
+TEST(GraphAnalysis, ComponentsOnHandMadeGraph) {
+  OverlayGraph graph;
+  graph.node_count = 5;
+  graph.alive.assign(5, true);
+  graph.adjacency.resize(5);
+  auto link = [&](NodeId a, NodeId b) {
+    graph.adjacency[a].push_back(b);
+    graph.adjacency[b].push_back(a);
+  };
+  link(0, 1);
+  link(1, 2);
+  link(3, 4);
+
+  auto stats = components(graph);
+  EXPECT_EQ(stats.component_count, 2u);
+  EXPECT_EQ(stats.largest_component, 3u);
+  EXPECT_DOUBLE_EQ(stats.largest_fraction, 0.6);
+}
+
+TEST(GraphAnalysis, DeadNodesCutComponents) {
+  OverlayGraph graph;
+  graph.node_count = 3;
+  graph.alive.assign(3, true);
+  graph.adjacency.resize(3);
+  graph.adjacency[0].push_back(1);
+  graph.adjacency[1].push_back(0);
+  graph.adjacency[1].push_back(2);
+  graph.adjacency[2].push_back(1);
+  graph.alive[1] = false;  // the cut vertex dies
+
+  auto stats = components(graph);
+  EXPECT_EQ(stats.component_count, 2u);
+  EXPECT_EQ(stats.largest_component, 1u);
+}
+
+TEST(GraphAnalysis, DiameterOfPath) {
+  OverlayGraph graph;
+  graph.node_count = 6;
+  graph.alive.assign(6, true);
+  graph.adjacency.resize(6);
+  for (NodeId i = 0; i + 1 < 6; ++i) {
+    graph.adjacency[i].push_back(i + 1);
+    graph.adjacency[i + 1].push_back(i);
+  }
+  Rng rng(1);
+  EXPECT_EQ(estimate_diameter(graph, 4, rng), 5u);
+}
+
+TEST(GraphAnalysis, LinkCountIgnoresDeadEndpoints) {
+  OverlayGraph graph;
+  graph.node_count = 3;
+  graph.alive = {true, true, false};
+  graph.adjacency.resize(3);
+  graph.adjacency[0] = {1, 2};
+  graph.adjacency[1] = {0};
+  graph.adjacency[2] = {0};
+  EXPECT_EQ(graph.link_count(), 1u);
+  EXPECT_EQ(graph.alive_count(), 2u);
+}
+
+TEST(Reliability, MatchesClosedForm) {
+  // Spot values of e^{-e^{ln n - F}} for n=1024.
+  EXPECT_NEAR(push_gossip_atomicity(1024, std::log(1024.0)), 1.0 / std::exp(1.0),
+              1e-9);
+  EXPECT_GT(push_gossip_atomicity(1024, 20), 0.999);
+  EXPECT_LT(push_gossip_atomicity(1024, 2), 0.01);
+}
+
+TEST(Reliability, KMessagePowerLaw) {
+  double one = push_gossip_atomicity(1024, 10);
+  double thousand = push_gossip_atomicity_k(1024, 10, 1000);
+  EXPECT_NEAR(thousand, std::pow(one, 1000.0), 1e-9);
+}
+
+TEST(Reliability, MinFanoutMatchesPaperFigure) {
+  // The paper's Fig 1 text: reliability 0.5 for 1,000 messages needs
+  // fanout ~15 in a 1,024-node system.
+  EXPECT_EQ(min_fanout_for_atomicity(1024, 1000, 0.5), 15);
+  EXPECT_EQ(min_fanout_for_atomicity(1024, 1, 0.5), 8);
+}
+
+TEST(LinkStress, SummarizesLoads) {
+  Rng rng(3);
+  net::Underlay underlay = net::Underlay::barabasi_albert(32, 2, rng.fork("t"));
+  Rng assign = rng.fork("a");
+  underlay.assign_sites(64, assign);
+
+  net::TrafficStats traffic;
+  traffic.record_site_pair(0, 40, 1000);
+  traffic.record_site_pair(1, 50, 500);
+
+  auto report = link_stress(underlay, traffic, 5);
+  EXPECT_GT(report.loaded_links, 0u);
+  EXPECT_GE(report.max_link_bytes, 1000.0);
+  EXPECT_GE(report.total_bytes, 1500.0);
+  ASSERT_FALSE(report.top_links.empty());
+  EXPECT_DOUBLE_EQ(report.top_links.front(), report.max_link_bytes);
+}
+
+TEST(SnapshotOverlay, ReflectsSystemState) {
+  core::SystemConfig config;
+  config.node_count = 24;
+  config.seed = 3;
+  core::System system(config);
+  system.start();
+  system.run_for(30.0);
+
+  auto graph = snapshot_overlay(system);
+  EXPECT_EQ(graph.node_count, 24u);
+  EXPECT_EQ(graph.alive_count(), 24u);
+  // Adjacency is symmetric by construction.
+  for (NodeId u = 0; u < 24; ++u) {
+    for (NodeId v : graph.adjacency[u]) {
+      auto& back = graph.adjacency[v];
+      EXPECT_NE(std::find(back.begin(), back.end(), u), back.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gocast::analysis

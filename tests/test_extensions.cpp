@@ -1,0 +1,193 @@
+// Tests for the extension features the paper sketches as accommodatable or
+// future work: adaptive maintenance/gossip periods, capacity-aware degrees,
+// and churn (deferred joins) support.
+#include <gtest/gtest.h>
+
+#include "analysis/delivery_tracker.h"
+#include "analysis/graph_analysis.h"
+#include "gocast/system.h"
+
+namespace gocast::core {
+namespace {
+
+TEST(AdaptiveMaintenance, CutsControlTrafficOnceStable) {
+  auto ping_count = [](bool adaptive) {
+    SystemConfig config;
+    config.node_count = 32;
+    config.seed = 50;
+    config.node.overlay.adaptive_maintenance = adaptive;
+    config.node.overlay.maintenance_period_max = 2.0;
+    System system(config);
+    system.start();
+    system.run_for(60.0);  // converge
+    std::uint64_t before = system.network().traffic().kind(net::MsgKind::kPing).messages;
+    system.run_for(120.0);  // stable phase
+    return system.network().traffic().kind(net::MsgKind::kPing).messages - before;
+  };
+  std::uint64_t fixed = ping_count(false);
+  std::uint64_t adaptive = ping_count(true);
+  EXPECT_LT(adaptive, fixed / 2) << "fixed=" << fixed << " adaptive=" << adaptive;
+}
+
+TEST(AdaptiveMaintenance, StillConvergesToTargetDegrees) {
+  SystemConfig config;
+  config.node_count = 48;
+  config.seed = 51;
+  config.node.overlay.adaptive_maintenance = true;
+  System system(config);
+  system.start();
+  system.run_for(120.0);
+  IntDistribution degrees = analysis::degree_distribution(system);
+  EXPECT_GT(degrees.fraction(6) + degrees.fraction(7), 0.75);
+  auto graph = analysis::snapshot_overlay(system);
+  EXPECT_DOUBLE_EQ(analysis::components(graph).largest_fraction, 1.0);
+}
+
+TEST(AdaptiveGossip, IdleSystemGossipsLess) {
+  auto gossip_count = [](bool adaptive) {
+    SystemConfig config;
+    config.node_count = 24;
+    config.seed = 52;
+    config.node.dissemination.adaptive_gossip = adaptive;
+    config.node.dissemination.gossip_period_max = 1.0;
+    System system(config);
+    system.start();
+    system.run_for(120.0);  // fully idle: no multicasts
+    std::uint64_t total = 0;
+    for (NodeId id = 0; id < system.size(); ++id) {
+      total += system.node(id).dissemination().gossips_sent();
+    }
+    return total;
+  };
+  std::uint64_t fixed = gossip_count(false);
+  std::uint64_t adaptive = gossip_count(true);
+  EXPECT_LT(adaptive, fixed / 3);
+}
+
+TEST(AdaptiveGossip, SnapsBackOnTrafficWithoutHurtingDelivery) {
+  SystemConfig config;
+  config.node_count = 32;
+  config.seed = 53;
+  config.node.dissemination.adaptive_gossip = true;
+  config.node.dissemination.use_tree = false;  // force gossip path
+  System system(config);
+  analysis::DeliveryTracker tracker(32);
+  system.set_delivery_hook(tracker.hook());
+  system.start();
+  system.run_for(90.0);  // idle: periods stretched to the max
+
+  tracker.set_recording(true);
+  system.node(0).multicast(128);
+  system.run_for(20.0);
+  auto report = tracker.report(system.alive_nodes());
+  EXPECT_DOUBLE_EQ(report.delivered_fraction, 1.0);
+}
+
+TEST(CapacityAwareDegrees, BigNodesCarryMoreLinks) {
+  SystemConfig config;
+  config.node_count = 64;
+  config.seed = 54;
+  // Nodes 0..15 are "big" (2x capacity), the rest are standard.
+  config.capacity_of = [](NodeId id) { return id < 16 ? 2.0 : 1.0; };
+  System system(config);
+  system.start();
+  system.run_for(120.0);
+
+  double big = 0.0;
+  double standard = 0.0;
+  for (NodeId id = 0; id < 64; ++id) {
+    double degree = system.node(id).overlay().near_degree();
+    (id < 16 ? big : standard) += degree;
+  }
+  big /= 16.0;
+  standard /= 48.0;
+  EXPECT_GT(big, standard * 1.4);
+  // Targets were scaled, not chaos: 2x capacity -> ~10 nearby links.
+  EXPECT_NEAR(big, 10.0, 2.0);
+  EXPECT_NEAR(standard, 5.0, 1.0);
+}
+
+TEST(Churn, DeferredNodesStartDead) {
+  SystemConfig config;
+  config.node_count = 24;
+  config.seed = 55;
+  config.deferred_nodes = 4;
+  System system(config);
+  system.start();
+  EXPECT_EQ(system.network().alive_count(), 20u);
+  EXPECT_EQ(system.deferred_remaining(), 4u);
+  for (NodeId id = 20; id < 24; ++id) {
+    EXPECT_FALSE(system.network().alive(id));
+  }
+}
+
+TEST(Churn, SpawnedNodeJoinsAndIntegrates) {
+  SystemConfig config;
+  config.node_count = 24;
+  config.seed = 56;
+  config.deferred_nodes = 2;
+  System system(config);
+  system.start();
+  system.run_for(60.0);
+
+  NodeId spawned = system.spawn_next();
+  ASSERT_NE(spawned, kInvalidNode);
+  EXPECT_TRUE(system.network().alive(spawned));
+  system.run_for(30.0);
+
+  EXPECT_GE(system.node(spawned).overlay().degree(), 4);
+  auto graph = analysis::snapshot_overlay(system);
+  EXPECT_DOUBLE_EQ(analysis::components(graph).largest_fraction, 1.0);
+  // And it receives multicasts.
+  analysis::DeliveryTracker tracker(24);
+  system.set_delivery_hook(tracker.hook());
+  tracker.set_recording(true);
+  system.node(0).multicast(64);
+  system.run_for(10.0);
+  EXPECT_DOUBLE_EQ(tracker.report(system.alive_nodes()).delivered_fraction, 1.0);
+}
+
+TEST(Churn, SpawnExhaustionReturnsInvalid) {
+  SystemConfig config;
+  config.node_count = 12;
+  config.seed = 57;
+  config.deferred_nodes = 1;
+  System system(config);
+  system.start();
+  EXPECT_NE(system.spawn_next(), kInvalidNode);
+  EXPECT_EQ(system.spawn_next(), kInvalidNode);
+  EXPECT_EQ(system.deferred_remaining(), 0u);
+}
+
+TEST(Churn, ContinuousJoinLeaveKeepsSystemHealthy) {
+  SystemConfig config;
+  config.node_count = 48;
+  config.seed = 58;
+  config.deferred_nodes = 12;
+  System system(config);
+  system.start();
+  system.run_for(60.0);
+
+  // Alternate: one leave, one join, every 5 seconds.
+  for (int round = 0; round < 12; ++round) {
+    system.node(system.random_alive_node()).kill();
+    ASSERT_NE(system.spawn_next(), kInvalidNode);
+    system.run_for(5.0);
+  }
+  system.run_for(60.0);
+
+  auto graph = analysis::snapshot_overlay(system);
+  EXPECT_DOUBLE_EQ(analysis::components(graph).largest_fraction, 1.0);
+  auto tree = analysis::tree_stats(system);
+  EXPECT_TRUE(tree.spanning);
+
+  analysis::DeliveryTracker tracker(48);
+  system.set_delivery_hook(tracker.hook());
+  tracker.set_recording(true);
+  for (int i = 0; i < 3; ++i) system.node(system.random_alive_node()).multicast(64);
+  system.run_for(15.0);
+  EXPECT_DOUBLE_EQ(tracker.report(system.alive_nodes()).delivered_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace gocast::core

@@ -1,0 +1,162 @@
+// Tests for latency models: matrix validation, the synthetic King dataset's
+// envelope (the substitution contract in DESIGN.md), and the King file
+// loader.
+#include "net/latency_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/assert.h"
+
+namespace gocast::net {
+namespace {
+
+TEST(RingLatencyModel, SymmetricAndZeroDiagonal) {
+  RingLatencyModel model(10, 0.1);
+  EXPECT_EQ(model.site_count(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(model.one_way(i, i), 0.0);
+    for (std::uint32_t j = 0; j < 10; ++j) {
+      EXPECT_DOUBLE_EQ(model.one_way(i, j), model.one_way(j, i));
+    }
+  }
+}
+
+TEST(RingLatencyModel, MaxAtAntipode) {
+  RingLatencyModel model(10, 0.1);
+  EXPECT_DOUBLE_EQ(model.one_way(0, 5), 0.1);
+  EXPECT_DOUBLE_EQ(model.one_way(0, 1), 0.02);
+  EXPECT_DOUBLE_EQ(model.one_way(0, 9), 0.02);  // wraps around
+}
+
+TEST(MatrixLatencyModel, RejectsNonzeroDiagonal) {
+  std::vector<float> matrix{0.0f, 0.1f, 0.1f, 0.5f};
+  EXPECT_THROW(MatrixLatencyModel(2, std::move(matrix)), AssertionError);
+}
+
+TEST(MatrixLatencyModel, RejectsWrongSize) {
+  std::vector<float> matrix{0.0f, 0.1f, 0.1f};
+  EXPECT_THROW(MatrixLatencyModel(2, std::move(matrix)), AssertionError);
+}
+
+TEST(MatrixLatencyModel, LooksUpValues) {
+  std::vector<float> matrix{0.0f, 0.25f, 0.25f, 0.0f};
+  MatrixLatencyModel model(2, std::move(matrix));
+  EXPECT_FLOAT_EQ(static_cast<float>(model.one_way(0, 1)), 0.25f);
+  EXPECT_DOUBLE_EQ(model.mean_one_way(), 0.25);
+  EXPECT_DOUBLE_EQ(model.max_one_way(), 0.25);
+}
+
+class SyntheticKingTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<MatrixLatencyModel> make(std::size_t sites,
+                                                  std::uint64_t seed) {
+    SyntheticKingParams params;
+    params.sites = sites;
+    return make_synthetic_king(params, Rng(seed));
+  }
+};
+
+TEST_F(SyntheticKingTest, MatchesPaperEnvelope) {
+  // The paper's King data: avg one-way 91 ms, max one-way 399 ms.
+  auto model = make(400, 1);
+  double mean = model->mean_one_way();
+  EXPECT_GT(mean, 0.080);
+  EXPECT_LT(mean, 0.102);
+  EXPECT_LE(model->max_one_way(), 0.399 + 1e-6);
+  EXPECT_GT(model->max_one_way(), 0.200);
+}
+
+TEST_F(SyntheticKingTest, SymmetricWithZeroDiagonal) {
+  auto model = make(100, 2);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(model->one_way(i, i), 0.0);
+    for (std::uint32_t j = i + 1; j < 100; ++j) {
+      EXPECT_FLOAT_EQ(static_cast<float>(model->one_way(i, j)),
+                      static_cast<float>(model->one_way(j, i)));
+    }
+  }
+}
+
+TEST_F(SyntheticKingTest, DistinctSitesHavePositiveLatency) {
+  auto model = make(100, 3);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    for (std::uint32_t j = i + 1; j < 100; ++j) {
+      EXPECT_GE(model->one_way(i, j), 0.0005);
+    }
+  }
+}
+
+TEST_F(SyntheticKingTest, DeterministicPerSeed) {
+  auto a = make(64, 7);
+  auto b = make(64, 7);
+  auto c = make(64, 8);
+  bool any_diff = false;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    for (std::uint32_t j = i + 1; j < 64; ++j) {
+      EXPECT_EQ(a->one_way(i, j), b->one_way(i, j));
+      if (a->one_way(i, j) != c->one_way(i, j)) any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST_F(SyntheticKingTest, HasProximityStructure) {
+  // The clustered layout must produce meaningful spread: the closest pairs
+  // should be far below the mean (otherwise proximity-aware overlays have
+  // nothing to exploit).
+  auto model = make(400, 4);
+  double mean = model->mean_one_way();
+  std::size_t below_third = 0;
+  std::size_t pairs = 0;
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    for (std::uint32_t j = i + 1; j < 400; ++j) {
+      ++pairs;
+      if (model->one_way(i, j) < mean / 3.0) ++below_third;
+    }
+  }
+  // A decent fraction of pairs must be "nearby".
+  EXPECT_GT(static_cast<double>(below_third) / static_cast<double>(pairs), 0.02);
+}
+
+TEST(KingFileLoader, ParsesTriplesAndHalvesRtt) {
+  std::string path = ::testing::TempDir() + "/king_test.txt";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n";
+    out << "1 2 100000\n";   // 100 ms RTT -> 50 ms one-way
+    out << "1 3 200000\n";
+    out << "2 3 300000\n";
+  }
+  auto model = MatrixLatencyModel::load_king_file(path);
+  ASSERT_EQ(model->site_count(), 3u);
+  EXPECT_NEAR(model->one_way(0, 1), 0.050, 1e-6);
+  EXPECT_NEAR(model->one_way(0, 2), 0.100, 1e-6);
+  EXPECT_NEAR(model->one_way(1, 2), 0.150, 1e-6);
+  std::remove(path.c_str());
+}
+
+TEST(KingFileLoader, DropsIncompleteSites) {
+  std::string path = ::testing::TempDir() + "/king_incomplete.txt";
+  {
+    std::ofstream out(path);
+    // Site 4 has only one measurement; it must be dropped.
+    out << "1 2 100000\n";
+    out << "1 3 200000\n";
+    out << "2 3 300000\n";
+    out << "1 4 400000\n";
+  }
+  auto model = MatrixLatencyModel::load_king_file(path);
+  EXPECT_EQ(model->site_count(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(KingFileLoader, MissingFileThrows) {
+  EXPECT_THROW(MatrixLatencyModel::load_king_file("/nonexistent/king.txt"),
+               AssertionError);
+}
+
+}  // namespace
+}  // namespace gocast::net

@@ -1,0 +1,177 @@
+// Tests for the bounded uniform partial view.
+#include "membership/partial_view.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gocast::membership {
+namespace {
+
+MemberEntry entry(NodeId id, SimTime heard_at = 0.0) {
+  MemberEntry e;
+  e.id = id;
+  e.heard_at = heard_at;
+  return e;
+}
+
+TEST(PartialView, InsertAndFind) {
+  PartialView view(0, 10, Rng(1));
+  view.insert(entry(5));
+  EXPECT_TRUE(view.contains(5));
+  EXPECT_EQ(view.size(), 1u);
+  ASSERT_NE(view.find(5), nullptr);
+  EXPECT_EQ(view.find(5)->id, 5u);
+  EXPECT_EQ(view.find(99), nullptr);
+}
+
+TEST(PartialView, IgnoresSelfAndInvalid) {
+  PartialView view(7, 10, Rng(1));
+  view.insert(entry(7));
+  view.insert(entry(kInvalidNode));
+  EXPECT_EQ(view.size(), 0u);
+}
+
+TEST(PartialView, RefreshKeepsNewestEntry) {
+  PartialView view(0, 10, Rng(1));
+  MemberEntry old_entry = entry(5, 1.0);
+  old_entry.landmark_rtt[0] = 0.111f;
+  view.insert(old_entry);
+
+  MemberEntry newer = entry(5, 2.0);
+  newer.landmark_rtt[0] = 0.222f;
+  view.insert(newer);
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_FLOAT_EQ(view.find(5)->landmark_rtt[0], 0.222f);
+
+  // Stale data must not overwrite fresher data.
+  MemberEntry stale = entry(5, 0.5);
+  stale.landmark_rtt[0] = 0.333f;
+  view.insert(stale);
+  EXPECT_FLOAT_EQ(view.find(5)->landmark_rtt[0], 0.222f);
+}
+
+TEST(PartialView, CapacityEnforcedWithRandomEviction) {
+  PartialView view(0, 16, Rng(2));
+  for (NodeId id = 1; id <= 100; ++id) view.insert(entry(id));
+  EXPECT_EQ(view.size(), 16u);
+}
+
+TEST(PartialView, EvictionIsUniformOverCurrentEntries) {
+  // When full, a uniformly random existing entry is evicted. Over many
+  // trials, each of the 10 residents should be evicted ~equally often by
+  // a single extra insert.
+  const int trials = 2000;
+  std::vector<int> evicted(11, 0);
+  for (int t = 0; t < trials; ++t) {
+    PartialView view(0, 10, Rng(static_cast<std::uint64_t>(t)));
+    for (NodeId id = 1; id <= 10; ++id) view.insert(entry(id));
+    view.insert(entry(99));
+    for (NodeId id = 1; id <= 10; ++id) {
+      if (!view.contains(id)) ++evicted[id];
+    }
+  }
+  for (NodeId id = 1; id <= 10; ++id) {
+    EXPECT_NEAR(evicted[id], trials / 10, trials / 25) << "id " << id;
+  }
+}
+
+TEST(PartialView, RecirculationKeepsEntriesAlive) {
+  // Membership entries survive through re-insertion (gossip recirculation):
+  // an entry refreshed as often as new entries arrive stays present with
+  // high probability, while one-shot entries wash out. This recency bias
+  // is what flushes dead nodes from the system's views.
+  int survivals = 0;
+  const int trials = 100;
+  for (int t = 0; t < trials; ++t) {
+    PartialView view(0, 10, Rng(static_cast<std::uint64_t>(t)));
+    for (NodeId id = 1; id <= 10; ++id) view.insert(entry(id));
+    for (NodeId round = 0; round < 50; ++round) {
+      view.insert(entry(100 + round, static_cast<SimTime>(round)));
+      view.insert(entry(1, static_cast<SimTime>(round)));  // recirculated
+    }
+    if (view.contains(1)) ++survivals;
+  }
+  EXPECT_GT(survivals, 60);
+}
+
+TEST(PartialView, RemoveDeletes) {
+  PartialView view(0, 10, Rng(1));
+  view.insert(entry(1));
+  view.insert(entry(2));
+  view.insert(entry(3));
+  view.remove(2);
+  EXPECT_FALSE(view.contains(2));
+  EXPECT_EQ(view.size(), 2u);
+  view.remove(99);  // no-op
+  EXPECT_EQ(view.size(), 2u);
+}
+
+TEST(PartialView, RandomMemberFromEmptyIsInvalid) {
+  PartialView view(0, 10, Rng(1));
+  EXPECT_EQ(view.random_member(), kInvalidNode);
+}
+
+TEST(PartialView, RandomMemberCoversAll) {
+  PartialView view(0, 10, Rng(3));
+  for (NodeId id = 1; id <= 5; ++id) view.insert(entry(id));
+  std::set<NodeId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(view.random_member());
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PartialView, SampleWithoutReplacement) {
+  PartialView view(0, 20, Rng(4));
+  for (NodeId id = 1; id <= 10; ++id) view.insert(entry(id));
+  auto sample = view.sample(4);
+  EXPECT_EQ(sample.size(), 4u);
+  std::set<NodeId> distinct;
+  for (const auto& e : sample) distinct.insert(e.id);
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(PartialView, RoundRobinVisitsEveryone) {
+  PartialView view(0, 20, Rng(5));
+  for (NodeId id = 1; id <= 7; ++id) view.insert(entry(id));
+  std::set<NodeId> seen;
+  for (int i = 0; i < 7; ++i) {
+    const MemberEntry* e = view.next_round_robin();
+    ASSERT_NE(e, nullptr);
+    seen.insert(e->id);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+  // Wraps around.
+  EXPECT_NE(view.next_round_robin(), nullptr);
+}
+
+TEST(PartialView, RoundRobinEmptyReturnsNull) {
+  PartialView view(0, 20, Rng(5));
+  EXPECT_EQ(view.next_round_robin(), nullptr);
+}
+
+TEST(PartialView, RoundRobinSurvivesRemoval) {
+  PartialView view(0, 20, Rng(6));
+  for (NodeId id = 1; id <= 5; ++id) view.insert(entry(id));
+  (void)view.next_round_robin();
+  view.remove(3);
+  for (int i = 0; i < 10; ++i) {
+    const MemberEntry* e = view.next_round_robin();
+    ASSERT_NE(e, nullptr);
+    EXPECT_NE(e->id, 3u);
+  }
+}
+
+TEST(PartialView, IntegrateBatch) {
+  PartialView view(0, 20, Rng(7));
+  std::vector<MemberEntry> batch{entry(1), entry(2), entry(0 /*self*/), entry(3)};
+  view.integrate(batch);
+  EXPECT_EQ(view.size(), 3u);
+}
+
+TEST(MemberEntry, EmptyLandmarksAreNaN) {
+  LandmarkVector v = empty_landmarks();
+  for (float f : v) EXPECT_TRUE(std::isnan(f));
+}
+
+}  // namespace
+}  // namespace gocast::membership

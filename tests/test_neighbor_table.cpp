@@ -1,0 +1,144 @@
+// Tests for the overlay neighbor table: degree accounting, C1/C3 queries,
+// drop ordering.
+#include "overlay/neighbor_table.h"
+
+#include <gtest/gtest.h>
+
+namespace gocast::overlay {
+namespace {
+
+net::PeerDegrees degrees(int rand_deg, int near_deg, float max_rtt = 0.0f) {
+  net::PeerDegrees d;
+  d.rand_degree = static_cast<std::uint16_t>(rand_deg);
+  d.near_degree = static_cast<std::uint16_t>(near_deg);
+  d.max_nearby_rtt = max_rtt;
+  return d;
+}
+
+TEST(NeighborTable, AddRemoveAndDegrees) {
+  NeighborTable table;
+  EXPECT_TRUE(table.add(1, LinkKind::kRandom, 0.1, 0.0));
+  EXPECT_TRUE(table.add(2, LinkKind::kNearby, 0.02, 0.0));
+  EXPECT_TRUE(table.add(3, LinkKind::kNearby, 0.03, 0.0));
+  EXPECT_EQ(table.rand_degree(), 1);
+  EXPECT_EQ(table.near_degree(), 2);
+  EXPECT_EQ(table.degree(), 3);
+
+  EXPECT_FALSE(table.add(1, LinkKind::kNearby, 0.5, 1.0));  // no overwrite
+  EXPECT_EQ(table.rand_degree(), 1);
+
+  auto removed = table.remove(2);
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_EQ(removed->kind, LinkKind::kNearby);
+  EXPECT_EQ(table.near_degree(), 1);
+  EXPECT_FALSE(table.remove(2).has_value());
+}
+
+TEST(NeighborTable, FindAndUpdate) {
+  NeighborTable table;
+  table.add(7, LinkKind::kNearby, 0.05, 1.0);
+  ASSERT_NE(table.find(7), nullptr);
+  EXPECT_EQ(table.find(9), nullptr);
+
+  table.update_degrees(7, degrees(1, 6), 2.0);
+  EXPECT_EQ(table.find(7)->degrees.near_degree, 6);
+  EXPECT_DOUBLE_EQ(table.find(7)->last_heard, 2.0);
+
+  table.update_rtt(7, 0.04);
+  EXPECT_DOUBLE_EQ(table.find(7)->rtt, 0.04);
+
+  // Updates for unknown peers are ignored.
+  table.update_degrees(9, degrees(1, 1), 3.0);
+  table.update_rtt(9, 0.01);
+}
+
+TEST(NeighborTable, MaxNearbyRttIgnoresRandomLinks) {
+  NeighborTable table;
+  table.add(1, LinkKind::kRandom, 0.30, 0.0);
+  table.add(2, LinkKind::kNearby, 0.05, 0.0);
+  table.add(3, LinkKind::kNearby, 0.08, 0.0);
+  EXPECT_DOUBLE_EQ(table.max_nearby_rtt(), 0.08);
+}
+
+TEST(NeighborTable, MaxNearbyRttEmptyIsZero) {
+  NeighborTable table;
+  table.add(1, LinkKind::kRandom, 0.30, 0.0);
+  EXPECT_DOUBLE_EQ(table.max_nearby_rtt(), 0.0);
+}
+
+TEST(NeighborTable, WorstReplaceableRespectsC1Floor) {
+  NeighborTable table;
+  table.add(1, LinkKind::kNearby, 0.20, 0.0);  // longest link
+  table.add(2, LinkKind::kNearby, 0.05, 0.0);
+  table.update_degrees(1, degrees(1, 3), 1.0);  // too low: below C_near-1=4
+  table.update_degrees(2, degrees(1, 5), 1.0);
+
+  auto victim = table.worst_replaceable_nearby(4);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);  // node 1 excluded despite longer RTT
+
+  table.update_degrees(1, degrees(1, 4), 2.0);
+  victim = table.worst_replaceable_nearby(4);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);  // now eligible and longest
+}
+
+TEST(NeighborTable, WorstReplaceableNoneWhenAllTooLow) {
+  NeighborTable table;
+  table.add(1, LinkKind::kNearby, 0.20, 0.0);
+  table.update_degrees(1, degrees(0, 1), 1.0);
+  EXPECT_FALSE(table.worst_replaceable_nearby(4).has_value());
+}
+
+TEST(NeighborTable, DroppableNearbySortedByDescendingRtt) {
+  NeighborTable table;
+  table.add(1, LinkKind::kNearby, 0.05, 0.0);
+  table.add(2, LinkKind::kNearby, 0.30, 0.0);
+  table.add(3, LinkKind::kNearby, 0.10, 0.0);
+  table.add(4, LinkKind::kRandom, 0.50, 0.0);
+  for (NodeId id : {1u, 2u, 3u}) table.update_degrees(id, degrees(1, 5), 1.0);
+
+  auto order = table.droppable_nearby(4);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 3u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(NeighborTable, RandomWithDegreeAbove) {
+  NeighborTable table;
+  table.add(1, LinkKind::kRandom, 0.1, 0.0);
+  table.add(2, LinkKind::kRandom, 0.1, 0.0);
+  table.add(3, LinkKind::kNearby, 0.1, 0.0);
+  table.update_degrees(1, degrees(2, 5), 1.0);
+  table.update_degrees(2, degrees(1, 5), 1.0);
+  table.update_degrees(3, degrees(9, 5), 1.0);  // nearby: never listed
+
+  auto over = table.random_with_degree_above(1);
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], 1u);
+}
+
+TEST(NeighborTable, IdsAreSortedAndFiltered) {
+  NeighborTable table;
+  table.add(9, LinkKind::kRandom, 0.1, 0.0);
+  table.add(2, LinkKind::kNearby, 0.1, 0.0);
+  table.add(5, LinkKind::kNearby, 0.1, 0.0);
+  EXPECT_EQ(table.ids(), (std::vector<NodeId>{2, 5, 9}));
+  EXPECT_EQ(table.ids_of_kind(LinkKind::kNearby), (std::vector<NodeId>{2, 5}));
+  EXPECT_EQ(table.ids_of_kind(LinkKind::kRandom), (std::vector<NodeId>{9}));
+}
+
+TEST(NeighborTable, MeanRttByKind) {
+  NeighborTable table;
+  table.add(1, LinkKind::kRandom, 0.2, 0.0);
+  table.add(2, LinkKind::kNearby, 0.04, 0.0);
+  table.add(3, LinkKind::kNearby, 0.06, 0.0);
+  EXPECT_DOUBLE_EQ(table.mean_rtt_of_kind(LinkKind::kNearby), 0.05);
+  EXPECT_DOUBLE_EQ(table.mean_rtt_of_kind(LinkKind::kRandom), 0.2);
+  EXPECT_NEAR(table.mean_rtt(), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(NeighborTable{}.mean_rtt(), 0.0);
+}
+
+}  // namespace
+}  // namespace gocast::overlay

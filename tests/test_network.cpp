@@ -1,0 +1,248 @@
+// Tests for the simulated network: latency-correct delivery, failure
+// semantics (silent drop + TCP-reset notification), loss injection, traffic
+// accounting, and intra-site latency.
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace gocast::net {
+namespace {
+
+struct TestMsg final : Message {
+  explicit TestMsg(std::size_t bytes = 100)
+      : Message(MsgKind::kOther, 999), bytes(bytes) {}
+  std::size_t bytes;
+  std::size_t wire_size() const override { return bytes; }
+};
+
+class RecordingEndpoint final : public Endpoint {
+ public:
+  struct Received {
+    NodeId from;
+    SimTime at;
+  };
+  explicit RecordingEndpoint(sim::Engine& engine) : engine_(engine) {}
+
+  void handle_message(NodeId from, const MessagePtr& msg) override {
+    (void)msg;
+    received.push_back({from, engine_.now()});
+  }
+  void handle_send_failure(NodeId to, const MessagePtr& msg) override {
+    (void)msg;
+    failures.push_back({to, engine_.now()});
+  }
+
+  std::vector<Received> received;
+  std::vector<Received> failures;
+
+ private:
+  sim::Engine& engine_;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest()
+      : network_(engine_, std::make_shared<RingLatencyModel>(8, 0.08),
+                 NetworkConfig{}, Rng(1)) {
+    for (int i = 0; i < 4; ++i) {
+      NodeId id = network_.add_node(static_cast<std::uint32_t>(i * 2));
+      endpoints_.push_back(std::make_unique<RecordingEndpoint>(engine_));
+      network_.set_endpoint(id, endpoints_.back().get());
+    }
+  }
+
+  sim::Engine engine_;
+  Network network_;
+  std::vector<std::unique_ptr<RecordingEndpoint>> endpoints_;
+};
+
+TEST_F(NetworkTest, DeliversWithOneWayLatency) {
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  ASSERT_EQ(endpoints_[1]->received.size(), 1u);
+  EXPECT_EQ(endpoints_[1]->received[0].from, 0u);
+  // Sites 0 and 2 on an 8-site ring with 0.08 max: arc 2 of 4 -> 0.04.
+  EXPECT_DOUBLE_EQ(endpoints_[1]->received[0].at, 0.04);
+}
+
+TEST_F(NetworkTest, RttIsTwiceOneWay) {
+  EXPECT_DOUBLE_EQ(network_.rtt(0, 1), 2.0 * network_.one_way(0, 1));
+  EXPECT_DOUBLE_EQ(network_.one_way(2, 2), 0.0);
+}
+
+TEST_F(NetworkTest, SendToSelfThrows) {
+  EXPECT_THROW(network_.send(1, 1, std::make_shared<TestMsg>()), AssertionError);
+}
+
+TEST_F(NetworkTest, DeadReceiverDropsAndNotifiesSender) {
+  network_.fail_node(1);
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_TRUE(endpoints_[1]->received.empty());
+  ASSERT_EQ(endpoints_[0]->failures.size(), 1u);
+  EXPECT_EQ(endpoints_[0]->failures[0].from, 1u);  // "to" echoed
+  // Reset comes back one RTT after the send.
+  EXPECT_DOUBLE_EQ(endpoints_[0]->failures[0].at, 2.0 * network_.one_way(0, 1));
+  EXPECT_EQ(network_.traffic().dropped_dead(), 1u);
+}
+
+TEST_F(NetworkTest, DeadSenderSendsNothing) {
+  network_.fail_node(0);
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_TRUE(endpoints_[1]->received.empty());
+  EXPECT_EQ(network_.traffic().sender_dead(), 1u);
+  EXPECT_EQ(network_.traffic().total_sent().messages, 0u);
+}
+
+TEST_F(NetworkTest, MessageInFlightSurvivesSenderDeath) {
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  network_.fail_node(0);  // dies right after sending
+  engine_.run();
+  EXPECT_EQ(endpoints_[1]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, ReceiverDiesWhileMessageInFlight) {
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.schedule_at(0.01, [this] { network_.fail_node(1); });
+  engine_.run();
+  EXPECT_TRUE(endpoints_[1]->received.empty());
+  EXPECT_EQ(endpoints_[0]->failures.size(), 1u);
+}
+
+TEST_F(NetworkTest, RecoverNodeReceivesAgain) {
+  network_.fail_node(1);
+  EXPECT_EQ(network_.alive_count(), 3u);
+  network_.recover_node(1);
+  EXPECT_EQ(network_.alive_count(), 4u);
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_EQ(endpoints_[1]->received.size(), 1u);
+}
+
+TEST_F(NetworkTest, TrafficAccounting) {
+  network_.send(0, 1, std::make_shared<TestMsg>(500));
+  network_.send(1, 2, std::make_shared<TestMsg>(300));
+  engine_.run();
+  EXPECT_EQ(network_.traffic().total_sent().messages, 2u);
+  EXPECT_EQ(network_.traffic().total_sent().bytes, 800u);
+  EXPECT_EQ(network_.traffic().delivered(), 2u);
+  EXPECT_EQ(network_.traffic().kind(MsgKind::kOther).messages, 2u);
+}
+
+TEST(NetworkIntraSite, CoLocatedNodesUseIntraSiteLatency) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.intra_site_one_way = 0.0005;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.08), config,
+                  Rng(1));
+  NodeId a = network.add_node(2);
+  NodeId b = network.add_node(2);  // same site
+  EXPECT_DOUBLE_EQ(network.one_way(a, b), 0.0005);
+}
+
+TEST(NetworkLoss, LossProbabilityDropsMessages) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.loss_probability = 0.5;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.08), config,
+                  Rng(7));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(1), &b);
+  for (int i = 0; i < 400; ++i) {
+    network.send(0, 1, std::make_shared<TestMsg>());
+  }
+  engine.run();
+  EXPECT_GT(network.traffic().lost(), 120u);
+  EXPECT_LT(network.traffic().lost(), 280u);
+  EXPECT_EQ(b.received.size() + network.traffic().lost(), 400u);
+}
+
+TEST(NetworkSitePairs, RecordsWhenEnabled) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.record_site_pairs = true;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.08), config,
+                  Rng(1));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(3), &b);
+  network.send(0, 1, std::make_shared<TestMsg>(100));
+  network.send(1, 0, std::make_shared<TestMsg>(50));
+  engine.run();
+  const auto& pairs = network.traffic().site_pair_bytes();
+  ASSERT_EQ(pairs.size(), 1u);  // symmetric key
+  EXPECT_DOUBLE_EQ(pairs.begin()->second, 150.0);
+}
+
+TEST(NetworkBandwidth, SerializationDelayAddsToLatency) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.uplink_bytes_per_second = 1000.0;  // 1 KB/s: 100 bytes = 0.1 s
+  Network network(engine, std::make_shared<RingLatencyModel>(8, 0.08), config,
+                  Rng(1));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(2), &b);  // one_way = 0.04
+
+  network.send(0, 1, std::make_shared<TestMsg>(100));
+  engine.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_NEAR(b.received[0].at, 0.04 + 0.1, 1e-9);
+}
+
+TEST(NetworkBandwidth, ConcurrentSendsQueueOnTheUplink) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.uplink_bytes_per_second = 1000.0;
+  Network network(engine, std::make_shared<RingLatencyModel>(8, 0.08), config,
+                  Rng(1));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(2), &b);
+
+  network.send(0, 1, std::make_shared<TestMsg>(100));
+  network.send(0, 1, std::make_shared<TestMsg>(100));  // queues behind
+  engine.run();
+  ASSERT_EQ(b.received.size(), 2u);
+  EXPECT_NEAR(b.received[0].at, 0.14, 1e-9);
+  EXPECT_NEAR(b.received[1].at, 0.24, 1e-9);  // +0.1 s serialization
+}
+
+TEST(NetworkBandwidth, ZeroBandwidthMeansNoSerializationDelay) {
+  sim::Engine engine;
+  Network network(engine, std::make_shared<RingLatencyModel>(8, 0.08),
+                  NetworkConfig{}, Rng(1));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(2), &b);
+  network.send(0, 1, std::make_shared<TestMsg>(1000000));
+  engine.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_NEAR(b.received[0].at, 0.04, 1e-9);
+}
+
+TEST(NetworkRoundRobin, MapsNodesToSitesModulo) {
+  sim::Engine engine;
+  Network network(engine, std::make_shared<RingLatencyModel>(3, 0.08),
+                  NetworkConfig{}, Rng(1));
+  network.add_nodes_round_robin(7);
+  EXPECT_EQ(network.node_count(), 7u);
+  EXPECT_EQ(network.site_of(0), 0u);
+  EXPECT_EQ(network.site_of(3), 0u);
+  EXPECT_EQ(network.site_of(5), 2u);
+}
+
+}  // namespace
+}  // namespace gocast::net

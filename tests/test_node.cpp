@@ -1,0 +1,157 @@
+// Tests for GoCastNode itself: dispatch, lifecycle, wire sizes, and the
+// join protocol's message exchange.
+#include "gocast/node.h"
+
+#include <gtest/gtest.h>
+
+#include "gocast/messages.h"
+#include "gocast/system.h"
+#include "overlay/messages.h"
+#include "tree/messages.h"
+
+namespace gocast::core {
+namespace {
+
+TEST(GoCastNode, KillStopsAllActivity) {
+  SystemConfig config;
+  config.node_count = 16;
+  config.seed = 60;
+  System system(config);
+  system.start();
+  system.run_for(10.0);
+
+  system.node(5).kill();
+  std::uint64_t gossips = system.node(5).dissemination().gossips_sent();
+  std::uint64_t pings = system.node(5).overlay().pings_sent();
+  system.run_for(20.0);
+  EXPECT_EQ(system.node(5).dissemination().gossips_sent(), gossips);
+  EXPECT_EQ(system.node(5).overlay().pings_sent(), pings);
+  EXPECT_FALSE(system.network().alive(5));
+}
+
+TEST(GoCastNode, FreezeKeepsDisseminationRunning) {
+  SystemConfig config;
+  config.node_count = 16;
+  config.seed = 61;
+  System system(config);
+  system.start();
+  system.run_for(30.0);
+
+  system.node(3).freeze();
+  std::uint64_t gossips = system.node(3).dissemination().gossips_sent();
+  std::uint64_t changes = system.node(3).overlay().links_added() +
+                          system.node(3).overlay().links_dropped();
+  system.run_for(20.0);
+  EXPECT_GT(system.node(3).dissemination().gossips_sent(), gossips);
+  EXPECT_EQ(system.node(3).overlay().links_added() +
+                system.node(3).overlay().links_dropped(),
+            changes);
+  EXPECT_TRUE(system.node(3).overlay().frozen());
+}
+
+TEST(GoCastNode, MulticastFromDeadNodeThrows) {
+  SystemConfig config;
+  config.node_count = 8;
+  config.seed = 62;
+  System system(config);
+  system.start();
+  system.node(2).kill();
+  EXPECT_THROW(system.node(2).multicast(64), AssertionError);
+}
+
+TEST(GoCastNode, UnknownPacketTypeIsIgnored) {
+  SystemConfig config;
+  config.node_count = 8;
+  config.seed = 63;
+  System system(config);
+  system.start();
+
+  struct WeirdMsg final : net::Message {
+    WeirdMsg() : net::Message(net::MsgKind::kOther, 9999) {}
+    std::size_t wire_size() const override { return 8; }
+  };
+  // Must not throw or corrupt state.
+  system.network().send(0, 1, std::make_shared<WeirdMsg>());
+  system.run_for(1.0);
+  EXPECT_TRUE(system.network().alive(1));
+}
+
+TEST(GoCastNode, JoinReplyCarriesMembersAndLandmarks) {
+  SystemConfig config;
+  config.node_count = 16;
+  config.seed = 64;
+  System system(config);
+  system.start();
+  system.run_for(10.0);  // landmark pings complete
+
+  // Simulate a join against node 0 from node 15 with an emptied view.
+  auto& joiner = system.node(15);
+  std::vector<NodeId> before;
+  for (const auto& entry : joiner.view().entries()) before.push_back(entry.id);
+  for (NodeId id : before) joiner.view().remove(id);
+  ASSERT_EQ(joiner.view().size(), 0u);
+
+  joiner.join_via(0);
+  system.run_for(2.0);
+  EXPECT_GT(joiner.view().size(), 4u);
+}
+
+TEST(WireSizes, AllMessageTypesReportPlausibleSizes) {
+  net::PeerDegrees degrees;
+  EXPECT_GT(overlay::NeighborRequestMsg(overlay::LinkKind::kNearby, 0.05, false,
+                                        degrees)
+                .wire_size(),
+            8u);
+  EXPECT_GT(overlay::NeighborAcceptMsg(overlay::LinkKind::kNearby, 0.05, degrees)
+                .wire_size(),
+            8u);
+  EXPECT_GT(overlay::NeighborRejectMsg(overlay::LinkKind::kRandom, degrees)
+                .wire_size(),
+            8u);
+  EXPECT_GT(overlay::NeighborDropMsg(degrees).wire_size(), 8u);
+  EXPECT_GT(overlay::LinkTransferMsg(3, degrees).wire_size(), 8u);
+  EXPECT_EQ(overlay::PingMsg(1).wire_size(), 12u);
+  EXPECT_GT(overlay::PongMsg(1, degrees).wire_size(), 12u);
+  EXPECT_GT(tree::HeartbeatMsg(tree::Epoch{1, 0}, 1, 0.0, degrees).wire_size(),
+            16u);
+  EXPECT_GT(tree::ChildJoinMsg(tree::Epoch{1, 0}, degrees).wire_size(), 8u);
+  EXPECT_GT(tree::ChildLeaveMsg(degrees).wire_size(), 8u);
+
+  DataMsg data(MsgId{0, 1}, 0.0, 2048, true, degrees);
+  EXPECT_GT(data.wire_size(), 2048u);  // payload + header
+
+  std::vector<DigestEntry> entries{{MsgId{0, 1}, 0.0}, {MsgId{0, 2}, 0.0}};
+  std::vector<membership::MemberEntry> members(3);
+  GossipDigestMsg digest(entries, members, degrees);
+  EXPECT_GT(digest.wire_size(),
+            2 * DigestEntry::wire_size() +
+                3 * membership::MemberEntry::wire_size());
+  // A digest is small relative to payloads — the premise of gossiping IDs.
+  EXPECT_LT(digest.wire_size(), 256u);
+
+  PullRequestMsg pull({MsgId{0, 1}}, degrees);
+  EXPECT_GT(pull.wire_size(), 8u);
+  EXPECT_LT(pull.wire_size(), 64u);
+
+  overlay::JoinRequestMsg join_req;
+  EXPECT_EQ(join_req.wire_size(), 8u);
+  overlay::JoinReplyMsg join_reply(members);
+  EXPECT_GT(join_reply.wire_size(), 3 * membership::MemberEntry::wire_size());
+}
+
+TEST(WireSizes, PeerDegreesRideAlongWhereExpected) {
+  net::PeerDegrees degrees;
+  degrees.rand_degree = 1;
+  overlay::NeighborDropMsg drop(degrees);
+  ASSERT_NE(drop.peer_degrees(), nullptr);
+  EXPECT_EQ(drop.peer_degrees()->rand_degree, 1);
+
+  overlay::PingMsg ping(7);
+  EXPECT_EQ(ping.peer_degrees(), nullptr);  // bare UDP probe
+
+  DataMsg data(MsgId{0, 1}, 0.0, 10, true, degrees);
+  ASSERT_NE(data.peer_degrees(), nullptr);
+}
+
+}  // namespace
+}  // namespace gocast::core

@@ -1,0 +1,125 @@
+// Property-based tests of the event engine against a reference model:
+// random schedule/cancel workloads must fire exactly the non-canceled
+// events, in nondecreasing time order, FIFO within equal timestamps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "sim/engine.h"
+
+namespace gocast::sim {
+namespace {
+
+class EngineModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineModelTest, RandomWorkloadMatchesReferenceModel) {
+  Rng rng(GetParam());
+  Engine engine;
+
+  struct Expected {
+    SimTime time;
+    std::uint64_t order;  // scheduling order for tie-breaks
+    int tag;
+  };
+  std::vector<Expected> model;
+  std::vector<std::pair<SimTime, int>> fired;
+  std::map<int, EventId> handles;
+  std::uint64_t order = 0;
+  int next_tag = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    double roll = rng.next_unit();
+    if (roll < 0.7 || handles.empty()) {
+      // Schedule.
+      SimTime t = rng.next_range(0.0, 100.0);
+      // Quantize to force plenty of exact ties.
+      t = std::floor(t * 10.0) / 10.0;
+      int tag = next_tag++;
+      EventId id = engine.schedule_at(
+          t, [&fired, &engine, tag] { fired.emplace_back(engine.now(), tag); });
+      handles[tag] = id;
+      model.push_back(Expected{t, order++, tag});
+    } else {
+      // Cancel a random outstanding event.
+      auto it = handles.begin();
+      std::advance(it, static_cast<long>(rng.next_below(handles.size())));
+      if (engine.cancel(it->second)) {
+        int tag = it->first;
+        model.erase(std::remove_if(model.begin(), model.end(),
+                                   [tag](const Expected& e) {
+                                     return e.tag == tag;
+                                   }),
+                    model.end());
+      }
+      handles.erase(it);
+    }
+  }
+
+  engine.run();
+
+  std::stable_sort(model.begin(), model.end(), [](const Expected& a,
+                                                  const Expected& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;
+  });
+
+  ASSERT_EQ(fired.size(), model.size());
+  for (std::size_t i = 0; i < fired.size(); ++i) {
+    EXPECT_DOUBLE_EQ(fired[i].first, model[i].time) << "index " << i;
+    EXPECT_EQ(fired[i].second, model[i].tag) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineModelTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+class StatsModelTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StatsModelTest, SummaryMatchesBatchComputation) {
+  Rng rng(GetParam());
+  Summary summary;
+  std::vector<double> values;
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.next_gaussian(5.0, 3.0);
+    summary.add(x);
+    values.push_back(x);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+
+  EXPECT_NEAR(summary.mean(), mean, 1e-9);
+  EXPECT_NEAR(summary.variance(), var, 1e-6);
+  EXPECT_DOUBLE_EQ(summary.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_DOUBLE_EQ(summary.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST_P(StatsModelTest, PercentilesBracketSortedValues) {
+  Rng rng(GetParam() + 100);
+  std::vector<double> values;
+  for (int i = 0; i < 997; ++i) values.push_back(rng.next_range(-50.0, 50.0));
+  Percentiles p(values);
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    double v = p.at(q);
+    EXPECT_GE(v, sorted.front());
+    EXPECT_LE(v, sorted.back());
+    // Fraction of samples <= v must be close to q.
+    auto leq = static_cast<double>(
+        std::upper_bound(sorted.begin(), sorted.end(), v) - sorted.begin());
+    EXPECT_NEAR(leq / static_cast<double>(sorted.size()), q, 0.01);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsModelTest, ::testing::Values(7, 11, 19));
+
+}  // namespace
+}  // namespace gocast::sim

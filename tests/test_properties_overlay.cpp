@@ -1,0 +1,135 @@
+// Property-based tests of the overlay invariants, swept over seeds, system
+// sizes, and degree configurations with parameterized gtest.
+//
+// Invariants checked after adaptation:
+//   P1. the overlay (with >=1 random link) is connected
+//   P2. random degrees lie in {C_rand, C_rand+1} (hard bound: cap + slack)
+//   P3. nearby degrees lie within [C_near-2, C_near+1] modulo in-flight
+//       handshakes (the paper's stable band is {C_near, C_near+1})
+//   P4. no node lists itself or a dead node as a neighbor
+//   P5. neighbor tables are symmetric up to in-flight handshakes
+//   P6. nearby links are shorter on average than random links
+#include <gtest/gtest.h>
+
+#include "analysis/graph_analysis.h"
+#include "gocast/system.h"
+
+namespace gocast {
+namespace {
+
+struct OverlayCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+  int c_rand;
+  int c_near;
+};
+
+std::string case_name(const ::testing::TestParamInfo<OverlayCase>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.nodes) +
+         "_r" + std::to_string(p.c_rand) + "_k" + std::to_string(p.c_near);
+}
+
+class OverlayPropertyTest : public ::testing::TestWithParam<OverlayCase> {
+ protected:
+  void SetUp() override {
+    const OverlayCase& p = GetParam();
+    core::SystemConfig config;
+    config.node_count = p.nodes;
+    config.seed = p.seed;
+    config.node.overlay.target_rand_degree = p.c_rand;
+    config.node.overlay.target_near_degree = p.c_near;
+    if (p.c_near == 0) config.node.overlay.maintain_nearby = false;
+    config.bootstrap_links_per_node =
+        static_cast<std::size_t>((p.c_rand + p.c_near) / 2);
+    system_ = std::make_unique<core::System>(config);
+    system_->start();
+    system_->run_for(120.0);
+  }
+
+  std::unique_ptr<core::System> system_;
+};
+
+TEST_P(OverlayPropertyTest, P1_Connected) {
+  if (GetParam().c_rand == 0) GTEST_SKIP() << "no random links: may partition";
+  auto graph = analysis::snapshot_overlay(*system_);
+  EXPECT_DOUBLE_EQ(analysis::components(graph).largest_fraction, 1.0);
+}
+
+TEST_P(OverlayPropertyTest, P2_RandomDegreesInStableBand) {
+  const OverlayCase& p = GetParam();
+  std::size_t outside = 0;
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    int degree = system_->node(id).overlay().rand_degree();
+    EXPECT_LE(degree, p.c_rand + 5) << "hard cap violated at node " << id;
+    if (degree < p.c_rand || degree > p.c_rand + 1) ++outside;
+  }
+  // The stable band is {C, C+1}; allow a small transient fraction.
+  EXPECT_LE(outside, system_->size() / 20);
+}
+
+TEST_P(OverlayPropertyTest, P3_NearbyDegreesInStableBand) {
+  const OverlayCase& p = GetParam();
+  if (p.c_near == 0) GTEST_SKIP();
+  std::size_t outside = 0;
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    int degree = system_->node(id).overlay().near_degree();
+    EXPECT_LE(degree, p.c_near + 5) << "hard cap violated at node " << id;
+    EXPECT_GE(degree, p.c_near - 2) << "C1 floor violated at node " << id;
+    if (degree < p.c_near || degree > p.c_near + 1) ++outside;
+  }
+  EXPECT_LE(outside, system_->size() / 10);
+}
+
+TEST_P(OverlayPropertyTest, P4_NoSelfOrDeadNeighbors) {
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    for (NodeId peer : system_->node(id).overlay().neighbor_ids()) {
+      EXPECT_NE(peer, id);
+      EXPECT_LT(peer, system_->size());
+      EXPECT_TRUE(system_->network().alive(peer));
+    }
+  }
+}
+
+TEST_P(OverlayPropertyTest, P5_TablesMostlySymmetric) {
+  std::size_t asymmetric = 0;
+  std::size_t total = 0;
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    for (NodeId peer : system_->node(id).overlay().neighbor_ids()) {
+      ++total;
+      if (!system_->node(peer).overlay().is_neighbor(id)) ++asymmetric;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_LE(asymmetric, total / 50 + 2) << "too many half-open links";
+}
+
+TEST_P(OverlayPropertyTest, P6_NearbyLinksShorterThanRandom) {
+  const OverlayCase& p = GetParam();
+  if (p.c_near == 0 || p.c_rand == 0) GTEST_SKIP();
+  double nearby = analysis::mean_link_latency_of_kind(
+      *system_, overlay::LinkKind::kNearby);
+  double random = analysis::mean_link_latency_of_kind(
+      *system_, overlay::LinkKind::kRandom);
+  ASSERT_GT(nearby, 0.0);
+  ASSERT_GT(random, 0.0);
+  EXPECT_LT(nearby, random * 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OverlayPropertyTest,
+    ::testing::Values(
+        OverlayCase{101, 48, 1, 5},   //
+        OverlayCase{102, 48, 1, 5},   //
+        OverlayCase{103, 96, 1, 5},   //
+        OverlayCase{104, 96, 2, 4},   //
+        OverlayCase{105, 96, 4, 2},   //
+        OverlayCase{106, 96, 6, 0},   // pure random overlay
+        OverlayCase{107, 64, 0, 6},   // pure proximity overlay
+        OverlayCase{108, 128, 1, 5},  //
+        OverlayCase{109, 64, 1, 3},   //
+        OverlayCase{110, 64, 2, 6}),
+    case_name);
+
+}  // namespace
+}  // namespace gocast

@@ -1,0 +1,109 @@
+// Property-based tests of the embedded tree, swept over seeds and sizes:
+//   T1. exactly one root exists and the tree spans all alive nodes
+//   T2. the tree-link set is a forest (no cycles)
+//   T3. every tree link is an overlay link
+//   T4. parent/child relations are symmetric after convergence
+//   T5. root distances are consistent: child distance > parent distance
+//   T6. after killing the root, a new root emerges and the tree re-spans
+#include <gtest/gtest.h>
+
+#include "analysis/graph_analysis.h"
+#include "gocast/system.h"
+
+namespace gocast {
+namespace {
+
+struct TreeCase {
+  std::uint64_t seed;
+  std::size_t nodes;
+};
+
+std::string tree_case_name(const ::testing::TestParamInfo<TreeCase>& info) {
+  return "seed" + std::to_string(info.param.seed) + "_n" +
+         std::to_string(info.param.nodes);
+}
+
+class TreePropertyTest : public ::testing::TestWithParam<TreeCase> {
+ protected:
+  void SetUp() override {
+    core::SystemConfig config;
+    config.node_count = GetParam().nodes;
+    config.seed = GetParam().seed;
+    system_ = std::make_unique<core::System>(config);
+    system_->start();
+    system_->run_for(120.0);
+  }
+
+  std::unique_ptr<core::System> system_;
+};
+
+TEST_P(TreePropertyTest, T1_SingleRootSpanningTree) {
+  auto stats = analysis::tree_stats(*system_);
+  EXPECT_NE(stats.root, kInvalidNode);
+  EXPECT_TRUE(stats.spanning)
+      << "reached " << stats.reachable_from_root << "/" << system_->size();
+  int roots = 0;
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    if (system_->node(id).tree().is_root()) ++roots;
+  }
+  EXPECT_EQ(roots, 1);
+}
+
+TEST_P(TreePropertyTest, T2_IsForest) {
+  EXPECT_TRUE(analysis::tree_stats(*system_).is_forest);
+}
+
+TEST_P(TreePropertyTest, T3_TreeLinksAreOverlayLinks) {
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    const auto& node = system_->node(id);
+    NodeId parent = node.tree().parent();
+    if (parent != kInvalidNode) {
+      EXPECT_TRUE(node.overlay().is_neighbor(parent))
+          << "node " << id << " parent " << parent;
+    }
+    for (NodeId child : node.tree().children()) {
+      EXPECT_TRUE(node.overlay().is_neighbor(child))
+          << "node " << id << " child " << child;
+    }
+  }
+}
+
+TEST_P(TreePropertyTest, T4_ParentChildSymmetry) {
+  std::size_t asymmetric = 0;
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    NodeId parent = system_->node(id).tree().parent();
+    if (parent == kInvalidNode) continue;
+    if (!system_->node(parent).tree().children().count(id)) ++asymmetric;
+  }
+  EXPECT_LE(asymmetric, 1u);
+}
+
+TEST_P(TreePropertyTest, T5_DistancesDecreaseTowardRoot) {
+  for (NodeId id = 0; id < system_->size(); ++id) {
+    const auto& tree = system_->node(id).tree();
+    NodeId parent = tree.parent();
+    if (parent == kInvalidNode) continue;
+    SimTime mine = tree.root_distance();
+    SimTime theirs = system_->node(parent).tree().root_distance();
+    if (mine == kNever || theirs == kNever) continue;
+    EXPECT_GT(mine, theirs - 1e-9) << "node " << id;
+  }
+}
+
+TEST_P(TreePropertyTest, T6_SurvivesRootFailure) {
+  auto before = analysis::tree_stats(*system_);
+  system_->node(before.root).kill();
+  system_->run_for(150.0);
+  auto after = analysis::tree_stats(*system_);
+  EXPECT_NE(after.root, before.root);
+  EXPECT_TRUE(after.spanning);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreePropertyTest,
+                         ::testing::Values(TreeCase{201, 32}, TreeCase{202, 48},
+                                           TreeCase{203, 64}, TreeCase{204, 96},
+                                           TreeCase{205, 48}, TreeCase{206, 64}),
+                         tree_case_name);
+
+}  // namespace
+}  // namespace gocast

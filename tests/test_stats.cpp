@@ -1,0 +1,140 @@
+// Unit tests for statistics utilities.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.h"
+
+#include <cmath>
+
+namespace gocast {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream) {
+  Summary all;
+  Summary a;
+  Summary b;
+  for (int i = 0; i < 100; ++i) {
+    double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty) {
+  Summary a;
+  a.add(1.0);
+  Summary empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(Percentiles, MedianAndExtremes) {
+  Percentiles p({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.median(), 3.0);
+  EXPECT_DOUBLE_EQ(p.at(1.0), 5.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenRanks) {
+  Percentiles p({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(p.at(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(p.at(0.5), 5.0);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p({7.0});
+  EXPECT_DOUBLE_EQ(p.at(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p.at(0.9), 7.0);
+}
+
+TEST(Percentiles, OutOfRangeThrows) {
+  Percentiles p({1.0, 2.0});
+  EXPECT_THROW((void)p.at(-0.1), AssertionError);
+  EXPECT_THROW((void)p.at(1.1), AssertionError);
+}
+
+TEST(Cdf, FractionLeq) {
+  Cdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.fraction_leq(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_leq(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.fraction_leq(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_leq(10.0), 1.0);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Cdf cdf({0.1, 0.5, 0.5, 0.9, 2.0, 3.0});
+  auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].fraction, curve[i - 1].fraction);
+    EXPECT_GE(curve[i].x, curve[i - 1].x);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().fraction, 1.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.count_in_bin(0), 2u);
+  EXPECT_EQ(h.count_in_bin(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 4.0);
+}
+
+TEST(IntDistribution, CountsAndFractions) {
+  IntDistribution d;
+  for (long v : {6, 6, 6, 7, 7, 5}) d.add(v);
+  EXPECT_EQ(d.total(), 6u);
+  EXPECT_EQ(d.count(6), 3u);
+  EXPECT_DOUBLE_EQ(d.fraction(6), 0.5);
+  EXPECT_DOUBLE_EQ(d.fraction(7), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(d.fraction(100), 0.0);
+  EXPECT_EQ(d.min(), 5);
+  EXPECT_EQ(d.max(), 7);
+  EXPECT_NEAR(d.mean(), 37.0 / 6.0, 1e-12);
+}
+
+TEST(IntDistribution, FractionLeqIsCumulative) {
+  IntDistribution d;
+  for (long v : {1, 2, 2, 3}) d.add(v);
+  EXPECT_DOUBLE_EQ(d.fraction_leq(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.fraction_leq(1), 0.25);
+  EXPECT_DOUBLE_EQ(d.fraction_leq(2), 0.75);
+  EXPECT_DOUBLE_EQ(d.fraction_leq(3), 1.0);
+  EXPECT_DOUBLE_EQ(d.fraction_leq(99), 1.0);
+}
+
+}  // namespace
+}  // namespace gocast

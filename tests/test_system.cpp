@@ -1,0 +1,219 @@
+// Integration tests for the full GoCast system: startup, convergence,
+// joins, landmark measurement, failure handling, and determinism.
+#include "gocast/system.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/graph_analysis.h"
+
+namespace gocast::core {
+namespace {
+
+TEST(System, StartBuildsConnectedOverlayWithTargetDegrees) {
+  SystemConfig config;
+  config.node_count = 64;
+  config.seed = 2;
+  System system(config);
+  system.start();
+  system.run_for(90.0);
+
+  auto graph = analysis::snapshot_overlay(system);
+  auto comp = analysis::components(graph);
+  EXPECT_DOUBLE_EQ(comp.largest_fraction, 1.0);
+
+  IntDistribution degrees = analysis::degree_distribution(system);
+  EXPECT_GT(degrees.mean(), 5.5);
+  EXPECT_LT(degrees.mean(), 7.5);
+}
+
+TEST(System, TreeSpansAllNodesAfterWarmup) {
+  SystemConfig config;
+  config.node_count = 48;
+  config.seed = 4;
+  System system(config);
+  system.start();
+  system.run_for(90.0);
+
+  auto stats = analysis::tree_stats(system);
+  EXPECT_TRUE(stats.spanning);
+  EXPECT_TRUE(stats.is_forest);
+  EXPECT_EQ(stats.tree_links, 47u);
+  EXPECT_NE(stats.root, kInvalidNode);
+}
+
+TEST(System, TreeLinksAreOverlayLinks) {
+  SystemConfig config;
+  config.node_count = 48;
+  config.seed = 4;
+  System system(config);
+  system.start();
+  system.run_for(90.0);
+
+  for (NodeId id = 0; id < system.size(); ++id) {
+    NodeId parent = system.node(id).tree().parent();
+    if (parent != kInvalidNode) {
+      EXPECT_TRUE(system.node(id).overlay().is_neighbor(parent))
+          << "node " << id << " parent " << parent;
+    }
+  }
+}
+
+TEST(System, LandmarksGetMeasured) {
+  SystemConfig config;
+  config.node_count = 24;
+  config.seed = 6;
+  config.landmark_count = 4;
+  System system(config);
+  system.start();
+  system.run_for(5.0);
+
+  const auto& landmarks = system.node(10).landmarks();
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FALSE(std::isnan(landmarks[i])) << "slot " << i;
+    EXPECT_NEAR(landmarks[i],
+                system.network().rtt(10, static_cast<NodeId>(i)), 1e-6);
+  }
+  for (std::size_t i = 4; i < membership::kLandmarkSlots; ++i) {
+    EXPECT_TRUE(std::isnan(landmarks[i]));
+  }
+}
+
+TEST(System, FailRandomFractionKillsExactCount) {
+  SystemConfig config;
+  config.node_count = 40;
+  config.seed = 8;
+  System system(config);
+  system.start();
+  system.run_for(10.0);
+
+  auto killed = system.fail_random_fraction(0.25);
+  EXPECT_EQ(killed.size(), 10u);
+  EXPECT_EQ(system.network().alive_count(), 30u);
+  EXPECT_EQ(system.alive_nodes().size(), 30u);
+  for (NodeId id : killed) EXPECT_FALSE(system.network().alive(id));
+}
+
+TEST(System, SurvivorsRepairOverlayAfterFailures) {
+  SystemConfig config;
+  config.node_count = 64;
+  config.seed = 10;
+  System system(config);
+  system.start();
+  system.run_for(90.0);
+  system.fail_random_fraction(0.25);
+  system.run_for(60.0);  // repair enabled (no freeze)
+
+  auto graph = analysis::snapshot_overlay(system);
+  EXPECT_DOUBLE_EQ(analysis::components(graph).largest_fraction, 1.0);
+  // Degrees recover toward target.
+  IntDistribution degrees = analysis::degree_distribution(system);
+  EXPECT_GT(degrees.mean(), 5.0);
+}
+
+TEST(System, TreeRecoversAfterRootFailure) {
+  SystemConfig config;
+  config.node_count = 32;
+  config.seed = 12;
+  System system(config);
+  system.start();
+  system.run_for(90.0);
+
+  auto before = analysis::tree_stats(system);
+  ASSERT_TRUE(before.spanning);
+  system.node(before.root).kill();
+  system.run_for(120.0);  // a few heartbeat/takeover periods
+
+  auto after = analysis::tree_stats(system);
+  EXPECT_NE(after.root, before.root);
+  EXPECT_NE(after.root, kInvalidNode);
+  EXPECT_TRUE(after.spanning);
+}
+
+TEST(System, JoinViaBootstrapIntegratesNewcomer) {
+  SystemConfig config;
+  config.node_count = 24;
+  config.seed = 14;
+  // Reserve the last node: give it no view/links by doing a manual join.
+  System system(config);
+  system.start();
+  system.run_for(30.0);
+
+  // A "fresh" node: clear perspective by using one that the harness set up,
+  // then verify the join protocol transfers membership.
+  NodeId newcomer = 23;
+  std::size_t before = system.node(newcomer).view().size();
+  system.node(newcomer).join_via(0);
+  system.run_for(2.0);
+  EXPECT_GE(system.node(newcomer).view().size(), before);
+  system.run_for(30.0);
+  EXPECT_GE(system.node(newcomer).overlay().degree(), 5);
+}
+
+TEST(System, DeterministicAcrossRuns) {
+  auto fingerprint = [](std::uint64_t seed) {
+    SystemConfig config;
+    config.node_count = 32;
+    config.seed = seed;
+    System system(config);
+    system.start();
+    system.run_for(30.0);
+    std::uint64_t hash = 1469598103934665603ULL;
+    for (NodeId id = 0; id < system.size(); ++id) {
+      for (NodeId peer : system.node(id).overlay().neighbor_ids()) {
+        hash = (hash ^ peer) * 1099511628211ULL;
+      }
+      hash = (hash ^ system.node(id).tree().parent()) * 1099511628211ULL;
+    }
+    return hash;
+  };
+  EXPECT_EQ(fingerprint(42), fingerprint(42));
+  EXPECT_NE(fingerprint(42), fingerprint(43));
+}
+
+TEST(System, StartTwiceThrows) {
+  SystemConfig config;
+  config.node_count = 8;
+  System system(config);
+  system.start();
+  EXPECT_THROW(system.start(), AssertionError);
+}
+
+TEST(System, RejectsTinySystems) {
+  SystemConfig config;
+  config.node_count = 1;
+  EXPECT_THROW(System{config}, AssertionError);
+}
+
+TEST(System, FreezeAllStopsAdaptation) {
+  SystemConfig config;
+  config.node_count = 32;
+  config.seed = 16;
+  System system(config);
+  system.start();
+  system.run_for(60.0);
+  system.freeze_all();
+
+  std::uint64_t changes_before = 0;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    changes_before += system.node(id).overlay().links_added() +
+                      system.node(id).overlay().links_dropped();
+  }
+  system.run_for(30.0);
+  std::uint64_t changes_after = 0;
+  for (NodeId id = 0; id < system.size(); ++id) {
+    changes_after += system.node(id).overlay().links_added() +
+                     system.node(id).overlay().links_dropped();
+  }
+  EXPECT_EQ(changes_before, changes_after);
+}
+
+TEST(DefaultLatencyModel, CachedPerSeed) {
+  auto a = default_latency_model(123, 64);
+  auto b = default_latency_model(123, 64);
+  EXPECT_EQ(a.get(), b.get());  // same shared instance
+  auto c = default_latency_model(124, 64);
+  EXPECT_NE(a.get(), c.get());
+}
+
+}  // namespace
+}  // namespace gocast::core

@@ -1,0 +1,102 @@
+// Tests for the message-flow trace subsystem.
+#include "net/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gocast/system.h"
+#include "net/network.h"
+
+namespace gocast::net {
+namespace {
+
+struct ProbeMsg final : Message {
+  ProbeMsg() : Message(MsgKind::kOther, 998) {}
+  std::size_t wire_size() const override { return 64; }
+};
+
+struct NullEndpoint final : Endpoint {
+  void handle_message(NodeId, const MessagePtr&) override {}
+};
+
+TEST(CountingTraceSink, CountsSendsDeliversDrops) {
+  sim::Engine engine;
+  NetworkConfig config;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.01), config,
+                  Rng(1));
+  NullEndpoint a;
+  NullEndpoint b;
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(1), &b);
+
+  CountingTraceSink sink;
+  network.set_trace(&sink);
+
+  network.send(0, 1, std::make_shared<ProbeMsg>());
+  engine.run();  // first message delivered while the peer is alive
+  network.fail_node(1);
+  network.send(0, 1, std::make_shared<ProbeMsg>());
+  engine.run();
+
+  EXPECT_EQ(sink.sends(MsgKind::kOther), 2u);
+  EXPECT_EQ(sink.delivers(MsgKind::kOther), 1u);
+  EXPECT_EQ(sink.drops(MsgKind::kOther), 1u);
+  EXPECT_EQ(sink.total_sends(), 2u);
+}
+
+TEST(CountingTraceSink, ObservesProtocolTrafficByKind) {
+  core::SystemConfig config;
+  config.node_count = 16;
+  config.seed = 90;
+  core::System system(config);
+  CountingTraceSink sink;
+  system.network().set_trace(&sink);
+  system.start();
+  system.run_for(20.0);
+  system.node(0).multicast(256);
+  system.run_for(3.0);
+
+  EXPECT_GT(sink.sends(MsgKind::kGossipDigest), 0u);
+  EXPECT_GT(sink.sends(MsgKind::kPing), 0u);
+  EXPECT_GT(sink.sends(MsgKind::kTreeControl), 0u);
+  EXPECT_GT(sink.sends(MsgKind::kData), 0u);
+  // Nothing lost in a healthy run.
+  EXPECT_EQ(sink.drops(MsgKind::kData), 0u);
+}
+
+TEST(CsvTraceSink, WritesRows) {
+  std::string path = ::testing::TempDir() + "/trace_test.csv";
+  {
+    sim::Engine engine;
+    Network network(engine, std::make_shared<RingLatencyModel>(4, 0.01),
+                    NetworkConfig{}, Rng(1));
+    NullEndpoint a;
+    NullEndpoint b;
+    network.set_endpoint(network.add_node(0), &a);
+    network.set_endpoint(network.add_node(1), &b);
+    CsvTraceSink sink(path);
+    network.set_trace(&sink);
+    network.send(0, 1, std::make_shared<ProbeMsg>());
+    engine.run();
+  }
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "event,time,from,to,kind,packet_type,bytes");
+  std::string send_row;
+  std::getline(in, send_row);
+  EXPECT_EQ(send_row.rfind("send,", 0), 0u);
+  std::string deliver_row;
+  std::getline(in, deliver_row);
+  EXPECT_EQ(deliver_row.rfind("deliver,", 0), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTraceSink, UnwritablePathThrows) {
+  EXPECT_THROW(CsvTraceSink("/nonexistent/dir/trace.csv"), AssertionError);
+}
+
+}  // namespace
+}  // namespace gocast::net

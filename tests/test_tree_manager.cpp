@@ -1,0 +1,220 @@
+// Tests for the tree protocol: heartbeat-driven parent selection, shortest
+// latency paths, parent/child symmetry, failover, epochs, and freezing.
+#include "tree/tree_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "protocol_test_shell.h"
+
+namespace gocast::tree {
+namespace {
+
+using testing::ShellCluster;
+
+overlay::OverlayParams frozen_overlay() {
+  // Tree tests pin the overlay: links are bootstrapped, maintenance off.
+  overlay::OverlayParams p;
+  p.target_rand_degree = 1;
+  p.target_near_degree = 5;
+  return p;
+}
+
+/// Builds a line topology 0-1-2-...-(n-1) with bootstrap links.
+void make_line(ShellCluster& cluster) {
+  for (NodeId id = 0; id + 1 < cluster.size(); ++id) {
+    cluster.node(id).overlay().bootstrap_link(id + 1, overlay::LinkKind::kNearby);
+    cluster.node(id + 1).overlay().bootstrap_link(id, overlay::LinkKind::kNearby);
+  }
+}
+
+TEST(TreeManager, HeartbeatBuildsSpanningParentsOnLine) {
+  ShellCluster cluster(5, frozen_overlay(), /*with_tree=*/true);
+  make_line(cluster);
+  for (NodeId id = 0; id < 5; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(20.0);
+
+  EXPECT_TRUE(cluster.node(0).tree().is_root());
+  for (NodeId id = 1; id < 5; ++id) {
+    EXPECT_EQ(cluster.node(id).tree().parent(), id - 1) << "node " << id;
+    // Parent registered us as a child (symmetric tree links).
+    EXPECT_TRUE(cluster.node(id - 1).tree().children().count(id));
+  }
+}
+
+TEST(TreeManager, RootDistanceAccumulatesLatency) {
+  ShellCluster cluster(4, frozen_overlay(), /*with_tree=*/true);
+  make_line(cluster);
+  for (NodeId id = 0; id < 4; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(20.0);
+
+  double hop = cluster.network().one_way(0, 1);
+  EXPECT_NEAR(cluster.node(1).tree().root_distance(), hop, 1e-6);
+  EXPECT_NEAR(cluster.node(3).tree().root_distance(), 3 * hop, 1e-6);
+}
+
+TEST(TreeManager, PrefersShorterLatencyPath) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3 where ring distances make the path through
+  // 1 shorter for node 3? On a ring of 8 sites, nodes at sites 0,1,4,5:
+  // 3(site5)-1(site1): arc 4 = max latency; 3(site5)-2(site4): arc 1.
+  ShellCluster cluster(4, frozen_overlay(), /*with_tree=*/true, {}, 0.08);
+  auto link = [&](NodeId a, NodeId b) {
+    cluster.node(a).overlay().bootstrap_link(b, overlay::LinkKind::kNearby);
+    cluster.node(b).overlay().bootstrap_link(a, overlay::LinkKind::kNearby);
+  };
+  // Sites: node i at site i on an 8-node ring? ShellCluster maps site=id
+  // with n sites; here n=4, max arc 2. one_way(0,1)=0.04, (0,2)=0.08,
+  // (1,3)=0.08, (2,3)=0.04.
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  for (NodeId id = 0; id < 4; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(40.0);
+
+  // Path costs to node 3: via 1 = 0.04+0.08 = 0.12; via 2 = 0.08+0.04 = 0.12.
+  // Equal: accept either, but parent must be 1 or 2, never 0.
+  NodeId parent = cluster.node(3).tree().parent();
+  EXPECT_TRUE(parent == 1 || parent == 2);
+  // Nodes 1 and 2 hang directly off the root.
+  EXPECT_EQ(cluster.node(1).tree().parent(), 0u);
+  EXPECT_EQ(cluster.node(2).tree().parent(), 0u);
+}
+
+TEST(TreeManager, TreeNeighborsAreParentPlusChildren) {
+  ShellCluster cluster(3, frozen_overlay(), /*with_tree=*/true);
+  make_line(cluster);
+  for (NodeId id = 0; id < 3; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(20.0);
+
+  auto mid = cluster.node(1).tree().tree_neighbors();
+  EXPECT_EQ(mid.size(), 2u);
+  EXPECT_TRUE(cluster.node(1).tree().is_tree_neighbor(0));
+  EXPECT_TRUE(cluster.node(1).tree().is_tree_neighbor(2));
+  EXPECT_FALSE(cluster.node(0).tree().is_tree_neighbor(2));
+}
+
+TEST(TreeManager, ParentFailoverUsesCachedDistances) {
+  // Node 3 connects to both 1 and 2; when its parent dies it must fail over
+  // to the alternative without waiting for the next heartbeat.
+  ShellCluster cluster(4, frozen_overlay(), /*with_tree=*/true);
+  auto link = [&](NodeId a, NodeId b) {
+    cluster.node(a).overlay().bootstrap_link(b, overlay::LinkKind::kNearby);
+    cluster.node(b).overlay().bootstrap_link(a, overlay::LinkKind::kNearby);
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  for (NodeId id = 0; id < 4; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(20.0);
+
+  NodeId parent = cluster.node(3).tree().parent();
+  ASSERT_TRUE(parent == 1 || parent == 2);
+  NodeId alternative = parent == 1 ? 2 : 1;
+
+  // Simulate the overlay discovering the parent's death.
+  cluster.node(3).overlay().on_peer_failure(parent);
+  EXPECT_EQ(cluster.node(3).tree().parent(), alternative);
+}
+
+TEST(TreeManager, RootFailureTriggersNeighborTakeover) {
+  TreeParams tree_params;
+  tree_params.heartbeat_period = 1.0;  // speed the test up
+  ShellCluster cluster(4, frozen_overlay(), /*with_tree=*/true, tree_params);
+  make_line(cluster);
+  for (NodeId id = 0; id < 4; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(10.0);
+  EXPECT_TRUE(cluster.node(0).tree().is_root());
+
+  // Kill the root; its neighbor (node 1) should take over within a few
+  // heartbeat periods, and everyone adopts the new epoch.
+  cluster.network().fail_node(0);
+  cluster.node(1).overlay().on_peer_failure(0);
+  cluster.engine().run_until(30.0);
+
+  int roots = 0;
+  NodeId new_root = kInvalidNode;
+  for (NodeId id = 1; id < 4; ++id) {
+    if (cluster.node(id).tree().is_root()) {
+      ++roots;
+      new_root = id;
+    }
+  }
+  EXPECT_EQ(roots, 1);
+  EXPECT_NE(new_root, kInvalidNode);
+  for (NodeId id = 1; id < 4; ++id) {
+    EXPECT_EQ(cluster.node(id).tree().epoch().root, new_root);
+  }
+}
+
+TEST(TreeManager, HigherEpochWinsOverLower) {
+  Epoch low{1, 5};
+  Epoch high{2, 9};
+  EXPECT_TRUE(high.beats(low));
+  EXPECT_FALSE(low.beats(high));
+  // Same term: smaller id wins.
+  Epoch a{3, 2};
+  Epoch b{3, 7};
+  EXPECT_TRUE(a.beats(b));
+  EXPECT_FALSE(b.beats(a));
+  EXPECT_FALSE(a.beats(a));
+}
+
+TEST(TreeManager, FrozenTreeDoesNotRepair) {
+  ShellCluster cluster(4, frozen_overlay(), /*with_tree=*/true);
+  auto link = [&](NodeId a, NodeId b) {
+    cluster.node(a).overlay().bootstrap_link(b, overlay::LinkKind::kNearby);
+    cluster.node(b).overlay().bootstrap_link(a, overlay::LinkKind::kNearby);
+  };
+  link(0, 1);
+  link(0, 2);
+  link(1, 3);
+  link(2, 3);
+  for (NodeId id = 0; id < 4; ++id) cluster.node(id).overlay().freeze();
+  cluster.node(0).tree().become_root();
+  cluster.start_all();
+  cluster.engine().run_until(20.0);
+
+  NodeId parent = cluster.node(3).tree().parent();
+  cluster.node(3).tree().freeze();
+  cluster.node(3).overlay().on_peer_failure(parent);
+  // Frozen: the parent is cleared but NOT replaced.
+  EXPECT_EQ(cluster.node(3).tree().parent(), kInvalidNode);
+}
+
+TEST(TreeManager, ChildJoinFromNonNeighborIgnored) {
+  ShellCluster cluster(3, frozen_overlay(), /*with_tree=*/true);
+  cluster.node(0).tree().become_root();
+  // Node 2 is not node 0's overlay neighbor; a stray join must be ignored.
+  ChildJoinMsg join(Epoch{1, 0}, net::PeerDegrees{});
+  cluster.node(0).tree().on_child_join(2, join);
+  EXPECT_TRUE(cluster.node(0).tree().children().empty());
+}
+
+TEST(TreeManager, DisabledTreeStaysInert) {
+  TreeParams params;
+  params.enabled = false;
+  ShellCluster cluster(3, frozen_overlay(), /*with_tree=*/true, params);
+  make_line(cluster);
+  cluster.start_all();
+  cluster.engine().run_until(30.0);
+  for (NodeId id = 0; id < 3; ++id) {
+    EXPECT_EQ(cluster.node(id).tree().parent(), kInvalidNode);
+    EXPECT_TRUE(cluster.node(id).tree().tree_neighbors().empty());
+  }
+}
+
+}  // namespace
+}  // namespace gocast::tree

@@ -1,0 +1,105 @@
+// Tests for the triangulation RTT estimator and the RTT cache.
+#include "coord/triangulation.h"
+
+#include <gtest/gtest.h>
+
+#include "coord/rtt_cache.h"
+
+namespace gocast::coord {
+namespace {
+
+using membership::empty_landmarks;
+using membership::LandmarkVector;
+
+TEST(Triangulation, NoCommonSlotsGivesNothing) {
+  LandmarkVector a = empty_landmarks();
+  LandmarkVector b = empty_landmarks();
+  a[0] = 0.1f;
+  b[1] = 0.2f;
+  EXPECT_FALSE(estimate_rtt(a, b).has_value());
+  EXPECT_EQ(estimate_rtt_or_never(a, b), kNever);
+}
+
+TEST(Triangulation, SingleLandmarkBounds) {
+  LandmarkVector a = empty_landmarks();
+  LandmarkVector b = empty_landmarks();
+  a[2] = 0.10f;
+  b[2] = 0.04f;
+  auto est = estimate_rtt(a, b);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->lower, 0.06, 1e-6);  // |0.10 - 0.04|
+  EXPECT_NEAR(est->upper, 0.14, 1e-6);  // 0.10 + 0.04
+  EXPECT_NEAR(est->midpoint(), 0.10, 1e-6);
+}
+
+TEST(Triangulation, MultipleLandmarksTightenBounds) {
+  LandmarkVector a = empty_landmarks();
+  LandmarkVector b = empty_landmarks();
+  a[0] = 0.10f;
+  b[0] = 0.04f;  // bounds [0.06, 0.14]
+  a[1] = 0.02f;
+  b[1] = 0.03f;  // bounds [0.01, 0.05] -> intersect to [0.06, 0.05]?!
+  // Inconsistent measurements collapse to the tighter upper bound.
+  auto est = estimate_rtt(a, b);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LE(est->lower, est->upper);
+  EXPECT_NEAR(est->upper, 0.05, 1e-6);
+}
+
+TEST(Triangulation, ExactWhenColinear) {
+  // Node A at 0, landmark at 50 ms, node B at 100 ms (one-way chain):
+  // RTTs: A->L = 0.1, B->L = 0.1; true A<->B RTT = 0.2.
+  LandmarkVector a = empty_landmarks();
+  LandmarkVector b = empty_landmarks();
+  a[0] = 0.1f;
+  b[0] = 0.1f;
+  auto est = estimate_rtt(a, b);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->upper, 0.2, 1e-6);
+  EXPECT_NEAR(est->lower, 0.0, 1e-6);
+  EXPECT_NEAR(est->midpoint(), 0.1, 1e-6);
+}
+
+TEST(Triangulation, OrdersNearVsFarCandidates) {
+  // The estimator's real job: rank candidates. A candidate whose landmark
+  // vector is close to mine must rank before a distant one.
+  LandmarkVector mine = empty_landmarks();
+  LandmarkVector near = empty_landmarks();
+  LandmarkVector far = empty_landmarks();
+  for (std::size_t i = 0; i < 4; ++i) {
+    mine[i] = 0.05f + 0.01f * static_cast<float>(i);
+    near[i] = mine[i] + 0.005f;       // almost identical vector
+    far[i] = mine[i] + 0.15f;         // systematically distant
+  }
+  EXPECT_LT(estimate_rtt_or_never(mine, near),
+            estimate_rtt_or_never(mine, far));
+}
+
+TEST(RttCache, RecordAndQuery) {
+  RttCache cache;
+  EXPECT_FALSE(cache.has(3));
+  cache.record(3, 0.08, 12.0);
+  ASSERT_TRUE(cache.has(3));
+  EXPECT_DOUBLE_EQ(*cache.rtt(3), 0.08);
+  EXPECT_DOUBLE_EQ(*cache.measured_at(3), 12.0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RttCache, OverwriteKeepsLatest) {
+  RttCache cache;
+  cache.record(3, 0.08, 12.0);
+  cache.record(3, 0.05, 20.0);
+  EXPECT_DOUBLE_EQ(*cache.rtt(3), 0.05);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(RttCache, Forget) {
+  RttCache cache;
+  cache.record(3, 0.08, 12.0);
+  cache.forget(3);
+  EXPECT_FALSE(cache.has(3));
+  EXPECT_FALSE(cache.rtt(3).has_value());
+}
+
+}  // namespace
+}  // namespace gocast::coord
