@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_maintenance_rules.dir/abl_maintenance_rules.cpp.o"
+  "CMakeFiles/abl_maintenance_rules.dir/abl_maintenance_rules.cpp.o.d"
+  "abl_maintenance_rules"
+  "abl_maintenance_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_maintenance_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_adaptive_periods.dir/ext_adaptive_periods.cpp.o"
+  "CMakeFiles/ext_adaptive_periods.dir/ext_adaptive_periods.cpp.o.d"
+  "ext_adaptive_periods"
+  "ext_adaptive_periods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_adaptive_periods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

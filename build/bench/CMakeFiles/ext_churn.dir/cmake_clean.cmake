@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_churn.dir/ext_churn.cpp.o"
+  "CMakeFiles/ext_churn.dir/ext_churn.cpp.o.d"
+  "ext_churn"
+  "ext_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

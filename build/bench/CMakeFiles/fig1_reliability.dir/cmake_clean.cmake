@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_reliability.dir/fig1_reliability.cpp.o"
+  "CMakeFiles/fig1_reliability.dir/fig1_reliability.cpp.o.d"
+  "fig1_reliability"
+  "fig1_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_delay_failures.dir/fig3b_delay_failures.cpp.o"
+  "CMakeFiles/fig3b_delay_failures.dir/fig3b_delay_failures.cpp.o.d"
+  "fig3b_delay_failures"
+  "fig3b_delay_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_delay_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_resilience.dir/fig6_resilience.cpp.o"
+  "CMakeFiles/fig6_resilience.dir/fig6_resilience.cpp.o.d"
+  "fig6_resilience"
+  "fig6_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

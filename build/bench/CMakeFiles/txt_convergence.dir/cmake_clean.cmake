@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_convergence.dir/txt_convergence.cpp.o"
+  "CMakeFiles/txt_convergence.dir/txt_convergence.cpp.o.d"
+  "txt_convergence"
+  "txt_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_degree_split.dir/txt_degree_split.cpp.o"
+  "CMakeFiles/txt_degree_split.dir/txt_degree_split.cpp.o.d"
+  "txt_degree_split"
+  "txt_degree_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_degree_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_diameter.dir/txt_diameter.cpp.o"
+  "CMakeFiles/txt_diameter.dir/txt_diameter.cpp.o.d"
+  "txt_diameter"
+  "txt_diameter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_diameter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_fanout_sweep.dir/txt_fanout_sweep.cpp.o"
+  "CMakeFiles/txt_fanout_sweep.dir/txt_fanout_sweep.cpp.o.d"
+  "txt_fanout_sweep"
+  "txt_fanout_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_fanout_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

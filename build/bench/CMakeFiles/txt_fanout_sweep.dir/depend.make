@@ -1,0 +1,2 @@
+# Empty dependencies file for txt_fanout_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_latency_vs_random.dir/txt_latency_vs_random.cpp.o"
+  "CMakeFiles/txt_latency_vs_random.dir/txt_latency_vs_random.cpp.o.d"
+  "txt_latency_vs_random"
+  "txt_latency_vs_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_latency_vs_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

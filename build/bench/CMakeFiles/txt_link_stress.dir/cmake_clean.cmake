@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_link_stress.dir/txt_link_stress.cpp.o"
+  "CMakeFiles/txt_link_stress.dir/txt_link_stress.cpp.o.d"
+  "txt_link_stress"
+  "txt_link_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_link_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

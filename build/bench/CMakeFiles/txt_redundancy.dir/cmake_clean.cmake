@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txt_redundancy.dir/txt_redundancy.cpp.o"
+  "CMakeFiles/txt_redundancy.dir/txt_redundancy.cpp.o.d"
+  "txt_redundancy"
+  "txt_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txt_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

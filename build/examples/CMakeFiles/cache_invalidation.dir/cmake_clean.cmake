@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_invalidation.dir/cache_invalidation.cpp.o"
+  "CMakeFiles/cache_invalidation.dir/cache_invalidation.cpp.o.d"
+  "cache_invalidation"
+  "cache_invalidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_invalidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_delivery.dir/deadline_delivery.cpp.o"
+  "CMakeFiles/deadline_delivery.dir/deadline_delivery.cpp.o.d"
+  "deadline_delivery"
+  "deadline_delivery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_delivery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

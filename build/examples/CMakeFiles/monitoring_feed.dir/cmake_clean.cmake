@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_feed.dir/monitoring_feed.cpp.o"
+  "CMakeFiles/monitoring_feed.dir/monitoring_feed.cpp.o.d"
+  "monitoring_feed"
+  "monitoring_feed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_feed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gocast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gocast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gocast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gocast/CMakeFiles/gocast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/gocast_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/gocast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gocast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gocast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/gocast_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/gocast_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gocast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

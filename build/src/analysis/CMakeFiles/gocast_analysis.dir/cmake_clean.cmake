@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_analysis.dir/delivery_tracker.cpp.o"
+  "CMakeFiles/gocast_analysis.dir/delivery_tracker.cpp.o.d"
+  "CMakeFiles/gocast_analysis.dir/graph_analysis.cpp.o"
+  "CMakeFiles/gocast_analysis.dir/graph_analysis.cpp.o.d"
+  "CMakeFiles/gocast_analysis.dir/link_stress.cpp.o"
+  "CMakeFiles/gocast_analysis.dir/link_stress.cpp.o.d"
+  "CMakeFiles/gocast_analysis.dir/reliability.cpp.o"
+  "CMakeFiles/gocast_analysis.dir/reliability.cpp.o.d"
+  "libgocast_analysis.a"
+  "libgocast_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

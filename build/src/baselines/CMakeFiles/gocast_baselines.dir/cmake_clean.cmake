@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_baselines.dir/push_gossip.cpp.o"
+  "CMakeFiles/gocast_baselines.dir/push_gossip.cpp.o.d"
+  "libgocast_baselines.a"
+  "libgocast_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_common.dir/env.cpp.o"
+  "CMakeFiles/gocast_common.dir/env.cpp.o.d"
+  "CMakeFiles/gocast_common.dir/logging.cpp.o"
+  "CMakeFiles/gocast_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gocast_common.dir/rng.cpp.o"
+  "CMakeFiles/gocast_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gocast_common.dir/stats.cpp.o"
+  "CMakeFiles/gocast_common.dir/stats.cpp.o.d"
+  "libgocast_common.a"
+  "libgocast_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_coord.dir/triangulation.cpp.o"
+  "CMakeFiles/gocast_coord.dir/triangulation.cpp.o.d"
+  "libgocast_coord.a"
+  "libgocast_coord.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_coord.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

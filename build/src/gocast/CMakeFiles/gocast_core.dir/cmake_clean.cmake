@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_core.dir/dissemination.cpp.o"
+  "CMakeFiles/gocast_core.dir/dissemination.cpp.o.d"
+  "CMakeFiles/gocast_core.dir/node.cpp.o"
+  "CMakeFiles/gocast_core.dir/node.cpp.o.d"
+  "CMakeFiles/gocast_core.dir/system.cpp.o"
+  "CMakeFiles/gocast_core.dir/system.cpp.o.d"
+  "libgocast_core.a"
+  "libgocast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_harness.dir/args.cpp.o"
+  "CMakeFiles/gocast_harness.dir/args.cpp.o.d"
+  "CMakeFiles/gocast_harness.dir/csv.cpp.o"
+  "CMakeFiles/gocast_harness.dir/csv.cpp.o.d"
+  "CMakeFiles/gocast_harness.dir/scenario.cpp.o"
+  "CMakeFiles/gocast_harness.dir/scenario.cpp.o.d"
+  "CMakeFiles/gocast_harness.dir/table.cpp.o"
+  "CMakeFiles/gocast_harness.dir/table.cpp.o.d"
+  "libgocast_harness.a"
+  "libgocast_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_membership.dir/partial_view.cpp.o"
+  "CMakeFiles/gocast_membership.dir/partial_view.cpp.o.d"
+  "libgocast_membership.a"
+  "libgocast_membership.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_membership.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

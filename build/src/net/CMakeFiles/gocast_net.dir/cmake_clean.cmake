@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_net.dir/latency_model.cpp.o"
+  "CMakeFiles/gocast_net.dir/latency_model.cpp.o.d"
+  "CMakeFiles/gocast_net.dir/network.cpp.o"
+  "CMakeFiles/gocast_net.dir/network.cpp.o.d"
+  "CMakeFiles/gocast_net.dir/trace.cpp.o"
+  "CMakeFiles/gocast_net.dir/trace.cpp.o.d"
+  "CMakeFiles/gocast_net.dir/underlay.cpp.o"
+  "CMakeFiles/gocast_net.dir/underlay.cpp.o.d"
+  "libgocast_net.a"
+  "libgocast_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/neighbor_table.cpp" "src/overlay/CMakeFiles/gocast_overlay.dir/neighbor_table.cpp.o" "gcc" "src/overlay/CMakeFiles/gocast_overlay.dir/neighbor_table.cpp.o.d"
+  "/root/repo/src/overlay/overlay_manager.cpp" "src/overlay/CMakeFiles/gocast_overlay.dir/overlay_manager.cpp.o" "gcc" "src/overlay/CMakeFiles/gocast_overlay.dir/overlay_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gocast_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gocast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gocast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/gocast_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/gocast_coord.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_overlay.dir/neighbor_table.cpp.o"
+  "CMakeFiles/gocast_overlay.dir/neighbor_table.cpp.o.d"
+  "CMakeFiles/gocast_overlay.dir/overlay_manager.cpp.o"
+  "CMakeFiles/gocast_overlay.dir/overlay_manager.cpp.o.d"
+  "libgocast_overlay.a"
+  "libgocast_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_sim.dir/engine.cpp.o"
+  "CMakeFiles/gocast_sim.dir/engine.cpp.o.d"
+  "libgocast_sim.a"
+  "libgocast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

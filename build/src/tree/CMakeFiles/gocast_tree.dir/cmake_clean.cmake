@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_tree.dir/tree_manager.cpp.o"
+  "CMakeFiles/gocast_tree.dir/tree_manager.cpp.o.d"
+  "libgocast_tree.a"
+  "libgocast_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

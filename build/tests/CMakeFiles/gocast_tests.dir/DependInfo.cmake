@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/gocast_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_args_csv.cpp" "tests/CMakeFiles/gocast_tests.dir/test_args_csv.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_args_csv.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/gocast_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_dissemination.cpp" "tests/CMakeFiles/gocast_tests.dir/test_dissemination.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_dissemination.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/gocast_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/gocast_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_harness.cpp" "tests/CMakeFiles/gocast_tests.dir/test_harness.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_harness.cpp.o.d"
+  "/root/repo/tests/test_latency_model.cpp" "tests/CMakeFiles/gocast_tests.dir/test_latency_model.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_latency_model.cpp.o.d"
+  "/root/repo/tests/test_membership.cpp" "tests/CMakeFiles/gocast_tests.dir/test_membership.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_membership.cpp.o.d"
+  "/root/repo/tests/test_neighbor_table.cpp" "tests/CMakeFiles/gocast_tests.dir/test_neighbor_table.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_neighbor_table.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/gocast_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_node.cpp" "tests/CMakeFiles/gocast_tests.dir/test_node.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_node.cpp.o.d"
+  "/root/repo/tests/test_overlay_manager.cpp" "tests/CMakeFiles/gocast_tests.dir/test_overlay_manager.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_overlay_manager.cpp.o.d"
+  "/root/repo/tests/test_properties_dissemination.cpp" "tests/CMakeFiles/gocast_tests.dir/test_properties_dissemination.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_properties_dissemination.cpp.o.d"
+  "/root/repo/tests/test_properties_engine.cpp" "tests/CMakeFiles/gocast_tests.dir/test_properties_engine.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_properties_engine.cpp.o.d"
+  "/root/repo/tests/test_properties_overlay.cpp" "tests/CMakeFiles/gocast_tests.dir/test_properties_overlay.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_properties_overlay.cpp.o.d"
+  "/root/repo/tests/test_properties_tree.cpp" "tests/CMakeFiles/gocast_tests.dir/test_properties_tree.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_properties_tree.cpp.o.d"
+  "/root/repo/tests/test_reproducibility.cpp" "tests/CMakeFiles/gocast_tests.dir/test_reproducibility.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_reproducibility.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/gocast_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/gocast_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/gocast_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_system.cpp.o.d"
+  "/root/repo/tests/test_timer.cpp" "tests/CMakeFiles/gocast_tests.dir/test_timer.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_timer.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/gocast_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_tree_manager.cpp" "tests/CMakeFiles/gocast_tests.dir/test_tree_manager.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_tree_manager.cpp.o.d"
+  "/root/repo/tests/test_triangulation.cpp" "tests/CMakeFiles/gocast_tests.dir/test_triangulation.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_triangulation.cpp.o.d"
+  "/root/repo/tests/test_underlay.cpp" "tests/CMakeFiles/gocast_tests.dir/test_underlay.cpp.o" "gcc" "tests/CMakeFiles/gocast_tests.dir/test_underlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gocast_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gocast_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/gocast_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/gocast/CMakeFiles/gocast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/gocast_tree.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/gocast_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gocast_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gocast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/coord/CMakeFiles/gocast_coord.dir/DependInfo.cmake"
+  "/root/repo/build/src/membership/CMakeFiles/gocast_membership.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gocast_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gocast_sim_cli.dir/gocast_sim.cpp.o"
+  "CMakeFiles/gocast_sim_cli.dir/gocast_sim.cpp.o.d"
+  "gocast_sim"
+  "gocast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gocast_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
