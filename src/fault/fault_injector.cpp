@@ -1,0 +1,194 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::fault {
+
+namespace {
+
+void append_ids(std::string& detail, const std::vector<NodeId>& ids) {
+  detail += " [";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) detail += " ";
+    detail += std::to_string(ids[i]);
+  }
+  detail += "]";
+}
+
+std::size_t fraction_to_count(double fraction, std::size_t pool) {
+  return static_cast<std::size_t>(static_cast<double>(pool) * fraction + 0.5);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(core::System& system, FaultPlan plan, Rng rng)
+    : system_(system),
+      plan_(std::move(plan)),
+      rng_(std::move(rng)),
+      policy_(system.size()) {
+  system_.network().set_link_policy(&policy_);
+}
+
+FaultInjector::~FaultInjector() { system_.network().set_link_policy(nullptr); }
+
+void FaultInjector::arm() {
+  GOCAST_ASSERT_MSG(!armed_, "FaultInjector::arm called twice");
+  armed_ = true;
+  for (const FaultEvent& event : plan_.events()) {
+    GOCAST_ASSERT_MSG(event.at >= system_.engine().now(),
+                      "fault event at t=" << event.at << " is in the past");
+    system_.engine().schedule_at(event.at, [this, event] { apply(event); });
+  }
+}
+
+std::vector<NodeId> FaultInjector::pick_victims(std::vector<NodeId> pool,
+                                                std::size_t count) {
+  count = std::min(count, pool.size());
+  rng_.shuffle(pool);
+  pool.resize(count);
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+std::vector<NodeId> FaultInjector::dead_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < system_.size(); ++id) {
+    if (!system_.network().alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+void FaultInjector::apply(const FaultEvent& event) {
+  std::string detail;
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      apply_crash(event, detail);
+      break;
+    case FaultKind::kRecover:
+      apply_recover(event, detail);
+      break;
+    case FaultKind::kCrashSite:
+      apply_crash_site(event, detail);
+      break;
+    case FaultKind::kPartition:
+      apply_partition(event, detail);
+      if (checker_ != nullptr) checker_->set_partition_active(true);
+      break;
+    case FaultKind::kHeal:
+      policy_.heal_partitions();
+      detail = "all islands merged";
+      if (checker_ != nullptr) checker_->set_partition_active(false);
+      break;
+    case FaultKind::kDegrade:
+      apply_degrade(event, detail);
+      break;
+    case FaultKind::kRestore:
+      policy_.restore();
+      detail = "link degradations cleared";
+      break;
+    case FaultKind::kLoss: {
+      system_.network().set_loss_probability(event.loss);
+      std::ostringstream s;
+      s << "global loss p=" << event.loss;
+      detail = s.str();
+      break;
+    }
+  }
+  if (checker_ != nullptr) checker_->note_disturbance();
+
+  std::ostringstream line;
+  line << "t=" << event.at << " " << fault_kind_name(event.kind) << " "
+       << detail;
+  GOCAST_INFO("fault: " << line.str());
+  applied_.push_back(line.str());
+}
+
+void FaultInjector::apply_crash(const FaultEvent& event, std::string& detail) {
+  std::vector<NodeId> victims;
+  if (event.node != kInvalidNode) {
+    if (system_.network().alive(event.node)) victims.push_back(event.node);
+  } else {
+    std::vector<NodeId> alive = system_.alive_nodes();
+    std::size_t count = event.count != 0
+                            ? event.count
+                            : fraction_to_count(event.fraction, alive.size());
+    // Never crash the whole system: a fault plan models failures, not
+    // shutdown, and downstream phases need at least one live node.
+    count = std::min(count, alive.size() > 0 ? alive.size() - 1 : 0);
+    victims = pick_victims(std::move(alive), count);
+  }
+  for (NodeId id : victims) system_.node(id).kill();
+  detail = "killed " + std::to_string(victims.size());
+  append_ids(detail, victims);
+}
+
+void FaultInjector::apply_recover(const FaultEvent& event, std::string& detail) {
+  std::vector<NodeId> victims;
+  if (event.node != kInvalidNode) {
+    if (!system_.network().alive(event.node)) victims.push_back(event.node);
+  } else {
+    victims = pick_victims(dead_nodes(), event.count);
+  }
+  for (NodeId id : victims) system_.revive_node(id);
+  detail = "revived " + std::to_string(victims.size());
+  append_ids(detail, victims);
+}
+
+void FaultInjector::apply_crash_site(const FaultEvent& event,
+                                     std::string& detail) {
+  std::vector<NodeId> victims;
+  for (NodeId id : system_.alive_nodes()) {
+    if (system_.network().site_of(id) == event.site) victims.push_back(id);
+  }
+  // Same guard as apply_crash: leave at least one node alive.
+  if (victims.size() >= system_.network().alive_count()) victims.pop_back();
+  for (NodeId id : victims) system_.node(id).kill();
+  detail = "site " + std::to_string(event.site) + " killed " +
+           std::to_string(victims.size());
+  append_ids(detail, victims);
+}
+
+void FaultInjector::apply_partition(const FaultEvent& event,
+                                    std::string& detail) {
+  std::vector<NodeId> alive = system_.alive_nodes();
+  std::size_t count = event.count != 0
+                          ? event.count
+                          : fraction_to_count(event.fraction, alive.size());
+  count = std::min(count, alive.size() > 0 ? alive.size() - 1 : 0);
+  std::vector<NodeId> island = pick_victims(std::move(alive), count);
+  std::uint32_t group = next_group_++;
+  for (NodeId id : island) policy_.set_group(id, group);
+  detail = "island " + std::to_string(group) + " holds " +
+           std::to_string(island.size());
+  append_ids(detail, island);
+}
+
+void FaultInjector::apply_degrade(const FaultEvent& event,
+                                  std::string& detail) {
+  Degradation degradation;
+  degradation.latency_multiplier = event.latency_multiplier;
+  degradation.jitter = event.jitter;
+  degradation.loss = event.loss;
+  std::ostringstream s;
+  s << "mult=" << event.latency_multiplier << " jitter=" << event.jitter
+    << " loss=" << event.loss;
+  if (event.fraction > 0.0) {
+    std::vector<NodeId> alive = system_.alive_nodes();
+    std::size_t count = fraction_to_count(event.fraction, alive.size());
+    std::vector<NodeId> victims = pick_victims(std::move(alive), count);
+    for (NodeId id : victims) policy_.degrade_node(id, degradation);
+    s << " on links of " << victims.size() << " nodes";
+    detail = s.str();
+    append_ids(detail, victims);
+  } else {
+    policy_.degrade_all(degradation);
+    s << " on all links";
+    detail = s.str();
+  }
+}
+
+}  // namespace gocast::fault

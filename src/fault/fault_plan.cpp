@@ -1,0 +1,332 @@
+#include "fault/fault_plan.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/assert.h"
+
+namespace gocast::fault {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecover: return "recover";
+    case FaultKind::kCrashSite: return "crash_site";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kHeal: return "heal";
+    case FaultKind::kDegrade: return "degrade";
+    case FaultKind::kRestore: return "restore";
+    case FaultKind::kLoss: return "loss";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  GOCAST_ASSERT_MSG(event.at >= 0.0, "fault event before t=0");
+  auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(pos, event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash_fraction(SimTime at, double fraction) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrash;
+  e.fraction = fraction;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::crash_count(SimTime at, std::size_t count) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrash;
+  e.count = count;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::crash_node(SimTime at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrash;
+  e.node = node;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::crash_site(SimTime at, std::uint32_t site) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCrashSite;
+  e.site = site;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::recover_count(SimTime at, std::size_t count) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRecover;
+  e.count = count;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::recover_node(SimTime at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRecover;
+  e.node = node;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::partition_fraction(SimTime at, double fraction) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kPartition;
+  e.fraction = fraction;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::heal(SimTime at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kHeal;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::degrade(SimTime at, double latency_multiplier,
+                              SimTime jitter, double loss, double fraction) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDegrade;
+  e.latency_multiplier = latency_multiplier;
+  e.jitter = jitter;
+  e.loss = loss;
+  e.fraction = fraction;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::restore(SimTime at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kRestore;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::set_loss(SimTime at, double p) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kLoss;
+  e.loss = p;
+  return add(e);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::stringstream stream(s);
+  std::string part;
+  while (std::getline(stream, part, sep)) out.push_back(part);
+  return out;
+}
+
+double parse_double(const std::string& text, const std::string& context) {
+  char* end = nullptr;
+  double value = std::strtod(text.c_str(), &end);
+  GOCAST_ASSERT_MSG(end != text.c_str() && *end == '\0',
+                    "bad number '" << text << "' in fault event '" << context
+                                   << "'");
+  return value;
+}
+
+std::uint64_t parse_uint(const std::string& text, const std::string& context) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  GOCAST_ASSERT_MSG(end != text.c_str() && *end == '\0',
+                    "bad integer '" << text << "' in fault event '" << context
+                                    << "'");
+  return value;
+}
+
+FaultKind parse_kind(const std::string& name, const std::string& context) {
+  for (FaultKind kind :
+       {FaultKind::kCrash, FaultKind::kRecover, FaultKind::kCrashSite,
+        FaultKind::kPartition, FaultKind::kHeal, FaultKind::kDegrade,
+        FaultKind::kRestore, FaultKind::kLoss}) {
+    if (name == fault_kind_name(kind)) return kind;
+  }
+  GOCAST_ASSERT_MSG(false, "unknown fault kind '" << name << "' in '"
+                                                  << context << "'");
+  return FaultKind::kCrash;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const std::string& raw : split(spec, ';')) {
+    std::string entry = trim(raw);
+    if (entry.empty()) continue;
+    std::vector<std::string> parts = split(entry, ':');
+    GOCAST_ASSERT_MSG(parts.size() >= 2 && parts.size() <= 3,
+                      "fault event '" << entry
+                                      << "' is not <time>:<kind>[:<args>]");
+    FaultEvent event;
+    event.at = parse_double(trim(parts[0]), entry);
+    GOCAST_ASSERT_MSG(event.at >= 0.0, "negative time in '" << entry << "'");
+    event.kind = parse_kind(trim(parts[1]), entry);
+
+    std::map<std::string, std::string> args;
+    if (parts.size() == 3) {
+      for (const std::string& pair : split(parts[2], ',')) {
+        std::string kv = trim(pair);
+        if (kv.empty()) continue;
+        std::size_t eq = kv.find('=');
+        GOCAST_ASSERT_MSG(eq != std::string::npos && eq > 0,
+                          "argument '" << kv << "' in '" << entry
+                                       << "' is not key=value");
+        args[trim(kv.substr(0, eq))] = trim(kv.substr(eq + 1));
+      }
+    }
+    auto take = [&](const char* key) -> std::string {
+      auto it = args.find(key);
+      if (it == args.end()) return "";
+      std::string value = it->second;
+      args.erase(it);
+      return value;
+    };
+
+    switch (event.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kPartition: {
+        std::string frac = take("frac");
+        std::string count = take("count");
+        std::string node = take("node");
+        bool node_ok = event.kind == FaultKind::kCrash && !node.empty();
+        GOCAST_ASSERT_MSG(
+            !frac.empty() || !count.empty() || node_ok,
+            "'" << entry << "' needs frac=, count=, or node= victims");
+        if (!frac.empty()) event.fraction = parse_double(frac, entry);
+        if (!count.empty()) {
+          event.count = static_cast<std::size_t>(parse_uint(count, entry));
+        }
+        if (node_ok) event.node = static_cast<NodeId>(parse_uint(node, entry));
+        break;
+      }
+      case FaultKind::kRecover: {
+        std::string count = take("count");
+        std::string node = take("node");
+        GOCAST_ASSERT_MSG(!count.empty() || !node.empty(),
+                          "'" << entry << "' needs count= or node=");
+        if (!count.empty()) {
+          event.count = static_cast<std::size_t>(parse_uint(count, entry));
+        }
+        if (!node.empty()) {
+          event.node = static_cast<NodeId>(parse_uint(node, entry));
+        }
+        break;
+      }
+      case FaultKind::kCrashSite: {
+        std::string site = take("site");
+        GOCAST_ASSERT_MSG(!site.empty(), "'" << entry << "' needs site=");
+        event.site = static_cast<std::uint32_t>(parse_uint(site, entry));
+        break;
+      }
+      case FaultKind::kDegrade: {
+        std::string mult = take("mult");
+        std::string jitter = take("jitter");
+        std::string loss = take("loss");
+        std::string frac = take("frac");
+        if (!mult.empty()) event.latency_multiplier = parse_double(mult, entry);
+        if (!jitter.empty()) event.jitter = parse_double(jitter, entry);
+        if (!loss.empty()) event.loss = parse_double(loss, entry);
+        if (!frac.empty()) event.fraction = parse_double(frac, entry);
+        GOCAST_ASSERT_MSG(
+            event.latency_multiplier != 1.0 || event.jitter != 0.0 ||
+                event.loss != 0.0,
+            "'" << entry << "' degrades nothing (set mult=, jitter=, or loss=)");
+        break;
+      }
+      case FaultKind::kLoss: {
+        std::string p = take("p");
+        GOCAST_ASSERT_MSG(!p.empty(), "'" << entry << "' needs p=");
+        event.loss = parse_double(p, entry);
+        GOCAST_ASSERT_MSG(event.loss >= 0.0 && event.loss < 1.0,
+                          "loss p out of [0,1) in '" << entry << "'");
+        break;
+      }
+      case FaultKind::kHeal:
+      case FaultKind::kRestore:
+        break;
+    }
+    GOCAST_ASSERT_MSG(args.empty(), "unknown argument '" << args.begin()->first
+                                                         << "' in '" << entry
+                                                         << "'");
+    plan.add(event);
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_spec() const {
+  std::ostringstream out;
+  out.precision(17);
+  bool first_event = true;
+  for (const FaultEvent& e : events_) {
+    if (!first_event) out << "; ";
+    first_event = false;
+    out << e.at << ":" << fault_kind_name(e.kind);
+    std::vector<std::string> args;
+    auto arg = [&](const char* key, auto value) {
+      std::ostringstream a;
+      a.precision(17);
+      a << key << "=" << value;
+      args.push_back(a.str());
+    };
+    switch (e.kind) {
+      case FaultKind::kCrash:
+      case FaultKind::kPartition:
+        if (e.fraction != 0.0) arg("frac", e.fraction);
+        if (e.count != 0) arg("count", e.count);
+        if (e.node != kInvalidNode) arg("node", e.node);
+        break;
+      case FaultKind::kRecover:
+        if (e.count != 0) arg("count", e.count);
+        if (e.node != kInvalidNode) arg("node", e.node);
+        break;
+      case FaultKind::kCrashSite:
+        arg("site", e.site);
+        break;
+      case FaultKind::kDegrade:
+        if (e.latency_multiplier != 1.0) arg("mult", e.latency_multiplier);
+        if (e.jitter != 0.0) arg("jitter", e.jitter);
+        if (e.loss != 0.0) arg("loss", e.loss);
+        if (e.fraction != 0.0) arg("frac", e.fraction);
+        break;
+      case FaultKind::kLoss:
+        arg("p", e.loss);
+        break;
+      case FaultKind::kHeal:
+      case FaultKind::kRestore:
+        break;
+    }
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      out << (i == 0 ? ":" : ",") << args[i];
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gocast::fault

@@ -1,0 +1,100 @@
+// Declarative fault plans: a timeline of typed fault events executed by the
+// FaultInjector. Plans are built programmatically or parsed from the compact
+// CLI spec (see parse() below), and serialize back to a spec, so a scenario's
+// failure schedule is a value that can be logged, diffed, and replayed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gocast::fault {
+
+enum class FaultKind : std::uint8_t {
+  kCrash,      ///< kill nodes (random fraction/count, or one explicit node)
+  kRecover,    ///< revive crashed nodes (random count, or one explicit node)
+  kCrashSite,  ///< site-correlated crash: kill every alive node at one site
+  kPartition,  ///< move a random subset of alive nodes into a new island
+  kHeal,       ///< dissolve all partitions
+  kDegrade,    ///< latency multiplier / jitter / loss on links (subset or all)
+  kRestore,    ///< clear all link degradations
+  kLoss,       ///< set the global message loss probability
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind kind);
+
+/// One scheduled fault. Which fields are meaningful depends on `kind`;
+/// unused fields keep their defaults (and are omitted by to_spec()).
+struct FaultEvent {
+  SimTime at = 0.0;
+  FaultKind kind = FaultKind::kCrash;
+
+  /// Victim selection (crash / recover / partition / degrade):
+  double fraction = 0.0;        ///< random fraction of eligible nodes (0 = unset)
+  std::size_t count = 0;        ///< random count of eligible nodes (0 = unset)
+  NodeId node = kInvalidNode;   ///< one explicit node (crash / recover)
+  std::uint32_t site = 0;       ///< crash_site target
+
+  /// Link degradation / loss parameters:
+  double latency_multiplier = 1.0;  ///< degrade: one-way latency scale
+  SimTime jitter = 0.0;             ///< degrade: max uniform extra delay (s)
+  double loss = 0.0;                ///< degrade: per-link loss | loss: global p
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// A timeline of fault events, kept sorted by time (stable for ties: events
+/// at the same instant apply in insertion order).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Adds an event, keeping the timeline sorted (stable).
+  FaultPlan& add(FaultEvent event);
+
+  // Convenience builders (all return *this for chaining).
+  FaultPlan& crash_fraction(SimTime at, double fraction);
+  FaultPlan& crash_count(SimTime at, std::size_t count);
+  FaultPlan& crash_node(SimTime at, NodeId node);
+  FaultPlan& crash_site(SimTime at, std::uint32_t site);
+  FaultPlan& recover_count(SimTime at, std::size_t count);
+  FaultPlan& recover_node(SimTime at, NodeId node);
+  FaultPlan& partition_fraction(SimTime at, double fraction);
+  FaultPlan& heal(SimTime at);
+  FaultPlan& degrade(SimTime at, double latency_multiplier, SimTime jitter,
+                     double loss, double fraction = 0.0);
+  FaultPlan& restore(SimTime at);
+  FaultPlan& set_loss(SimTime at, double p);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Parses the compact spec grammar, raising AssertionError on malformed
+  /// input. Grammar: events separated by ';', each
+  ///   <time>:<kind>[:<key>=<value>[,<key>=<value>...]]
+  /// kinds and their keys:
+  ///   crash      frac= | count= | node=
+  ///   recover    count= | node=
+  ///   crash_site site=
+  ///   partition  frac= | count=
+  ///   heal       (none)
+  ///   degrade    mult=, jitter=, loss=, frac= (frac absent -> all links)
+  ///   restore    (none)
+  ///   loss       p=
+  /// Example: "330:crash:frac=0.2; 400:partition:frac=0.3; 460:heal"
+  [[nodiscard]] static FaultPlan parse(const std::string& spec);
+
+  /// Serializes back to the spec grammar; parse(to_spec()) reproduces the
+  /// plan exactly.
+  [[nodiscard]] std::string to_spec() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace gocast::fault

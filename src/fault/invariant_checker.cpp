@@ -1,0 +1,198 @@
+#include "fault/invariant_checker.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "analysis/graph_analysis.h"
+#include "common/assert.h"
+#include "common/logging.h"
+
+namespace gocast::fault {
+
+namespace {
+std::uint64_t pack_link(NodeId node, NodeId peer) {
+  return (static_cast<std::uint64_t>(node) << 32) | peer;
+}
+}  // namespace
+
+InvariantChecker::InvariantChecker(core::System& system,
+                                   InvariantCheckerParams params)
+    : system_(system),
+      params_(params),
+      timer_(system.engine(), params.period, [this] { sweep(); }) {
+  GOCAST_ASSERT(params_.period > 0.0);
+  GOCAST_ASSERT(params_.settle_after >= 0.0);
+  GOCAST_ASSERT(params_.dead_neighbor_timeout > 0.0);
+}
+
+void InvariantChecker::start() { timer_.start(); }
+
+void InvariantChecker::stop() { timer_.stop(); }
+
+void InvariantChecker::check_now() { sweep(); }
+
+void InvariantChecker::note_disturbance() {
+  last_disturbance_ = system_.engine().now();
+}
+
+void InvariantChecker::set_partition_active(bool active) {
+  partition_active_ = active;
+  note_disturbance();
+}
+
+void InvariantChecker::report(SimTime at, std::string what) {
+  GOCAST_WARN("invariant violation at t=" << at << ": " << what);
+  violations_.push_back(InvariantViolation{at, std::move(what)});
+}
+
+void InvariantChecker::sweep() {
+  ++sweeps_;
+  SimTime now = system_.engine().now();
+  if (params_.check_dead_neighbors) check_dead_neighbors(now);
+  if (params_.check_store_gc) check_store_gc(now);
+  // Structural equilibrium checks only once the system had time to settle
+  // (and never across an active partition, which they cannot hold under).
+  if (!partition_active_ && settled(now)) {
+    if (params_.check_degrees) check_degrees(now);
+    if (params_.check_tree || params_.check_connectivity) {
+      check_tree_and_connectivity(now);
+    }
+  }
+}
+
+void InvariantChecker::check_degrees(SimTime now) {
+  // Two-level audit of the paper's §2.2 degree promise. Per node: the C1
+  // floor (target - lower_slack) and a strict upper bound (settled
+  // maintenance sheds excess every r << sweep period). Aggregate: "most
+  // nodes" sit in the strict band {C, C+1} — at most out_of_band_fraction
+  // may stray. Capacity-aware configs scale per-node targets, so targets
+  // are read off each node.
+  std::vector<NodeId> alive = system_.alive_nodes();
+  std::size_t out_of_band = 0;
+  for (NodeId id : alive) {
+    const core::GoCastNode& node = system_.node(id);
+    const overlay::OverlayParams& params = node.config().overlay;
+    bool in_band = true;
+
+    int rand_lo = params.target_rand_degree - params_.degree_lower_slack;
+    int rand_hi = params.target_rand_degree + 1 + params_.degree_slack;
+    int rand_deg = node.overlay().rand_degree();
+    if (rand_deg < rand_lo || rand_deg > rand_hi) {
+      std::ostringstream what;
+      what << "node " << id << " random degree " << rand_deg
+           << " outside [" << rand_lo << ", " << rand_hi << "]";
+      report(now, what.str());
+    }
+    if (rand_deg < params.target_rand_degree ||
+        rand_deg > params.target_rand_degree + 1) {
+      in_band = false;
+    }
+
+    if (params.maintain_nearby) {
+      int near_lo = params.target_near_degree - params_.degree_lower_slack;
+      int near_hi = params.target_near_degree + 1 + params_.degree_slack;
+      int near_deg = node.overlay().near_degree();
+      if (near_deg < near_lo || near_deg > near_hi) {
+        std::ostringstream what;
+        what << "node " << id << " nearby degree " << near_deg << " outside ["
+             << near_lo << ", " << near_hi << "]";
+        report(now, what.str());
+      }
+      if (near_deg < params.target_near_degree ||
+          near_deg > params.target_near_degree + 1) {
+        in_band = false;
+      }
+    }
+    if (!in_band) ++out_of_band;
+  }
+  if (!alive.empty() &&
+      static_cast<double>(out_of_band) >
+          params_.out_of_band_fraction * static_cast<double>(alive.size())) {
+    std::ostringstream what;
+    what << out_of_band << " of " << alive.size()
+         << " live nodes outside the stable degree band {C, C+1}";
+    report(now, what.str());
+  }
+}
+
+void InvariantChecker::check_dead_neighbors(SimTime now) {
+  std::unordered_set<std::uint64_t> current;
+  for (NodeId id : system_.alive_nodes()) {
+    for (NodeId peer : system_.node(id).overlay().neighbor_ids()) {
+      if (system_.network().alive(peer)) continue;
+      std::uint64_t key = pack_link(id, peer);
+      current.insert(key);
+      auto [it, inserted] = stale_links_.emplace(key, now);
+      if (inserted) continue;
+      if (now - it->second > params_.dead_neighbor_timeout) {
+        std::ostringstream what;
+        what << "node " << id << " still lists dead neighbor " << peer
+             << " after " << (now - it->second) << " s";
+        report(now, what.str());
+        it->second = now;  // re-arm instead of flagging every sweep
+      }
+    }
+  }
+  // Forget entries that resolved (neighbor dropped or node died/recovered).
+  for (auto it = stale_links_.begin(); it != stale_links_.end();) {
+    if (current.count(it->first) == 0) {
+      it = stale_links_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void InvariantChecker::check_tree_and_connectivity(SimTime now) {
+  if (params_.check_connectivity) {
+    analysis::OverlayGraph graph = analysis::snapshot_overlay(system_);
+    analysis::ComponentStats comp = analysis::components(graph);
+    if (comp.largest_fraction < 1.0) {
+      std::ostringstream what;
+      what << "overlay split into " << comp.component_count
+           << " components (largest holds " << comp.largest_fraction
+           << " of live nodes)";
+      report(now, what.str());
+    }
+  }
+  if (params_.check_tree && system_.config().node.tree.enabled &&
+      system_.config().node.dissemination.use_tree) {
+    analysis::TreeStats tree = analysis::tree_stats(system_);
+    if (!tree.is_forest) {
+      report(now, "tree links contain a cycle");
+    }
+    if (!tree.spanning) {
+      std::ostringstream what;
+      what << "tree spans " << tree.reachable_from_root << " of "
+           << system_.network().alive_count() << " live nodes (root "
+           << tree.root << ")";
+      report(now, what.str());
+    }
+  }
+}
+
+void InvariantChecker::check_store_gc(SimTime now) {
+  const core::DisseminationParams& d =
+      system_.config().node.dissemination;
+  SimTime payload_bound = d.gc_payload_after + d.gc_sweep_period + params_.gc_margin;
+  SimTime record_bound = d.gc_record_after + d.gc_sweep_period + params_.gc_margin;
+  for (NodeId id : system_.alive_nodes()) {
+    const core::Dissemination& diss = system_.node(id).dissemination();
+    std::size_t payloads = diss.payloads_older_than(payload_bound);
+    if (payloads > 0) {
+      std::ostringstream what;
+      what << "node " << id << " retains " << payloads
+           << " payloads beyond b=" << d.gc_payload_after << " s (+slack)";
+      report(now, what.str());
+    }
+    std::size_t records = diss.records_older_than(record_bound);
+    if (records > 0) {
+      std::ostringstream what;
+      what << "node " << id << " retains " << records
+           << " message records beyond " << d.gc_record_after << " s (+slack)";
+      report(now, what.str());
+    }
+  }
+}
+
+}  // namespace gocast::fault

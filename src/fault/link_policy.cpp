@@ -1,0 +1,77 @@
+#include "fault/link_policy.h"
+
+#include <algorithm>
+
+#include "common/assert.h"
+
+namespace gocast::fault {
+
+LinkPolicyTable::LinkPolicyTable(std::size_t node_count)
+    : groups_(node_count, 0) {}
+
+void LinkPolicyTable::set_group(NodeId node, std::uint32_t group) {
+  GOCAST_ASSERT(node < groups_.size());
+  if (groups_[node] == 0 && group != 0) ++partitioned_nodes_;
+  if (groups_[node] != 0 && group == 0) --partitioned_nodes_;
+  groups_[node] = group;
+}
+
+std::uint32_t LinkPolicyTable::group(NodeId node) const {
+  GOCAST_ASSERT(node < groups_.size());
+  return groups_[node];
+}
+
+void LinkPolicyTable::heal_partitions() {
+  std::fill(groups_.begin(), groups_.end(), 0u);
+  partitioned_nodes_ = 0;
+}
+
+void LinkPolicyTable::degrade_all(Degradation degradation) {
+  GOCAST_ASSERT(degradation.latency_multiplier > 0.0);
+  GOCAST_ASSERT(degradation.loss >= 0.0 && degradation.loss < 1.0);
+  GOCAST_ASSERT(degradation.jitter >= 0.0);
+  global_active_ = true;
+  global_ = degradation;
+}
+
+void LinkPolicyTable::degrade_node(NodeId node, Degradation degradation) {
+  GOCAST_ASSERT(node < groups_.size());
+  GOCAST_ASSERT(degradation.latency_multiplier > 0.0);
+  GOCAST_ASSERT(degradation.loss >= 0.0 && degradation.loss < 1.0);
+  GOCAST_ASSERT(degradation.jitter >= 0.0);
+  node_degradations_[node] = degradation;
+}
+
+void LinkPolicyTable::restore() {
+  global_active_ = false;
+  global_ = Degradation{};
+  node_degradations_.clear();
+}
+
+net::LinkDecision LinkPolicyTable::evaluate(NodeId from, NodeId to) const {
+  net::LinkDecision decision;
+  if (severed(from, to)) {
+    decision.blocked = true;
+    return decision;
+  }
+  if (!global_active_ && node_degradations_.empty()) return decision;
+
+  double pass = 1.0;  // probability the message survives all degradations
+  auto apply = [&](const Degradation& d) {
+    decision.latency_multiplier =
+        std::max(decision.latency_multiplier, d.latency_multiplier);
+    decision.jitter = std::max(decision.jitter, d.jitter);
+    pass *= 1.0 - d.loss;
+  };
+  if (global_active_) apply(global_);
+  if (auto it = node_degradations_.find(from); it != node_degradations_.end()) {
+    apply(it->second);
+  }
+  if (auto it = node_degradations_.find(to); it != node_degradations_.end()) {
+    apply(it->second);
+  }
+  decision.extra_loss = 1.0 - pass;
+  return decision;
+}
+
+}  // namespace gocast::fault

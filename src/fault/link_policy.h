@@ -1,0 +1,65 @@
+// The fault subsystem's link-policy state: which partition island each node
+// belongs to, and which links are degraded (latency multiplier, jitter,
+// extra loss). Installed on net::Network via set_link_policy; mutated by the
+// FaultInjector as plan events fire.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "net/link_policy.h"
+
+namespace gocast::fault {
+
+/// Per-node (or global) link degradation.
+struct Degradation {
+  double latency_multiplier = 1.0;
+  SimTime jitter = 0.0;
+  double loss = 0.0;
+};
+
+class LinkPolicyTable final : public net::LinkPolicy {
+ public:
+  explicit LinkPolicyTable(std::size_t node_count);
+
+  // -- partitions --
+  /// Moves `node` into partition island `group`. Nodes in different islands
+  /// cannot exchange messages. Island 0 is the default (everyone together).
+  void set_group(NodeId node, std::uint32_t group);
+  [[nodiscard]] std::uint32_t group(NodeId node) const;
+  /// Dissolves all partitions (everyone back to island 0).
+  void heal_partitions();
+  [[nodiscard]] bool partition_active() const { return partitioned_nodes_ > 0; }
+  /// True when the policy blocks messages between a and b.
+  [[nodiscard]] bool severed(NodeId a, NodeId b) const {
+    return group(a) != group(b);
+  }
+
+  // -- degradations --
+  /// Degrades every link in the network.
+  void degrade_all(Degradation degradation);
+  /// Degrades every link incident to `node`.
+  void degrade_node(NodeId node, Degradation degradation);
+  /// Clears all degradations (global and per-node).
+  void restore();
+  [[nodiscard]] bool degraded() const {
+    return global_active_ || !node_degradations_.empty();
+  }
+
+  // -- net::LinkPolicy --
+  /// Blocks cross-island sends; otherwise combines the global and the two
+  /// endpoint degradations: worst-case latency multiplier and jitter,
+  /// independently composed loss (1 - prod(1 - l_i)).
+  [[nodiscard]] net::LinkDecision evaluate(NodeId from, NodeId to) const override;
+
+ private:
+  std::vector<std::uint32_t> groups_;
+  std::size_t partitioned_nodes_ = 0;  ///< nodes outside island 0
+  bool global_active_ = false;
+  Degradation global_;
+  std::unordered_map<NodeId, Degradation> node_degradations_;
+};
+
+}  // namespace gocast::fault

@@ -261,6 +261,24 @@ void Dissemination::remove_from_pending(NodeId neighbor, MsgId id) {
 // Garbage collection
 // ---------------------------------------------------------------------------
 
+std::size_t Dissemination::payloads_older_than(SimTime age) const {
+  SimTime now = engine_.now();
+  std::size_t count = 0;
+  for (const auto& [id, stored] : store_) {
+    if (stored.payload_present && now - stored.received_at > age) ++count;
+  }
+  return count;
+}
+
+std::size_t Dissemination::records_older_than(SimTime age) const {
+  SimTime now = engine_.now();
+  std::size_t count = 0;
+  for (const auto& [id, stored] : store_) {
+    if (now - stored.received_at > age) ++count;
+  }
+  return count;
+}
+
 void Dissemination::gc_sweep() {
   SimTime now = engine_.now();
   for (auto it = store_.begin(); it != store_.end();) {

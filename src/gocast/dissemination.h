@@ -63,6 +63,11 @@ class Dissemination final : public overlay::OverlayListener {
   // -- queries / stats --
   [[nodiscard]] bool has_message(MsgId id) const { return store_.count(id) > 0; }
   [[nodiscard]] std::size_t store_size() const { return store_.size(); }
+  /// Stored payloads older than `age` seconds (since reception). The GC must
+  /// reclaim payloads within b + one sweep; the invariant checker audits it.
+  [[nodiscard]] std::size_t payloads_older_than(SimTime age) const;
+  /// Stored message records (IDs) older than `age` seconds.
+  [[nodiscard]] std::size_t records_older_than(SimTime age) const;
   [[nodiscard]] std::uint64_t deliveries() const { return deliveries_; }
   [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
   [[nodiscard]] std::uint64_t pulls_sent() const { return pulls_sent_; }

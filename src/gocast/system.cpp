@@ -152,6 +152,27 @@ NodeId System::random_alive_node() {
   }
 }
 
+void System::revive_node(NodeId id) {
+  GOCAST_ASSERT_MSG(started_, "System::revive_node before start");
+  GOCAST_ASSERT(id < nodes_.size());
+  if (network_->alive(id)) return;
+  GOCAST_ASSERT_MSG(network_->alive_count() > 0, "no bootstrap node alive");
+  // Shed stale links while still marked dead (outbound drop notifications
+  // are suppressed): a restarted process holds none of its old connections.
+  GoCastNode& node = *nodes_[id];
+  for (NodeId peer : node.overlay().neighbor_ids()) {
+    node.overlay().on_peer_failure(peer);
+  }
+  network_->recover_node(id);
+  NodeId bootstrap;
+  do {
+    bootstrap = random_alive_node();
+  } while (bootstrap == id);
+  node.join_via(bootstrap);
+  node.start(rng_.next_range(0.0, config_.node.overlay.maintenance_period));
+  GOCAST_INFO("revived node " << id << " via bootstrap " << bootstrap);
+}
+
 void System::set_delivery_hook(const DeliveryHook& hook) {
   for (auto& node : nodes_) node->set_delivery_hook(hook);
 }

@@ -75,6 +75,12 @@ class System {
   /// A uniformly random alive node id.
   [[nodiscard]] NodeId random_alive_node();
 
+  /// Brings a crashed node back online: clears its stale protocol links
+  /// (every TCP connection died with the process), recovers it on the
+  /// network, and rejoins it through a random alive bootstrap node. The
+  /// fault subsystem's recover events use this. No-op for alive nodes.
+  void revive_node(NodeId id);
+
   /// Installs the hook on every node.
   void set_delivery_hook(const DeliveryHook& hook);
 

@@ -1,9 +1,14 @@
 #include "harness/scenario.h"
 
+#include <optional>
+#include <sstream>
+
 #include "baselines/push_gossip.h"
 #include "common/assert.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fault/fault_injector.h"
+#include "fault/invariant_checker.h"
 #include "gocast/system.h"
 
 namespace gocast::harness {
@@ -105,8 +110,33 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
       static_cast<std::size_t>(node.overlay.target_degree() / 2);
 
   core::System system(sys);
+
+  // Scripted faults + invariant auditing ride on the engine next to the
+  // normal phases; the injector/checker must outlive drive().
+  std::optional<fault::FaultInjector> injector;
+  std::optional<fault::InvariantChecker> checker;
+  if (config.check_invariants) {
+    checker.emplace(system);
+    checker->start();
+  }
+  if (!config.fault_spec.empty()) {
+    injector.emplace(system, fault::FaultPlan::parse(config.fault_spec),
+                     Rng(config.seed).fork("faults"));
+    if (checker.has_value()) injector->set_invariant_checker(&*checker);
+    injector->arm();
+  }
+
   analysis::DeliveryTracker tracker(config.node_count);
-  return drive(system, config, tracker);
+  ScenarioResult result = drive(system, config, tracker);
+  if (injector.has_value()) result.fault_log = injector->log();
+  if (checker.has_value()) {
+    for (const fault::InvariantViolation& v : checker->violations()) {
+      std::ostringstream line;
+      line << "t=" << v.at << " " << v.what;
+      result.invariant_violations.push_back(line.str());
+    }
+  }
+  return result;
 }
 
 ScenarioResult run_push_gossip(const ScenarioConfig& config) {
@@ -129,6 +159,12 @@ ScenarioResult run_push_gossip(const ScenarioConfig& config) {
 ScenarioResult run_scenario(const ScenarioConfig& config) {
   GOCAST_ASSERT(config.node_count >= 8);
   GOCAST_ASSERT(config.message_rate > 0.0);
+  GOCAST_ASSERT_MSG(
+      (config.fault_spec.empty() && !config.check_invariants) ||
+          config.protocol == Protocol::kGoCast ||
+          config.protocol == Protocol::kProximityOverlay ||
+          config.protocol == Protocol::kRandomOverlay,
+      "fault injection / invariant checking require a GoCast-family protocol");
   switch (config.protocol) {
     case Protocol::kGoCast:
     case Protocol::kProximityOverlay:

@@ -67,6 +67,16 @@ struct ScenarioConfig {
 
   /// Collect per site-pair traffic for link-stress analysis (TXT4).
   bool record_site_pairs = false;
+
+  /// Scripted fault timeline in the compact spec grammar (see
+  /// fault::FaultPlan::parse); times are absolute sim times, so events meant
+  /// for the injection phase go after `warmup`. Empty = no faults.
+  /// GoCast-family protocols only.
+  std::string fault_spec;
+
+  /// Run the fault::InvariantChecker alongside the scenario and report its
+  /// violations in the result. GoCast-family protocols only.
+  bool check_invariants = false;
 };
 
 struct ScenarioResult {
@@ -77,6 +87,11 @@ struct ScenarioResult {
   net::TrafficStats traffic;      ///< full traffic accounting
   std::size_t alive_nodes = 0;
   SimTime sim_end = 0.0;
+
+  /// Fault-injection results (empty unless fault_spec / check_invariants
+  /// were set): the injector's deterministic log and the checker's findings.
+  std::vector<std::string> fault_log;
+  std::vector<std::string> invariant_violations;
 
   /// Mean receptions of a message per delivery: 1.0 is perfect (TXT6).
   [[nodiscard]] double redundancy() const {

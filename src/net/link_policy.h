@@ -1,0 +1,44 @@
+// Per-link policy hook on the simulated network. A LinkPolicy sees every
+// send and can block it (network partition), add loss (degraded link), or
+// stretch its latency (congestion: multiplier plus bounded uniform jitter).
+// Policies compose with the base latency model and the uplink queueing in
+// Network::send; the fault subsystem (src/fault/) provides the standard
+// implementation.
+#pragma once
+
+#include "common/types.h"
+
+namespace gocast::net {
+
+/// What the policy decided for one (from, to) send at one instant.
+struct LinkDecision {
+  /// Message is silently blackholed (partition semantics: no TCP reset —
+  /// detection, if any, must come from higher-layer timeouts).
+  bool blocked = false;
+
+  /// Extra loss probability applied on top of NetworkConfig::loss_probability
+  /// (independent trial; drops are traced as policy drops).
+  double extra_loss = 0.0;
+
+  /// Multiplier on the one-way propagation latency (>= 1 degrades).
+  double latency_multiplier = 1.0;
+
+  /// Upper bound of a uniform extra delay in seconds, drawn by the network
+  /// from its own seeded stream (0 = no jitter).
+  SimTime jitter = 0.0;
+
+  [[nodiscard]] bool trivial() const {
+    return !blocked && extra_loss == 0.0 && latency_multiplier == 1.0 &&
+           jitter == 0.0;
+  }
+};
+
+class LinkPolicy {
+ public:
+  virtual ~LinkPolicy() = default;
+
+  /// Evaluated once per send, before loss and latency are applied.
+  [[nodiscard]] virtual LinkDecision evaluate(NodeId from, NodeId to) const = 0;
+};
+
+}  // namespace gocast::net

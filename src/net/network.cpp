@@ -75,6 +75,11 @@ SimTime Network::one_way(NodeId a, NodeId b) const {
   return latency_->one_way(sa, sb);
 }
 
+void Network::set_loss_probability(double p) {
+  GOCAST_ASSERT(p >= 0.0 && p < 1.0);
+  config_.loss_probability = p;
+}
+
 void Network::report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes) {
   GOCAST_ASSERT(from < nodes_.size() && to < nodes_.size());
   if (config_.record_site_pairs) {
@@ -99,13 +104,33 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     traffic_.record_site_pair(nodes_[from].site, nodes_[to].site, bytes);
   }
 
+  LinkDecision link;
+  if (policy_ != nullptr) link = policy_->evaluate(from, to);
+  if (link.blocked ||
+      (link.extra_loss > 0.0 && rng_.next_bool(link.extra_loss))) {
+    // Partition blackhole / degraded-link loss: silent (no TCP reset — a
+    // partitioned peer is unreachable, not provably dead).
+    traffic_.record_policy_dropped();
+    if (trace_ != nullptr) {
+      trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kLinkPolicy);
+    }
+    return;
+  }
+
   if (config_.loss_probability > 0.0 && rng_.next_bool(config_.loss_probability)) {
     traffic_.record_lost();
-    if (trace_ != nullptr) trace_->on_drop(engine_.now(), from, to, *msg);
+    if (trace_ != nullptr) {
+      trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kRandomLoss);
+    }
     return;
   }
 
   SimTime delay = one_way(from, to);
+  if (link.latency_multiplier != 1.0) {
+    GOCAST_ASSERT(link.latency_multiplier > 0.0);
+    delay *= link.latency_multiplier;
+  }
+  if (link.jitter > 0.0) delay += rng_.next_range(0.0, link.jitter);
   if (config_.uplink_bytes_per_second > 0.0) {
     // Fluid uplink: serialization queues behind earlier sends.
     NodeRecord& sender = nodes_[from];
@@ -123,7 +148,9 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
       return;
     }
     traffic_.record_dropped_dead();
-    if (trace_ != nullptr) trace_->on_drop(engine_.now(), from, to, *msg);
+    if (trace_ != nullptr) {
+      trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kDeadReceiver);
+    }
     if (!config_.notify_send_failures) return;
     NodeRecord& sender = nodes_[from];
     // The reset notification takes another one-way trip back.

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "net/latency_model.h"
+#include "net/link_policy.h"
 #include "net/message.h"
 #include "net/trace.h"
 #include "net/traffic_stats.h"
@@ -107,6 +108,14 @@ class Network {
   /// must outlive the network.
   void set_trace(TraceSink* sink) { trace_ = sink; }
 
+  /// Installs (or clears, with nullptr) a per-link policy consulted on every
+  /// send (partitions, degraded links — see net/link_policy.h). The policy
+  /// must outlive the network.
+  void set_link_policy(const LinkPolicy* policy) { policy_ = policy; }
+
+  /// Changes the global loss probability at runtime (fault injection).
+  void set_loss_probability(double p);
+
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const LatencyModel& latency_model() const { return *latency_; }
   [[nodiscard]] TrafficStats& traffic() { return traffic_; }
@@ -130,6 +139,7 @@ class Network {
   std::size_t alive_count_ = 0;
   TrafficStats traffic_;
   TraceSink* trace_ = nullptr;
+  const LinkPolicy* policy_ = nullptr;
 };
 
 }  // namespace gocast::net

@@ -6,29 +6,29 @@ namespace gocast::net {
 
 CsvTraceSink::CsvTraceSink(const std::string& path) : out_(path) {
   GOCAST_ASSERT_MSG(out_.good(), "cannot open trace file " << path);
-  out_ << "event,time,from,to,kind,packet_type,bytes\n";
+  out_ << "event,time,from,to,kind,packet_type,bytes,reason\n";
 }
 
 void CsvTraceSink::row(const char* event, SimTime at, NodeId from, NodeId to,
-                       const Message& msg) {
+                       const Message& msg, const char* reason) {
   out_ << event << "," << at << "," << from << "," << to << ","
        << msg_kind_name(msg.kind()) << "," << msg.packet_type() << ","
-       << msg.wire_size() << "\n";
+       << msg.wire_size() << "," << reason << "\n";
 }
 
 void CsvTraceSink::on_send(SimTime at, NodeId from, NodeId to,
                            const Message& msg) {
-  row("send", at, from, to, msg);
+  row("send", at, from, to, msg, "");
 }
 
 void CsvTraceSink::on_deliver(SimTime at, NodeId from, NodeId to,
                               const Message& msg) {
-  row("deliver", at, from, to, msg);
+  row("deliver", at, from, to, msg, "");
 }
 
 void CsvTraceSink::on_drop(SimTime at, NodeId from, NodeId to,
-                           const Message& msg) {
-  row("drop", at, from, to, msg);
+                           const Message& msg, DropReason reason) {
+  row("drop", at, from, to, msg, drop_reason_name(reason));
 }
 
 }  // namespace gocast::net

@@ -13,6 +13,27 @@
 
 namespace gocast::net {
 
+/// Why a traced message was dropped instead of delivered.
+enum class DropReason : std::uint8_t {
+  kRandomLoss = 0,  ///< NetworkConfig::loss_probability fired
+  kDeadReceiver,    ///< receiver failed (sender gets the TCP-reset analogue)
+  kLinkPolicy,      ///< a LinkPolicy blocked or lossily degraded the link
+  kCount,  // sentinel
+};
+
+[[nodiscard]] constexpr const char* drop_reason_name(DropReason reason) {
+  switch (reason) {
+    case DropReason::kRandomLoss: return "loss";
+    case DropReason::kDeadReceiver: return "dead";
+    case DropReason::kLinkPolicy: return "policy";
+    case DropReason::kCount: return "?";
+  }
+  return "?";
+}
+
+inline constexpr std::size_t kDropReasonCount =
+    static_cast<std::size_t>(DropReason::kCount);
+
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
@@ -34,28 +55,32 @@ class TraceSink {
     (void)msg;
   }
 
-  /// The message was dropped (dead receiver or simulated loss).
-  virtual void on_drop(SimTime at, NodeId from, NodeId to, const Message& msg) {
+  /// The message was dropped; `reason` says by which mechanism.
+  virtual void on_drop(SimTime at, NodeId from, NodeId to, const Message& msg,
+                       DropReason reason) {
     (void)at;
     (void)from;
     (void)to;
     (void)msg;
+    (void)reason;
   }
 };
 
 /// Writes one CSV row per traced event:
-/// event,time,from,to,kind,packet_type,bytes
+/// event,time,from,to,kind,packet_type,bytes,reason
+/// (`reason` is empty for send/deliver rows).
 class CsvTraceSink final : public TraceSink {
  public:
   explicit CsvTraceSink(const std::string& path);
 
   void on_send(SimTime at, NodeId from, NodeId to, const Message& msg) override;
   void on_deliver(SimTime at, NodeId from, NodeId to, const Message& msg) override;
-  void on_drop(SimTime at, NodeId from, NodeId to, const Message& msg) override;
+  void on_drop(SimTime at, NodeId from, NodeId to, const Message& msg,
+               DropReason reason) override;
 
  private:
   void row(const char* event, SimTime at, NodeId from, NodeId to,
-           const Message& msg);
+           const Message& msg, const char* reason);
   std::ofstream out_;
 };
 
@@ -68,8 +93,10 @@ class CountingTraceSink final : public TraceSink {
   void on_deliver(SimTime, NodeId, NodeId, const Message& msg) override {
     ++delivers_[static_cast<std::size_t>(msg.kind())];
   }
-  void on_drop(SimTime, NodeId, NodeId, const Message& msg) override {
+  void on_drop(SimTime, NodeId, NodeId, const Message& msg,
+               DropReason reason) override {
     ++drops_[static_cast<std::size_t>(msg.kind())];
+    ++drops_by_reason_[static_cast<std::size_t>(reason)];
   }
 
   [[nodiscard]] std::uint64_t sends(MsgKind kind) const {
@@ -81,6 +108,9 @@ class CountingTraceSink final : public TraceSink {
   [[nodiscard]] std::uint64_t drops(MsgKind kind) const {
     return drops_[static_cast<std::size_t>(kind)];
   }
+  [[nodiscard]] std::uint64_t drops(DropReason reason) const {
+    return drops_by_reason_[static_cast<std::size_t>(reason)];
+  }
   [[nodiscard]] std::uint64_t total_sends() const {
     std::uint64_t total = 0;
     for (auto v : sends_) total += v;
@@ -91,6 +121,7 @@ class CountingTraceSink final : public TraceSink {
   std::array<std::uint64_t, kMsgKindCount> sends_{};
   std::array<std::uint64_t, kMsgKindCount> delivers_{};
   std::array<std::uint64_t, kMsgKindCount> drops_{};
+  std::array<std::uint64_t, kDropReasonCount> drops_by_reason_{};
 };
 
 }  // namespace gocast::net

@@ -31,6 +31,7 @@ class TrafficStats {
   void record_dropped_dead() { ++dropped_dead_; }
   void record_lost() { ++lost_; }
   void record_sender_dead() { ++sender_dead_; }
+  void record_policy_dropped() { ++policy_dropped_; }
 
   void record_site_pair(std::uint32_t site_a, std::uint32_t site_b,
                         std::size_t bytes) {
@@ -47,6 +48,8 @@ class TrafficStats {
   [[nodiscard]] std::uint64_t dropped_dead() const { return dropped_dead_; }
   [[nodiscard]] std::uint64_t lost() const { return lost_; }
   [[nodiscard]] std::uint64_t sender_dead() const { return sender_dead_; }
+  /// Messages a LinkPolicy blocked (partition) or lossily degraded away.
+  [[nodiscard]] std::uint64_t policy_dropped() const { return policy_dropped_; }
 
   /// Per unordered-site-pair byte totals (only populated when the owning
   /// Network was configured with record_site_pairs).
@@ -87,6 +90,7 @@ class TrafficStats {
   std::uint64_t dropped_dead_ = 0;
   std::uint64_t lost_ = 0;
   std::uint64_t sender_dead_ = 0;
+  std::uint64_t policy_dropped_ = 0;
   std::uint64_t aborted_bytes_ = 0;
   std::unordered_map<std::uint64_t, double> site_pair_bytes_;
 };

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "net/trace.h"
 
 namespace gocast::net {
 namespace {
@@ -231,6 +232,120 @@ TEST(NetworkBandwidth, ZeroBandwidthMeansNoSerializationDelay) {
   engine.run();
   ASSERT_EQ(b.received.size(), 1u);
   EXPECT_NEAR(b.received[0].at, 0.04, 1e-9);
+}
+
+/// Applies one fixed LinkDecision to every link.
+struct StubPolicy final : LinkPolicy {
+  LinkDecision decision;
+  LinkDecision evaluate(NodeId, NodeId) const override { return decision; }
+};
+
+class LinkPolicyTest : public ::testing::Test {
+ protected:
+  LinkPolicyTest()
+      : network_(engine_, std::make_shared<RingLatencyModel>(8, 0.08),
+                 NetworkConfig{}, Rng(5)),
+        a_(engine_),
+        b_(engine_) {
+    network_.set_endpoint(network_.add_node(0), &a_);
+    network_.set_endpoint(network_.add_node(2), &b_);  // one_way = 0.04
+    network_.set_trace(&trace_);
+    network_.set_link_policy(&policy_);
+  }
+
+  sim::Engine engine_;
+  Network network_;
+  RecordingEndpoint a_;
+  RecordingEndpoint b_;
+  CountingTraceSink trace_;
+  StubPolicy policy_;
+};
+
+TEST_F(LinkPolicyTest, BlockedLinkBlackholesSilently) {
+  policy_.decision.blocked = true;
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_TRUE(b_.received.empty());
+  // Unlike a dead receiver, a partition gives the sender no TCP reset:
+  // unreachable is not provably dead.
+  EXPECT_TRUE(a_.failures.empty());
+  EXPECT_EQ(network_.traffic().policy_dropped(), 1u);
+  EXPECT_EQ(trace_.drops(DropReason::kLinkPolicy), 1u);
+  EXPECT_EQ(trace_.drops(DropReason::kDeadReceiver), 0u);
+}
+
+TEST_F(LinkPolicyTest, LatencyMultiplierScalesDelay) {
+  policy_.decision.latency_multiplier = 3.0;
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_NEAR(b_.received[0].at, 3.0 * 0.04, 1e-9);
+}
+
+TEST_F(LinkPolicyTest, JitterAddsBoundedExtraDelay) {
+  policy_.decision.jitter = 0.05;
+  for (int i = 0; i < 50; ++i) {
+    network_.send(0, 1, std::make_shared<TestMsg>());
+  }
+  engine_.run();
+  ASSERT_EQ(b_.received.size(), 50u);
+  bool any_jittered = false;
+  for (const auto& r : b_.received) {
+    EXPECT_GE(r.at, 0.04 - 1e-12);
+    EXPECT_LE(r.at, 0.04 + 0.05 + 1e-12);
+    if (r.at > 0.04 + 1e-9) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered);
+}
+
+TEST_F(LinkPolicyTest, ExtraLossDropsAboutTheRequestedFraction) {
+  policy_.decision.extra_loss = 0.5;
+  for (int i = 0; i < 400; ++i) {
+    network_.send(0, 1, std::make_shared<TestMsg>());
+  }
+  engine_.run();
+  EXPECT_GT(network_.traffic().policy_dropped(), 120u);
+  EXPECT_LT(network_.traffic().policy_dropped(), 280u);
+  EXPECT_EQ(b_.received.size() + network_.traffic().policy_dropped(), 400u);
+  EXPECT_EQ(trace_.drops(DropReason::kLinkPolicy),
+            network_.traffic().policy_dropped());
+}
+
+TEST_F(LinkPolicyTest, ClearingThePolicyRestoresDelivery) {
+  policy_.decision.blocked = true;
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_TRUE(b_.received.empty());
+  network_.set_link_policy(nullptr);
+  network_.send(0, 1, std::make_shared<TestMsg>());
+  engine_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+}
+
+TEST(NetworkLoss, SetLossProbabilityTakesEffectMidRun) {
+  sim::Engine engine;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.08),
+                  NetworkConfig{}, Rng(11));
+  RecordingEndpoint a(engine);
+  RecordingEndpoint b(engine);
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(1), &b);
+
+  for (int i = 0; i < 100; ++i) network.send(0, 1, std::make_shared<TestMsg>());
+  engine.run();
+  EXPECT_EQ(b.received.size(), 100u);  // lossless by default
+
+  network.set_loss_probability(0.5);
+  for (int i = 0; i < 400; ++i) network.send(0, 1, std::make_shared<TestMsg>());
+  engine.run();
+  EXPECT_GT(network.traffic().lost(), 120u);
+  EXPECT_LT(network.traffic().lost(), 280u);
+
+  network.set_loss_probability(0.0);
+  std::size_t before = b.received.size();
+  for (int i = 0; i < 100; ++i) network.send(0, 1, std::make_shared<TestMsg>());
+  engine.run();
+  EXPECT_EQ(b.received.size(), before + 100u);
 }
 
 TEST(NetworkRoundRobin, MapsNodesToSitesModulo) {

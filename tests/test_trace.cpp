@@ -44,6 +44,38 @@ TEST(CountingTraceSink, CountsSendsDeliversDrops) {
   EXPECT_EQ(sink.delivers(MsgKind::kOther), 1u);
   EXPECT_EQ(sink.drops(MsgKind::kOther), 1u);
   EXPECT_EQ(sink.total_sends(), 2u);
+  // The drop was a send to a dead receiver, and counted as such.
+  EXPECT_EQ(sink.drops(DropReason::kDeadReceiver), 1u);
+  EXPECT_EQ(sink.drops(DropReason::kRandomLoss), 0u);
+  EXPECT_EQ(sink.drops(DropReason::kLinkPolicy), 0u);
+}
+
+TEST(CountingTraceSink, AttributesRandomLossDrops) {
+  sim::Engine engine;
+  NetworkConfig config;
+  config.loss_probability = 0.5;
+  Network network(engine, std::make_shared<RingLatencyModel>(4, 0.01), config,
+                  Rng(3));
+  NullEndpoint a;
+  NullEndpoint b;
+  network.set_endpoint(network.add_node(0), &a);
+  network.set_endpoint(network.add_node(1), &b);
+  CountingTraceSink sink;
+  network.set_trace(&sink);
+
+  for (int i = 0; i < 200; ++i) network.send(0, 1, std::make_shared<ProbeMsg>());
+  engine.run();
+
+  EXPECT_GT(sink.drops(DropReason::kRandomLoss), 0u);
+  EXPECT_EQ(sink.drops(DropReason::kRandomLoss), sink.drops(MsgKind::kOther));
+  EXPECT_EQ(sink.drops(DropReason::kDeadReceiver), 0u);
+  // The per-reason split totals the per-kind drop count, and agrees with
+  // TrafficStats accounting.
+  EXPECT_EQ(sink.drops(DropReason::kRandomLoss) +
+                sink.drops(DropReason::kDeadReceiver) +
+                sink.drops(DropReason::kLinkPolicy),
+            sink.drops(MsgKind::kOther));
+  EXPECT_EQ(sink.drops(DropReason::kRandomLoss), network.traffic().lost());
 }
 
 TEST(CountingTraceSink, ObservesProtocolTrafficByKind) {
@@ -80,17 +112,29 @@ TEST(CsvTraceSink, WritesRows) {
     network.set_trace(&sink);
     network.send(0, 1, std::make_shared<ProbeMsg>());
     engine.run();
+    network.fail_node(1);
+    network.send(0, 1, std::make_shared<ProbeMsg>());
+    engine.run();
   }
   std::ifstream in(path);
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "event,time,from,to,kind,packet_type,bytes");
+  EXPECT_EQ(header, "event,time,from,to,kind,packet_type,bytes,reason");
   std::string send_row;
   std::getline(in, send_row);
   EXPECT_EQ(send_row.rfind("send,", 0), 0u);
+  // Send/deliver rows leave the reason column empty.
+  EXPECT_EQ(send_row.back(), ',');
   std::string deliver_row;
   std::getline(in, deliver_row);
   EXPECT_EQ(deliver_row.rfind("deliver,", 0), 0u);
+  std::string send2_row;
+  std::getline(in, send2_row);
+  std::string drop_row;
+  std::getline(in, drop_row);
+  EXPECT_EQ(drop_row.rfind("drop,", 0), 0u);
+  // Drop rows name the mechanism: the receiver was dead.
+  EXPECT_EQ(drop_row.substr(drop_row.rfind(',') + 1), "dead");
   std::remove(path.c_str());
 }
 

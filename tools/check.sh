@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build and test the plain configuration, then the
+# ASan+UBSan configuration (GOCAST_SANITIZE=ON). Run from the repo root:
+#   tools/check.sh [extra ctest args...]
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+run_config() {
+  local build_dir="$1"
+  shift
+  local cmake_args=("$@")
+  echo "=== configure ${build_dir} (${cmake_args[*]:-default}) ==="
+  cmake -B "${root}/${build_dir}" -S "${root}" "${cmake_args[@]}"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${root}/${build_dir}" -j "${jobs}"
+  echo "=== test ${build_dir} ==="
+  (cd "${root}/${build_dir}" && ctest --output-on-failure -j "${jobs}" "${EXTRA_CTEST_ARGS[@]}")
+}
+
+EXTRA_CTEST_ARGS=("$@")
+
+run_config build
+run_config build-asan -DGOCAST_SANITIZE=ON
+
+echo "=== all checks passed ==="

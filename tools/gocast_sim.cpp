@@ -33,6 +33,11 @@ void usage() {
       "  --f         pull-delay threshold seconds (GoCast)           [0]\n"
       "  --fanout    gossip fanout (baselines)                       [5]\n"
       "  --drain     seconds to run after the last injection         [30]\n"
+      "  --faults    scripted fault plan (GoCast-family), e.g.\n"
+      "              \"330:crash:frac=0.2; 400:partition:frac=0.3; 460:heal\"\n"
+      "              kinds: crash recover crash_site partition heal degrade\n"
+      "              restore loss — see docs/PROTOCOL.md for the grammar\n"
+      "  --invariants  run the protocol invariant checker (true/false) [false]\n"
       "  --csv       append a summary row to this file\n"
       "  --curve     write the delay CDF to this file\n"
       "  --help      this text\n";
@@ -46,7 +51,7 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv,
                      {"protocol", "nodes", "seed", "warmup", "messages", "rate",
                       "payload", "fail", "repair", "f", "fanout", "drain",
-                      "csv", "curve", "help"});
+                      "faults", "invariants", "csv", "curve", "help"});
   if (args.get_bool("help", false)) {
     usage();
     return 0;
@@ -81,6 +86,8 @@ int main(int argc, char** argv) {
   config.pull_delay_threshold = args.get_double("f", 0.0);
   config.fanout = static_cast<int>(args.get_int("fanout", 5));
   config.drain = args.get_double("drain", 30.0);
+  config.fault_spec = args.get("faults", "");
+  config.check_invariants = args.get_bool("invariants", false);
 
   std::cout << "running " << harness::protocol_name(config.protocol) << ", "
             << config.node_count << " nodes, " << config.message_count
@@ -117,6 +124,24 @@ int main(int argc, char** argv) {
                         (1024.0 * 1024.0),
                     2)});
   table.print(std::cout);
+
+  if (!result.fault_log.empty()) {
+    std::cout << "\nfault timeline:\n";
+    for (const std::string& line : result.fault_log) {
+      std::cout << "  " << line << "\n";
+    }
+  }
+  if (config.check_invariants) {
+    if (result.invariant_violations.empty()) {
+      std::cout << "\ninvariants: no violations\n";
+    } else {
+      std::cout << "\ninvariant violations ("
+                << result.invariant_violations.size() << "):\n";
+      for (const std::string& line : result.invariant_violations) {
+        std::cout << "  " << line << "\n";
+      }
+    }
+  }
 
   if (args.has("csv")) {
     harness::append_summary_csv(args.get("csv", ""), protocol,
