@@ -1,0 +1,122 @@
+// PERF — tracked large-scale baseline: builds an 8k-node (default) GoCast
+// deployment, runs 60 simulated seconds of full protocol activity (overlay
+// maintenance, tree heartbeats, gossip, plus a stream of multicasts), and
+// reports wall-clock time, events per second, and peak RSS as JSON. The
+// output feeds tools/bench.sh, which assembles BENCH_core.json so perf
+// changes are visible in review instead of anecdotal.
+//
+//   perf_scaling [--nodes N] [--seconds S] [--messages M] [--seed X]
+//
+// The run is deterministic per seed; timing obviously is not.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "gocast/system.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double peak_rss_mib() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t nodes = 8192;
+  double sim_seconds = 60.0;
+  std::size_t messages = 50;
+  std::uint64_t seed = 1;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--nodes") == 0) {
+      nodes = static_cast<std::size_t>(std::strtoull(need_value("--nodes"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      sim_seconds = std::strtod(need_value("--seconds"), nullptr);
+    } else if (std::strcmp(argv[i], "--messages") == 0) {
+      messages = static_cast<std::size_t>(std::strtoull(need_value("--messages"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--nodes N] [--seconds S] [--messages M] "
+                   "[--seed X]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  using namespace gocast;
+
+  const auto setup_start = Clock::now();
+  core::SystemConfig config;
+  config.node_count = nodes;
+  config.seed = seed;
+  config.latency = core::default_latency_model(seed);
+  core::System system(config);
+  system.start();
+  const double setup_wall = seconds_since(setup_start);
+
+  // Full-protocol load: maintenance everywhere, plus multicasts injected at
+  // an even cadence through the middle of the run so data dissemination,
+  // pull recovery, and payload GC all contribute events.
+  const auto run_start = Clock::now();
+  const double inject_begin = sim_seconds * 0.3;
+  const double inject_end = sim_seconds * 0.9;
+  system.run_until(inject_begin);
+  for (std::size_t m = 0; m < messages; ++m) {
+    system.run_until(inject_begin + (inject_end - inject_begin) *
+                                        static_cast<double>(m) /
+                                        static_cast<double>(messages));
+    system.node(system.random_alive_node()).multicast(1024);
+  }
+  system.run_until(sim_seconds);
+  const double run_wall = seconds_since(run_start);
+
+  const std::uint64_t events = system.engine().processed();
+  const auto& pool = system.network().pool();
+  std::printf(
+      "{\n"
+      "  \"nodes\": %zu,\n"
+      "  \"sim_seconds\": %.1f,\n"
+      "  \"messages\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"setup_wall_seconds\": %.3f,\n"
+      "  \"run_wall_seconds\": %.3f,\n"
+      "  \"events_processed\": %llu,\n"
+      "  \"events_per_second\": %.0f,\n"
+      "  \"events_pending_at_end\": %zu,\n"
+      "  \"peak_rss_mib\": %.1f,\n"
+      "  \"pool\": {\"reused\": %llu, \"fresh\": %llu, \"oversized\": %llu, "
+      "\"chunks\": %zu}\n"
+      "}\n",
+      nodes, sim_seconds, messages,
+      static_cast<unsigned long long>(seed), setup_wall, run_wall,
+      static_cast<unsigned long long>(events),
+      run_wall > 0.0 ? static_cast<double>(events) / run_wall : 0.0,
+      system.engine().pending(), peak_rss_mib(),
+      static_cast<unsigned long long>(pool.reused()),
+      static_cast<unsigned long long>(pool.fresh()),
+      static_cast<unsigned long long>(pool.oversized()), pool.chunks());
+  return 0;
+}

@@ -80,7 +80,7 @@ void PushGossipNode::gossip_now(MsgId id) {
   for (NodeId target : picked) {
     ++gossips_sent_;
     network_.send(id_, target,
-                  std::make_shared<core::GossipDigestMsg>(
+                  network_.make<core::GossipDigestMsg>(
                       std::vector<core::DigestEntry>{
                           core::DigestEntry{id, it->second.inject_time}},
                       std::vector<membership::MemberEntry>{},
@@ -101,7 +101,7 @@ void PushGossipNode::on_gossip_timer() {
   if (entries.empty()) return;  // "a gossip can be saved"
   ++gossips_sent_;
   network_.send(id_, random_target(),
-                std::make_shared<core::GossipDigestMsg>(
+                network_.make<core::GossipDigestMsg>(
                     std::move(entries), std::vector<membership::MemberEntry>{},
                     net::PeerDegrees{}));
 }
@@ -118,8 +118,7 @@ void PushGossipNode::on_digest(NodeId from, const core::GossipDigestMsg& msg) {
 
 void PushGossipNode::issue_pull(NodeId target, MsgId id) {
   network_.send(id_, target,
-                std::make_shared<core::PullRequestMsg>(std::vector<MsgId>{id},
-                                                       net::PeerDegrees{}));
+                network_.make<core::PullRequestMsg>(id, net::PeerDegrees{}));
   // Self-driven retry: a lost pull or response must not orphan the message.
   engine_.schedule_after(params_.pull_retry_timeout, [this, id] {
     auto it = pull_pending_.find(id);
@@ -141,7 +140,7 @@ void PushGossipNode::on_pull(NodeId from, const core::PullRequestMsg& msg) {
     auto it = store_.find(id);
     if (it == store_.end() || !it->second.payload_present) continue;
     network_.send(id_, from,
-                  std::make_shared<core::DataMsg>(
+                  network_.make<core::DataMsg>(
                       id, it->second.inject_time, it->second.payload_bytes,
                       /*via_tree=*/false, net::PeerDegrees{}));
   }

@@ -29,6 +29,13 @@ Dissemination::Dissemination(NodeId self, net::Network& network,
   GOCAST_ASSERT(params_.gossip_period_max >= params_.gossip_period);
   GOCAST_ASSERT(params_.gossip_backoff >= 1.0);
   GOCAST_ASSERT(params_.pull_max_attempts >= 1);
+  // Flat tables, sized once: the store holds messages for gc_record_after
+  // seconds, pending_ one slot per overlay neighbor, pull_pending_ the ids
+  // currently being recovered. Steady state should never rehash.
+  store_.reserve(256);
+  pending_.reserve(32);
+  pull_pending_.reserve(64);
+  piggyback_buf_.reserve(params_.piggyback_members + 1);
 }
 
 void Dissemination::start(SimTime stagger) {
@@ -81,12 +88,22 @@ void Dissemination::accept_message(MsgId id, SimTime inject_time,
   // Queue the ID for gossiping to every overlay neighbor except the one we
   // heard the message from.
   for (NodeId peer : rotation_) {
-    if (peer != learned_from) pending_[peer].push_back(id);
+    if (peer != learned_from) pending_slot(peer).push_back(id);
   }
 }
 
+std::vector<MsgId>& Dissemination::pending_slot(NodeId peer) {
+  auto [it, fresh] = pending_.try_emplace(peer);
+  if (fresh && !spare_pending_.empty()) {
+    // Recycle the capacity of a departed neighbor's vector.
+    it->second = std::move(spare_pending_.back());
+    spare_pending_.pop_back();
+  }
+  return it->second;
+}
+
 void Dissemination::forward_on_tree(MsgId id, const Stored& stored, NodeId except) {
-  auto msg = std::make_shared<DataMsg>(id, stored.inject_time,
+  auto msg = network_.make<DataMsg>(id, stored.inject_time,
                                        stored.payload_bytes, /*via_tree=*/true,
                                        overlay_.my_degrees());
   for (NodeId peer : tree_->tree_neighbors()) {
@@ -135,30 +152,30 @@ void Dissemination::on_gossip_timer() {
   NodeId target = rotation_[rotation_idx_];
   rotation_idx_ = (rotation_idx_ + 1) % rotation_.size();
 
-  std::vector<DigestEntry> entries;
+  digest_buf_.clear();
   auto pending_it = pending_.find(target);
   if (pending_it != pending_.end() && !pending_it->second.empty()) {
-    entries.reserve(pending_it->second.size());
+    digest_buf_.reserve(pending_it->second.size());
     for (MsgId id : pending_it->second) {
       auto it = store_.find(id);
       if (it == store_.end() || !it->second.payload_present) continue;
-      entries.push_back(DigestEntry{id, it->second.inject_time});
+      digest_buf_.push_back(DigestEntry{id, it->second.inject_time});
     }
-    pending_it->second.clear();
+    pending_it->second.clear();  // keeps capacity for the next burst
   }
 
-  if (entries.empty() && params_.skip_empty_gossips) return;
+  if (digest_buf_.empty() && params_.skip_empty_gossips) return;
 
   ++gossips_sent_;
-  digest_entries_sent_ += entries.size();
+  digest_entries_sent_ += digest_buf_.size();
   network_.send(self_, target,
-                std::make_shared<GossipDigestMsg>(
-                    std::move(entries), piggyback_members(), overlay_.my_degrees()));
+                network_.make<GossipDigestMsg>(
+                    digest_buf_, piggyback_members(), overlay_.my_degrees()));
 }
 
-std::vector<membership::MemberEntry> Dissemination::piggyback_members() {
-  std::vector<membership::MemberEntry> members;
-  members.reserve(params_.piggyback_members + 1);
+const std::vector<membership::MemberEntry>& Dissemination::piggyback_members() {
+  std::vector<membership::MemberEntry>& members = piggyback_buf_;
+  members.clear();
 
   // Our own (fresh) entry always rides along; it carries our landmark
   // vector, which keeps proximity estimates flowing through the system.
@@ -211,8 +228,7 @@ void Dissemination::on_gossip_digest(NodeId from, const GossipDigestMsg& msg) {
 void Dissemination::issue_pull(NodeId target, MsgId id) {
   ++pulls_sent_;
   network_.send(self_, target,
-                std::make_shared<PullRequestMsg>(std::vector<MsgId>{id},
-                                                 overlay_.my_degrees()));
+                network_.make<PullRequestMsg>(id, overlay_.my_degrees()));
   schedule_pull_retry(id);
 }
 
@@ -239,7 +255,7 @@ void Dissemination::on_pull_request(NodeId from, const PullRequestMsg& msg) {
     auto it = store_.find(id);
     if (it == store_.end() || !it->second.payload_present) continue;
     network_.send(self_, from,
-                  std::make_shared<DataMsg>(id, it->second.inject_time,
+                  network_.make<DataMsg>(id, it->second.inject_time,
                                             it->second.payload_bytes,
                                             /*via_tree=*/false,
                                             overlay_.my_degrees()));
@@ -317,7 +333,14 @@ void Dissemination::on_neighbor_removed(NodeId peer) {
     rotation_.erase(it);
     if (rotation_idx_ > idx) --rotation_idx_;
   }
-  pending_.erase(peer);
+  auto pit = pending_.find(peer);
+  if (pit != pending_.end()) {
+    // Swap-and-clear: park the vector's capacity for the next neighbor
+    // instead of freeing and reallocating it on every overlay change.
+    pit->second.clear();
+    spare_pending_.push_back(std::move(pit->second));
+    pending_.erase(pit);
+  }
 }
 
 }  // namespace gocast::core

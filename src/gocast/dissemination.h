@@ -6,9 +6,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "gocast/messages.h"
@@ -100,8 +100,13 @@ class Dissemination final : public overlay::OverlayListener {
   void issue_pull(NodeId target, MsgId id);
   void schedule_pull_retry(MsgId id);
   void remove_from_pending(NodeId neighbor, MsgId id);
+  /// The pending-ids vector for `peer`, creating it (from the recycle bin
+  /// when possible) on first use.
+  std::vector<MsgId>& pending_slot(NodeId peer);
 
-  [[nodiscard]] std::vector<membership::MemberEntry> piggyback_members();
+  /// Fills and returns the reusable piggyback buffer (valid until the next
+  /// call); avoids a fresh vector per gossip tick.
+  [[nodiscard]] const std::vector<membership::MemberEntry>& piggyback_members();
 
   NodeId self_;
   net::Network& network_;
@@ -112,17 +117,22 @@ class Dissemination final : public overlay::OverlayListener {
   DisseminationParams params_;
   Rng rng_;
 
-  std::unordered_map<MsgId, Stored> store_;
-  std::unordered_map<NodeId, std::vector<MsgId>> pending_;
+  common::FlatMap<MsgId, Stored> store_;
+  common::FlatMap<NodeId, std::vector<MsgId>> pending_;
+  /// Capacity-preserving recycle bin for pending_ vectors of departed
+  /// neighbors (swap-and-clear instead of erase/reinsert churn).
+  std::vector<std::vector<MsgId>> spare_pending_;
   std::vector<NodeId> rotation_;
   std::size_t rotation_idx_ = 0;
   struct PullState {
-    NodeId target;
-    SimTime started;
-    int attempts;
+    NodeId target = kInvalidNode;
+    SimTime started = 0.0;
+    int attempts = 0;
   };
-  std::unordered_map<MsgId, PullState> pull_pending_;
+  common::FlatMap<MsgId, PullState> pull_pending_;
   std::uint32_t next_seq_ = 0;
+  std::vector<membership::MemberEntry> piggyback_buf_;
+  std::vector<DigestEntry> digest_buf_;
 
   membership::LandmarkVector own_landmarks_ = membership::empty_landmarks();
   DeliveryHook delivery_hook_;

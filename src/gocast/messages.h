@@ -1,11 +1,13 @@
 // Dissemination wire protocol: multicast payloads, gossip digests, pulls.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
 #include "membership/member_entry.h"
 #include "net/message.h"
+#include "net/message_pool.h"
 
 namespace gocast::core {
 
@@ -52,16 +54,28 @@ struct DigestEntry {
 /// The gossip: IDs of messages received or started since the last gossip to
 /// this neighbor (minus those heard from it), plus piggybacked membership.
 struct GossipDigestMsg final : net::Message {
-  GossipDigestMsg(std::vector<DigestEntry> entries,
-                  std::vector<membership::MemberEntry> members,
+  /// Pool-backed construction (Network::make passes the arena): the digest
+  /// and member payload vectors are carved from the message pool, so a
+  /// steady-state gossip performs no global-allocator calls at all.
+  GossipDigestMsg(const std::shared_ptr<net::MessageArena>& arena,
+                  const std::vector<DigestEntry>& entries_in,
+                  const std::vector<membership::MemberEntry>& members_in,
                   net::PeerDegrees degrees)
       : net::Message(net::MsgKind::kGossipDigest, kPktGossipDigest),
-        entries(std::move(entries)),
-        members(std::move(members)),
+        entries(entries_in.begin(), entries_in.end(),
+                net::PayloadAllocator<DigestEntry>(arena)),
+        members(members_in.begin(), members_in.end(),
+                net::PayloadAllocator<membership::MemberEntry>(arena)),
         degrees(degrees) {}
 
-  std::vector<DigestEntry> entries;
-  std::vector<membership::MemberEntry> members;
+  /// Arena-less construction (tests, direct use): global allocator.
+  GossipDigestMsg(const std::vector<DigestEntry>& entries_in,
+                  const std::vector<membership::MemberEntry>& members_in,
+                  net::PeerDegrees degrees)
+      : GossipDigestMsg(nullptr, entries_in, members_in, degrees) {}
+
+  net::PoolVec<DigestEntry> entries;
+  net::PoolVec<membership::MemberEntry> members;
   net::PeerDegrees degrees;
 
   [[nodiscard]] std::size_t wire_size() const override {
@@ -76,12 +90,21 @@ struct GossipDigestMsg final : net::Message {
 
 /// Request for messages whose IDs were learned from a gossip.
 struct PullRequestMsg final : net::Message {
-  PullRequestMsg(std::vector<MsgId> ids, net::PeerDegrees degrees)
+  /// Pool-backed single-id pull (the common case: one pull per missing
+  /// message) — no temporary vector, no global-allocator call.
+  PullRequestMsg(const std::shared_ptr<net::MessageArena>& arena, MsgId id,
+                 net::PeerDegrees degrees)
       : net::Message(net::MsgKind::kPullRequest, kPktPullRequest),
-        ids(std::move(ids)),
+        ids(1, id, net::PayloadAllocator<MsgId>(arena)),
         degrees(degrees) {}
 
-  std::vector<MsgId> ids;
+  /// Arena-less construction (tests, direct use): global allocator.
+  PullRequestMsg(const std::vector<MsgId>& ids_in, net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kPullRequest, kPktPullRequest),
+        ids(ids_in.begin(), ids_in.end(), net::PayloadAllocator<MsgId>()),
+        degrees(degrees) {}
+
+  net::PoolVec<MsgId> ids;
   net::PeerDegrees degrees;
 
   [[nodiscard]] std::size_t wire_size() const override {

@@ -57,7 +57,7 @@ void GoCastNode::kill() {
 
 void GoCastNode::join_via(NodeId bootstrap) {
   GOCAST_ASSERT(bootstrap != id_);
-  network_.send(id_, bootstrap, std::make_shared<overlay::JoinRequestMsg>());
+  network_.send(id_, bootstrap, network_.make<overlay::JoinRequestMsg>());
 }
 
 void GoCastNode::seed_view(std::span<const membership::MemberEntry> entries) {
@@ -179,7 +179,7 @@ void GoCastNode::on_join_request(NodeId from) {
   self_entry.heard_at = network_.engine().now();
   members.push_back(self_entry);
   network_.send(id_, from,
-                std::make_shared<overlay::JoinReplyMsg>(std::move(members)));
+                network_.make<overlay::JoinReplyMsg>(std::move(members)));
 }
 
 void GoCastNode::on_join_reply(const overlay::JoinReplyMsg& msg) {

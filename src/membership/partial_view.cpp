@@ -10,6 +10,7 @@ PartialView::PartialView(NodeId self, std::size_t capacity, Rng rng)
     : self_(self), capacity_(capacity), rng_(std::move(rng)) {
   GOCAST_ASSERT(capacity_ >= 1);
   entries_.reserve(capacity_);
+  index_.reserve(capacity_);
 }
 
 void PartialView::insert(const MemberEntry& entry) {
@@ -32,11 +33,11 @@ void PartialView::insert(const MemberEntry& entry) {
     std::size_t victim = static_cast<std::size_t>(rng_.next_below(entries_.size()));
     index_.erase(entries_[victim].id);
     entries_[victim] = entry;
-    index_[entry.id] = victim;
+    index_[entry.id] = static_cast<std::uint32_t>(victim);
     return;
   }
 
-  index_[entry.id] = entries_.size();
+  index_[entry.id] = static_cast<std::uint32_t>(entries_.size());
   entries_.push_back(entry);
 }
 
@@ -51,7 +52,7 @@ void PartialView::remove(NodeId id) {
   std::size_t last = entries_.size() - 1;
   if (pos != last) {
     entries_[pos] = entries_[last];
-    index_[entries_[pos].id] = pos;
+    index_[entries_[pos].id] = static_cast<std::uint32_t>(pos);
   }
   entries_.pop_back();
   index_.erase(it);

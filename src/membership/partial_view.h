@@ -8,10 +8,11 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "membership/member_entry.h"
@@ -59,7 +60,10 @@ class PartialView {
   std::size_t capacity_;
   Rng rng_;
   std::vector<MemberEntry> entries_;
-  std::unordered_map<NodeId, std::size_t> index_;  // id -> position in entries_
+  // id -> position in entries_. The value is u32 (not size_t) on purpose:
+  // it halves the index's slot footprint, and membership inserts are
+  // memory-bound across many per-node views in large runs.
+  common::FlatMap<NodeId, std::uint32_t> index_;
   std::size_t cursor_ = 0;
 };
 

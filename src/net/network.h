@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
@@ -13,6 +14,7 @@
 #include "net/latency_model.h"
 #include "net/link_policy.h"
 #include "net/message.h"
+#include "net/message_pool.h"
 #include "net/trace.h"
 #include "net/traffic_stats.h"
 #include "sim/engine.h"
@@ -99,6 +101,27 @@ class Network {
   /// is dead and notify_send_failures is set.
   void send(NodeId from, NodeId to, MessagePtr msg);
 
+  /// Constructs a message of type `M` from this network's slab pool.
+  /// Steady-state traffic recycles message blocks instead of hitting the
+  /// global allocator; the returned pointer is a normal MessagePtr-compatible
+  /// shared_ptr (in-flight messages keep the pool alive on their own).
+  /// Message types with an arena-first constructor get the pool passed
+  /// through, so their variable-length payloads (PoolVec members) are pooled
+  /// too.
+  template <class M, class... Args>
+  [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
+    if constexpr (std::is_constructible_v<M, const std::shared_ptr<MessageArena>&,
+                                          Args&&...>) {
+      return std::allocate_shared<M>(ArenaAllocator<M>(pool_), pool_,
+                                     std::forward<Args>(args)...);
+    } else {
+      return std::allocate_shared<M>(ArenaAllocator<M>(pool_),
+                                     std::forward<Args>(args)...);
+    }
+  }
+
+  [[nodiscard]] const MessageArena& pool() const { return *pool_; }
+
   /// Reports that a transfer from `from` to `to` was aborted after `bytes`
   /// of its recorded size turned out redundant (the receiver already had
   /// the message — paper §2.1 optimization 1). Corrects site-pair traffic.
@@ -133,6 +156,7 @@ class Network {
 
   sim::Engine& engine_;
   std::shared_ptr<const LatencyModel> latency_;
+  std::shared_ptr<MessageArena> pool_ = std::make_shared<MessageArena>();
   NetworkConfig config_;
   Rng rng_;
   std::vector<NodeRecord> nodes_;

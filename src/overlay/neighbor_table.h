@@ -4,9 +4,9 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/types.h"
 #include "net/message.h"
 #include "overlay/link_kind.h"
@@ -23,6 +23,10 @@ struct NeighborInfo {
 
 class NeighborTable {
  public:
+  /// Pre-sizes the table (called once at construction time with the degree
+  /// target so steady-state maintenance never rehashes).
+  void reserve(std::size_t n) { table_.reserve(n); }
+
   /// Adds a neighbor; returns false if already present (no overwrite).
   bool add(NodeId id, LinkKind kind, SimTime rtt, SimTime now);
 
@@ -60,7 +64,7 @@ class NeighborTable {
   [[nodiscard]] std::vector<NodeId> ids() const;
   [[nodiscard]] std::vector<NodeId> ids_of_kind(LinkKind kind) const;
 
-  [[nodiscard]] const std::unordered_map<NodeId, NeighborInfo>& raw() const {
+  [[nodiscard]] const common::FlatMap<NodeId, NeighborInfo>& raw() const {
     return table_;
   }
 
@@ -69,7 +73,7 @@ class NeighborTable {
   [[nodiscard]] double mean_rtt_of_kind(LinkKind kind) const;
 
  private:
-  std::unordered_map<NodeId, NeighborInfo> table_;
+  common::FlatMap<NodeId, NeighborInfo> table_;
   int rand_degree_ = 0;
   int near_degree_ = 0;
 };

@@ -28,6 +28,10 @@ OverlayManager::OverlayManager(NodeId self, net::Network& network,
   GOCAST_ASSERT(params_.drop_slack >= 1);
   GOCAST_ASSERT(params_.maintenance_period_max >= params_.maintenance_period);
   GOCAST_ASSERT(params_.maintenance_backoff >= 1.0);
+  // Flat tables: size once so steady-state maintenance never rehashes.
+  table_.reserve(static_cast<std::size_t>(params_.target_degree()) * 2 + 8);
+  pending_adds_.reserve(16);
+  pending_pings_.reserve(16);
 }
 
 void OverlayManager::start(SimTime stagger) {
@@ -155,7 +159,7 @@ void OverlayManager::maintain_random() {
     NodeId y = rand_ids[i];
     NodeId z = rand_ids[j];
     network_.send(self_, y,
-                  std::make_shared<LinkTransferMsg>(z, my_degrees()));
+                  network_.make<LinkTransferMsg>(z, my_degrees()));
     drop_link(y, /*notify_peer=*/false);  // the transfer message implies it
     drop_link(z, /*notify_peer=*/true);
     return;
@@ -297,11 +301,11 @@ void OverlayManager::measure_rtt(NodeId target, std::function<void(SimTime)> don
   std::uint32_t nonce = next_nonce_++;
   pending_pings_[nonce] = PendingPing{target, engine_.now(), std::move(done)};
   ++pings_sent_;
-  network_.send(self_, target, std::make_shared<PingMsg>(nonce));
+  network_.send(self_, target, network_.make<PingMsg>(nonce));
 }
 
 void OverlayManager::on_ping(NodeId from, const PingMsg& msg) {
-  network_.send(self_, from, std::make_shared<PongMsg>(msg.nonce, my_degrees()));
+  network_.send(self_, from, network_.make<PongMsg>(msg.nonce, my_degrees()));
 }
 
 void OverlayManager::on_pong(NodeId from, const PongMsg& msg) {
@@ -321,14 +325,14 @@ void OverlayManager::on_pong(NodeId from, const PongMsg& msg) {
 
 void OverlayManager::send_request(NodeId target, LinkKind kind, SimTime rtt,
                                   bool transfer) {
-  network_.send(self_, target, std::make_shared<NeighborRequestMsg>(
+  network_.send(self_, target, network_.make<NeighborRequestMsg>(
                                    kind, rtt, transfer, my_degrees()));
 }
 
 void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& msg) {
   if (table_.has(from)) {
     // Duplicate (e.g. retry after a lost accept): re-accept idempotently.
-    network_.send(self_, from, std::make_shared<NeighborAcceptMsg>(
+    network_.send(self_, from, network_.make<NeighborAcceptMsg>(
                                    msg.link, msg.measured_rtt, my_degrees()));
     return;
   }
@@ -356,7 +360,7 @@ void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& 
 
   if (!accept) {
     network_.send(self_, from,
-                  std::make_shared<NeighborRejectMsg>(msg.link, my_degrees()));
+                  network_.make<NeighborRejectMsg>(msg.link, my_degrees()));
     return;
   }
 
@@ -366,7 +370,7 @@ void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& 
   if (const net::PeerDegrees* degrees = msg.peer_degrees()) {
     table_.update_degrees(from, *degrees, engine_.now());
   }
-  network_.send(self_, from, std::make_shared<NeighborAcceptMsg>(
+  network_.send(self_, from, network_.make<NeighborAcceptMsg>(
                                  msg.link, msg.measured_rtt, my_degrees()));
 }
 
@@ -376,7 +380,7 @@ void OverlayManager::on_neighbor_accept(NodeId from, const NeighborAcceptMsg& ms
     // We gave up on this handshake (timeout) but the peer established the
     // link; tear its half down.
     if (!table_.has(from)) {
-      network_.send(self_, from, std::make_shared<NeighborDropMsg>(my_degrees()));
+      network_.send(self_, from, network_.make<NeighborDropMsg>(my_degrees()));
     }
     return;
   }
@@ -466,7 +470,7 @@ void OverlayManager::drop_link(NodeId peer, bool notify_peer) {
   ++links_dropped_;
   record_link_change();
   if (notify_peer) {
-    network_.send(self_, peer, std::make_shared<NeighborDropMsg>(my_degrees()));
+    network_.send(self_, peer, network_.make<NeighborDropMsg>(my_degrees()));
   }
   for (OverlayListener* l : listeners_) l->on_neighbor_removed(peer);
 }

@@ -18,9 +18,9 @@
 #include <deque>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "membership/partial_view.h"
@@ -195,11 +195,11 @@ class OverlayManager {
   Rng rng_;
 
   NeighborTable table_;
-  std::unordered_map<NodeId, PendingAdd> pending_adds_;
+  common::FlatMap<NodeId, PendingAdd> pending_adds_;
   int pending_rand_ = 0;
   int pending_near_ = 0;
 
-  std::unordered_map<std::uint32_t, PendingPing> pending_pings_;
+  common::FlatMap<std::uint32_t, PendingPing> pending_pings_;
   std::uint32_t next_nonce_ = 1;
 
   std::deque<NodeId> measure_queue_;

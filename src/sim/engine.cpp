@@ -1,85 +1,238 @@
 #include "sim/engine.h"
 
+#ifdef __linux__
+#include <sys/mman.h>
+#endif
+
+#include <algorithm>
+#include <new>
 #include <utility>
 
 namespace gocast::sim {
 
+// Physical index map (root offset kRootPos = 3): children of p are
+// 4p-8 .. 4p-5, parent of c is (c + 8) / 4. See engine.h for why.
+
+void Engine::sift_up(std::size_t pos) {
+  HeapEntry e = heap_[pos];
+  while (pos > kRootPos) {
+    const std::size_t parent = (pos + 8) / 4;
+    if (!(e < heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void Engine::sift_down(std::size_t pos) {
+  // Bottom-up variant (same trick as libstdc++ __adjust_heap): walk the hole
+  // all the way down along min-children, then bubble the displaced element up
+  // from the leaf. The displaced element came from the heap's back — almost
+  // always a large key — so the up-phase is O(1) expected while the descent
+  // skips a per-level comparison against it. The full-fanout min-of-4 scan
+  // is unrolled and compiles to conditional moves (128-bit compares), so the
+  // descent takes no data-dependent branches.
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[pos];
+  HeapEntry* h = heap_.data();
+  std::size_t first;
+  while ((first = pos * 4 - 8) + 3 < n) {
+    // The next level's load address depends on which child wins the scan
+    // below, so the descent is a chain of serial cache misses. Prefetching
+    // all four grandchild lines (they are contiguous: children groups are
+    // one line each) overlaps the next level's fill with this level's scan.
+    const std::size_t grand = first * 4 - 8;
+    if (grand < n) {
+      __builtin_prefetch(h + grand);
+      if (grand + 4 < n) __builtin_prefetch(h + grand + 4);
+      if (grand + 8 < n) __builtin_prefetch(h + grand + 8);
+      if (grand + 12 < n) __builtin_prefetch(h + grand + 12);
+    }
+    std::size_t best = first;
+    best = h[first + 1] < h[best] ? first + 1 : best;
+    best = h[first + 2] < h[best] ? first + 2 : best;
+    best = h[first + 3] < h[best] ? first + 3 : best;
+    h[pos] = h[best];
+    pos = best;
+  }
+  if (first < n) {  // partial last group (1-3 children)
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < n; ++c) {
+      best = h[c] < h[best] ? c : best;
+    }
+    h[pos] = h[best];
+    pos = best;
+  }
+  while (pos > kRootPos) {
+    const std::size_t parent = (pos + 8) / 4;
+    if (!(e < h[parent])) break;
+    h[pos] = h[parent];
+    pos = parent;
+  }
+  h[pos] = e;
+}
+
+void Engine::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void Engine::heap_pop() {
+  heap_[kRootPos] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n <= kRootPos) return;
+  if (n >= 8) {
+    // The next top is almost always the min of the root's children (the
+    // element moved up from the back rarely wins). That line is cache-hot,
+    // so predict the winner now and prefetch its slot a whole sift_down
+    // earlier than fire_top's own prefetch can.
+    const HeapEntry* h = heap_.data();
+    std::size_t best = 4;
+    best = h[5] < h[best] ? 5 : best;
+    best = h[6] < h[best] ? 6 : best;
+    best = h[7] < h[best] ? 7 : best;
+    __builtin_prefetch(&slot_ref(tag_slot(entry_tag(h[best]))));
+  }
+  sift_down(kRootPos);
+}
+
+Engine::~Engine() {
+  // Chunks hold raw storage; only slots [0, slot_count_) were ever
+  // placement-constructed (free-listed slots stay constructed).
+  for (std::uint32_t s = 0; s < slot_count_; ++s) {
+    slot_ref(s).~Slot();
+  }
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (free_head_ != kNoFreeSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+    return slot;
+  }
+  if ((slot_count_ >> kChunkShift) == chunks_.size()) {
+    void* raw = ::operator new(kChunkBytes, std::align_val_t{kChunkBytes});
+#ifdef __linux__
+    madvise(raw, kChunkBytes, MADV_HUGEPAGE);
+#endif
+    chunks_.emplace_back(static_cast<Slot*>(raw));
+  }
+  GOCAST_ASSERT(slot_count_ < (std::uint32_t{1} << kSlotBits));
+  new (&slot_ref(slot_count_)) Slot;
+  return slot_count_++;
+}
+
 EventId Engine::schedule_at(SimTime t, Callback cb) {
   GOCAST_ASSERT_MSG(t >= now_, "scheduling into the past: t=" << t
                                                               << " now=" << now_);
-  GOCAST_ASSERT(cb != nullptr);
+  GOCAST_ASSERT(static_cast<bool>(cb));
+  GOCAST_ASSERT(next_seq_ < kMaxSeq);
 
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[slot];
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t tag = (next_seq_++ << kSlotBits) | slot;
+  Slot& s = slot_ref(slot);
+  s.live_tag = tag;
   s.callback = std::move(cb);
-  s.active = true;
 
-  EventId id{slot, s.generation};
-  heap_.push(HeapEntry{t, next_seq_++, id});
+  heap_push(make_entry(time_key(t), tag));
   ++live_events_;
-  return id;
+  return EventId{slot, s.generation};
 }
 
 bool Engine::cancel(EventId id) {
-  if (id.slot >= slots_.size()) return false;
-  Slot& s = slots_[id.slot];
-  if (!s.active || s.generation != id.generation) return false;
-  s.active = false;
+  if (id.slot >= slot_count_) return false;
+  Slot& s = slot_ref(id.slot);
+  if (s.live_tag == kDeadTag || s.generation != id.generation) return false;
+  s.live_tag = kDeadTag;
   ++s.generation;
-  s.callback = nullptr;
-  free_slots_.push_back(id.slot);
+  s.callback.reset();
+  s.next_free = free_head_;
+  free_head_ = id.slot;
   GOCAST_ASSERT(live_events_ > 0);
   --live_events_;
+  // The heap entry is now stale; it is skipped lazily when it surfaces, and
+  // compacted away wholesale when stale entries dominate the heap.
+  ++dead_in_heap_;
+  if (dead_in_heap_ > live_events_ && heap_.size() >= 64) compact_heap();
   return true;
 }
 
-bool Engine::pop_live(HeapEntry& out) {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    Slot& s = slots_[top.id.slot];
-    if (s.active && s.generation == top.id.generation) {
-      out = top;
-      return true;
+void Engine::compact_heap() {
+  auto dead = [this](HeapEntry e) { return !entry_live(e); };
+  heap_.erase(std::remove_if(heap_.begin() + kRootPos, heap_.end(), dead),
+              heap_.end());
+  const std::size_t n = heap_.size();
+  if (n > kRootPos + 1) {
+    // Floyd heapify: sift interior nodes bottom-up (last parent first).
+    for (std::size_t i = std::min((n - 1 + 8) / 4, n - 1); i >= kRootPos; --i) {
+      sift_down(i);
     }
-    heap_.pop();  // stale entry for a canceled event
+  }
+  dead_in_heap_ = 0;
+#ifndef NDEBUG
+  // Every live event has exactly one heap entry: after dropping the dead
+  // ones the heap and the live-event count must agree with pending().
+  GOCAST_ASSERT(heap_.size() - kRootPos == live_events_);
+  GOCAST_ASSERT(pending() == live_events_);
+#endif
+}
+
+bool Engine::prune_dead_top() {
+  while (!heap_empty()) {
+    if (entry_live(heap_top())) return true;
+    heap_pop();
+    GOCAST_ASSERT(dead_in_heap_ > 0);
+    --dead_in_heap_;
   }
   return false;
 }
 
-bool Engine::step() {
-  HeapEntry entry{};
-  if (!pop_live(entry)) return false;
-  heap_.pop();
+void Engine::fire_top() {
+  const HeapEntry entry = heap_top();
+  heap_pop();
+  // The next top's slot line will be needed by the upcoming liveness check;
+  // issuing the prefetch here lets the fill overlap with the callback.
+  if (!heap_empty()) {
+    __builtin_prefetch(&slot_ref(tag_slot(entry_tag(heap_top()))));
+  }
 
-  GOCAST_ASSERT(entry.time >= now_);
-  now_ = entry.time;
+  const SimTime t = key_time(entry_key(entry));
+  GOCAST_ASSERT(t >= now_);
+  now_ = t;
 
-  Slot& s = slots_[entry.id.slot];
-  Callback cb = std::move(s.callback);
-  s.active = false;
+  const std::uint32_t slot = tag_slot(entry_tag(entry));
+  Slot& s = slot_ref(slot);
+  // Mark the event dead before invoking (so a re-entrant cancel of this id
+  // is a no-op) but keep the slot OFF the free list until the callback
+  // returns: slots never move when the table grows, so invoking in place is
+  // safe as long as a re-entrant schedule_at cannot recycle this slot and
+  // overwrite the executing callback.
+  s.live_tag = kDeadTag;
   ++s.generation;
-  s.callback = nullptr;
-  free_slots_.push_back(entry.id.slot);
   --live_events_;
   ++processed_;
 
-  cb();
+  s.callback();
+  s.callback.reset();
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+bool Engine::step() {
+  if (!prune_dead_top()) return false;
+  fire_top();
   return true;
 }
 
 std::size_t Engine::run_until(SimTime t) {
   GOCAST_ASSERT(t >= now_);
+  // Batch fast path: one top-of-heap probe per event (step()-based looping
+  // would prune and inspect the top twice per event).
+  const std::uint64_t key_limit = time_key(t);
   std::size_t n = 0;
-  HeapEntry entry{};
-  while (pop_live(entry) && entry.time <= t) {
-    step();
+  while (prune_dead_top() && entry_key(heap_top()) <= key_limit) {
+    fire_top();
     ++n;
   }
   now_ = t;
@@ -88,17 +241,19 @@ std::size_t Engine::run_until(SimTime t) {
 
 std::size_t Engine::run() {
   std::size_t n = 0;
-  while (step()) ++n;
+  while (prune_dead_top()) {
+    fire_top();
+    ++n;
+  }
   return n;
 }
 
 SimTime Engine::next_event_time() const {
-  // const_cast-free peek: scan the heap top through a copy of the lazy-skip
-  // logic. The heap only mutates in pop_live/step, so we replicate the check.
+  // Pruning dead top entries is observationally const; doing it here keeps
+  // the query O(1) amortized instead of scanning past stale entries.
   auto* self = const_cast<Engine*>(this);
-  HeapEntry entry{};
-  if (!self->pop_live(entry)) return kNever;
-  return entry.time;
+  if (!self->prune_dead_top()) return kNever;
+  return key_time(entry_key(heap_top()));
 }
 
 }  // namespace gocast::sim

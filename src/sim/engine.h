@@ -3,16 +3,36 @@
 // Deterministic: events with equal timestamps fire in scheduling order, so a
 // run is a pure function of the seed that fed its callbacks. Cancelation is
 // O(1) via generation-checked slots (canceled entries are skipped lazily when
-// popped).
+// popped, and the heap compacts itself when more than half its entries are
+// dead so cancel-heavy workloads don't accumulate garbage).
+//
+// Hot-path notes (see DESIGN.md "Performance notes"):
+//  - Callbacks are sim::InlineCallback: no heap allocation for captures up to
+//    InlineCallback::kInlineCapacity bytes.
+//  - Heap entries are one 128-bit integer each: the timestamp as an
+//    order-preserving u64 bit pattern (IEEE-754 non-negative doubles compare
+//    like unsigned integers) in the high qword, and a tag packing the FIFO
+//    sequence number over the slot index in the low qword. Ordering by the
+//    single integer compare is exactly (time, seq) order.
+//  - The heap is a hand-rolled 4-ary min-heap with a bottom-up sift and a
+//    branchless min-of-4 child scan: half the levels of a binary heap, no
+//    data-dependent branches, and — thanks to 64-byte-aligned storage with
+//    the root at physical index 3 — every sibling group exactly one cache
+//    line, so each sift level costs a single line fill.
+//  - Slots are cache-line-sized and live in fixed chunks that never
+//    relocate, so slot-table growth never copies callbacks or faults in a
+//    fresh multi-megabyte allocation. Free slots form an intrusive list
+//    threaded through the chunks (no side array to grow).
 #pragma once
 
+#include <bit>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
 #include "common/assert.h"
 #include "common/types.h"
+#include "sim/inline_callback.h"
 
 namespace gocast::sim {
 
@@ -29,9 +49,10 @@ inline constexpr EventId kInvalidEvent{0xFFFFFFFFu, 0xFFFFFFFFu};
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
-  Engine() = default;
+  Engine() { heap_.assign(kRootPos, HeapEntry{0}); }
+  ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -68,34 +89,138 @@ class Engine {
   [[nodiscard]] std::size_t processed() const { return processed_; }
 
  private:
-  struct Slot {
+  static constexpr std::uint64_t kDeadTag = ~std::uint64_t{0};
+  static constexpr unsigned kSlotBits = 24;  // up to 16.7M concurrent events
+  static constexpr std::uint64_t kMaxSeq = std::uint64_t{1}
+                                           << (64 - kSlotBits);
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+  /// Slots per chunk: 32768 * 64 B = 2 MiB, allocated 2 MiB-aligned and
+  /// (on Linux) advised MADV_HUGEPAGE. A large run walks its slot table in
+  /// a cache-unfriendly stride, so with 4 KiB pages the table thrashes the
+  /// dTLB; one huge page per chunk makes slot lookups TLB-free. Chunks hold
+  /// raw storage — slots are placement-constructed on first acquire — so a
+  /// small engine touches only the pages it uses.
+  static constexpr std::uint32_t kChunkShift = 15;
+  static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
+
+  /// Callback plus liveness bookkeeping, padded to one cache line so every
+  /// slot access costs exactly one line fill (an unaligned record would
+  /// straddle two lines for most indices).
+  struct alignas(64) Slot {
     Callback callback;
+    std::uint64_t live_tag = kDeadTag;  // tag of the pending event, else dead
     std::uint32_t generation = 0;
-    bool active = false;
+    std::uint32_t next_free = kNoFreeSlot;  // intrusive free-list link
   };
 
-  struct HeapEntry {
-    SimTime time;
-    std::uint64_t seq;  // breaks ties: FIFO among same-time events
-    EventId id;
+  static constexpr std::size_t kChunkBytes =
+      std::size_t{kChunkSlots} * sizeof(Slot);
 
-    bool operator>(const HeapEntry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
+  /// Frees a chunk's raw storage. Slot destruction is the engine's job (only
+  /// slots below slot_count_ were ever constructed; see ~Engine).
+  struct ChunkFree {
+    void operator()(Slot* p) const noexcept {
+      ::operator delete(static_cast<void*>(p), std::align_val_t{kChunkBytes});
     }
   };
 
-  /// Pops heap entries until one names a live event; loads it into
-  /// `out`. Returns false when no live event remains.
-  bool pop_live(HeapEntry& out);
+  /// One heap entry packed into a single 128-bit integer: timestamp bits in
+  /// the high qword, tag (seq << kSlotBits | slot) in the low qword. Packing
+  /// makes the (time, seq) comparison one integer compare — cmp/sbb, no
+  /// branches — which keeps the min-child scans in the 4-ary heap branchless.
+  using HeapEntry = unsigned __int128;
+
+  /// Allocator keeping the heap array on cache-line boundaries so the
+  /// root-offset trick below can align sibling groups.
+  template <class T>
+  struct CacheAligned {
+    using value_type = T;
+    CacheAligned() = default;
+    template <class U>
+    CacheAligned(const CacheAligned<U>&) {}  // NOLINT(google-explicit-constructor)
+    T* allocate(std::size_t n) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{64}));
+    }
+    void deallocate(T* p, std::size_t n) {
+      ::operator delete(p, n * sizeof(T), std::align_val_t{64});
+    }
+    friend bool operator==(CacheAligned, CacheAligned) { return true; }
+  };
+
+  /// The root lives at physical index kRootPos and children of physical p
+  /// are 4p-8 .. 4p-5; with 16-byte entries and 64-byte-aligned storage,
+  /// every sibling group then starts on a multiple of four entries — one
+  /// cache line. Indices 0..2 are never-read padding.
+  static constexpr std::size_t kRootPos = 3;
+
+  static HeapEntry make_entry(std::uint64_t key, std::uint64_t tag) {
+    return (static_cast<HeapEntry>(key) << 64) | tag;
+  }
+  static std::uint64_t entry_key(HeapEntry e) {
+    return static_cast<std::uint64_t>(e >> 64);
+  }
+  static std::uint64_t entry_tag(HeapEntry e) {
+    return static_cast<std::uint64_t>(e);
+  }
+
+  /// Non-negative finite doubles compare identically to their bit patterns
+  /// taken as unsigned integers; -0.0 is normalized so it doesn't read as a
+  /// huge key. Times are always >= now() >= 0 here.
+  static std::uint64_t time_key(SimTime t) {
+    return std::bit_cast<std::uint64_t>(t == 0.0 ? 0.0 : t);
+  }
+  static SimTime key_time(std::uint64_t key) {
+    return std::bit_cast<SimTime>(key);
+  }
+
+  static std::uint32_t tag_slot(std::uint64_t tag) {
+    return static_cast<std::uint32_t>(tag & ((std::uint64_t{1} << kSlotBits) - 1));
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & (kChunkSlots - 1)];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t s) const {
+    return chunks_[s >> kChunkShift][s & (kChunkSlots - 1)];
+  }
+
+  [[nodiscard]] bool entry_live(HeapEntry e) const {
+    return slot_ref(tag_slot(entry_tag(e))).live_tag == entry_tag(e);
+  }
+
+  /// Pops a slot off the free list, adding a chunk when none is free.
+  std::uint32_t acquire_slot();
+
+  [[nodiscard]] bool heap_empty() const { return heap_.size() == kRootPos; }
+  [[nodiscard]] HeapEntry heap_top() const { return heap_[kRootPos]; }
+
+  // 4-ary min-heap primitives over physical indices (see kRootPos).
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_push(HeapEntry e);
+  void heap_pop();
+
+  /// Pops dead entries off the heap top until a live one (or nothing) is
+  /// left. Returns false when no live event remains.
+  bool prune_dead_top();
+
+  /// Pops the (live) top entry, advances now(), and runs its callback.
+  void fire_top();
+
+  /// Rebuilds the heap without its dead entries. Called when dead entries
+  /// outnumber live ones (heap hygiene for cancel-heavy workloads).
+  void compact_heap();
 
   SimTime now_ = 0.0;
   std::uint64_t next_seq_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t dead_in_heap_ = 0;
   std::size_t processed_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
-  std::vector<Slot> slots_;
-  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry, CacheAligned<HeapEntry>> heap_;
+  std::vector<std::unique_ptr<Slot[], ChunkFree>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNoFreeSlot;
 };
 
 }  // namespace gocast::sim

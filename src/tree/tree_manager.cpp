@@ -56,7 +56,7 @@ void TreeManager::flood_heartbeat() {
   if (!is_root() || frozen_) return;
   ++flood_seq_;
   last_heartbeat_ = network_.engine().now();
-  auto msg = std::make_shared<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
+  auto msg = network_.make<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
                                             overlay_.my_degrees());
   for (NodeId peer : overlay_.neighbor_ids()) {
     network_.send(self_, peer, msg);
@@ -91,7 +91,7 @@ void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
   if (candidate + kRelaxEpsilon < best_dist_) {
     best_dist_ = candidate;
     set_parent(from);
-    auto fwd = std::make_shared<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
+    auto fwd = network_.make<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
                                               overlay_.my_degrees());
     for (NodeId peer : overlay_.neighbor_ids()) {
       if (peer != from) network_.send(self_, peer, fwd);
@@ -147,7 +147,7 @@ void TreeManager::set_parent(NodeId new_parent) {
     // rejected during a link-handshake window) the original ChildJoin.
     if (new_parent != kInvalidNode) {
       network_.send(self_, new_parent,
-                    std::make_shared<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+                    network_.make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
     }
     return;
   }
@@ -155,11 +155,11 @@ void TreeManager::set_parent(NodeId new_parent) {
   parent_ = new_parent;
   if (old_parent != kInvalidNode && network_.alive(self_)) {
     network_.send(self_, old_parent,
-                  std::make_shared<ChildLeaveMsg>(overlay_.my_degrees()));
+                  network_.make<ChildLeaveMsg>(overlay_.my_degrees()));
   }
   if (new_parent != kInvalidNode) {
     network_.send(self_, new_parent,
-                  std::make_shared<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+                  network_.make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
   }
 }
 

@@ -1,0 +1,71 @@
+// Determinism regression at experiment scale: a 512-node GoCast scenario run
+// twice with the same seed must produce a byte-identical delivery-curve CSV
+// and identical traffic accounting. This pins the hot-path machinery (event
+// engine ordering, flat-map iteration, message pooling) to the invariant the
+// whole evaluation rests on: a run is a pure function of its seed.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/csv.h"
+#include "harness/scenario.h"
+
+namespace gocast {
+namespace {
+
+harness::ScenarioConfig large_config() {
+  harness::ScenarioConfig config;
+  config.protocol = harness::Protocol::kGoCast;
+  config.node_count = 512;
+  config.seed = 42;
+  config.warmup = 40.0;
+  config.message_count = 20;
+  config.message_rate = 50.0;
+  config.drain = 10.0;
+  return config;
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(Determinism, LargeScenarioCurveCsvIsByteIdentical) {
+  const std::string path_a = testing::TempDir() + "determinism_curve_a.csv";
+  const std::string path_b = testing::TempDir() + "determinism_curve_b.csv";
+
+  auto a = harness::run_scenario(large_config());
+  harness::write_curve_csv(path_a, a.curve);
+  auto b = harness::run_scenario(large_config());
+  harness::write_curve_csv(path_b, b.curve);
+
+  const std::string bytes_a = file_bytes(path_a);
+  const std::string bytes_b = file_bytes(path_b);
+  ASSERT_FALSE(bytes_a.empty());
+  EXPECT_EQ(bytes_a, bytes_b) << "delivery curve diverged between runs";
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+
+  // Traffic accounting must match to the byte as well.
+  EXPECT_EQ(a.traffic.total_sent().messages, b.traffic.total_sent().messages);
+  EXPECT_EQ(a.traffic.total_sent().bytes, b.traffic.total_sent().bytes);
+  EXPECT_EQ(a.traffic.delivered(), b.traffic.delivered());
+  EXPECT_EQ(a.traffic.lost(), b.traffic.lost());
+  EXPECT_EQ(a.traffic.dropped_dead(), b.traffic.dropped_dead());
+  EXPECT_EQ(a.traffic.aborted_bytes(), b.traffic.aborted_bytes());
+
+  // And the derived report statistics (bitwise, not approximately).
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.report.delay.mean(), b.report.delay.mean());
+  EXPECT_EQ(a.report.max_delay, b.report.max_delay);
+  EXPECT_EQ(a.report.delivered_fraction, b.report.delivered_fraction);
+}
+
+}  // namespace
+}  // namespace gocast

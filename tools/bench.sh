@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Performance baseline runner. Builds the benchmarks, runs the micro-benchmark
+# suite (min-of-repetitions, the only robust statistic on a shared/noisy host)
+# and the large-scale perf_scaling probe, and assembles everything into
+# BENCH_core.json at the repo root so perf numbers travel with the PR.
+#
+#   tools/bench.sh                 # full run: 5 reps, 8192 nodes x 60s
+#   REPS=3 NODES=1024 SECONDS=20 tools/bench.sh   # lighter variant
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+OUT="${OUT:-$REPO_ROOT/BENCH_core.json}"
+REPS="${REPS:-5}"
+NODES="${NODES:-8192}"
+SECONDS_ARG="${SECONDS_ARG:-60}"
+MESSAGES="${MESSAGES:-50}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" --target micro_core perf_scaling -j "$(nproc)" >/dev/null
+
+MICRO_JSON="$(mktemp)"
+SCALING_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON"' EXIT
+
+echo "== micro_core ($REPS repetitions, min-of-reps) =="
+"$BUILD_DIR/bench/micro_core" \
+  --benchmark_format=json \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_min_time=0.2 \
+  >"$MICRO_JSON"
+
+echo "== perf_scaling ($NODES nodes, ${SECONDS_ARG}s sim) =="
+"$BUILD_DIR/bench/perf_scaling" \
+  --nodes "$NODES" --seconds "$SECONDS_ARG" --messages "$MESSAGES" \
+  | tee "$SCALING_JSON"
+
+python3 - "$MICRO_JSON" "$SCALING_JSON" "$OUT" <<'PY'
+import json, sys
+
+micro_path, scaling_path, out_path = sys.argv[1:4]
+with open(micro_path) as f:
+    micro = json.load(f)
+with open(scaling_path) as f:
+    scaling = json.load(f)
+
+# Min over repetitions: on a busy single-CPU host the mean is dominated by
+# scheduling noise, while the minimum approximates the undisturbed run.
+best = {}
+for b in micro["benchmarks"]:
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b["run_name"] if "run_name" in b else b["name"]
+    t = b["real_time"]
+    if name not in best or t < best[name]["real_time"]:
+        best[name] = {"real_time": t, "time_unit": b["time_unit"]}
+
+result = {
+    "context": micro.get("context", {}),
+    "micro_min_of_reps": best,
+    "perf_scaling": scaling,
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

@@ -2,6 +2,7 @@
 # Full pre-merge check: build and test the plain configuration, then the
 # ASan+UBSan configuration (GOCAST_SANITIZE=ON). Run from the repo root:
 #   tools/check.sh [extra ctest args...]
+#   tools/check.sh bench-smoke     # quick perf-tooling sanity run only
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -18,6 +19,21 @@ run_config() {
   echo "=== test ${build_dir} ==="
   (cd "${root}/${build_dir}" && ctest --output-on-failure -j "${jobs}" "${EXTRA_CTEST_ARGS[@]}")
 }
+
+# bench-smoke: verify the perf tooling end to end at tiny scale — the
+# micro-benchmarks execute and perf_scaling completes a small deployment.
+# Catches bit-rot in the bench targets without a multi-minute run.
+if [[ "${1:-}" == "bench-smoke" ]]; then
+  cmake -B "${root}/build" -S "${root}"
+  cmake --build "${root}/build" -j "${jobs}" --target micro_core perf_scaling
+  echo "=== bench-smoke: micro_core ==="
+  "${root}/build/bench/micro_core" --benchmark_min_time=0.01 \
+    --benchmark_filter='BM_EngineScheduleAndRun/1000$|BM_EngineCancelHeavy|BM_SystemWarmupSecond/128'
+  echo "=== bench-smoke: perf_scaling ==="
+  "${root}/build/bench/perf_scaling" --nodes 128 --seconds 10 --messages 3
+  echo "=== bench-smoke passed ==="
+  exit 0
+fi
 
 EXTRA_CTEST_ARGS=("$@")
 
