@@ -13,8 +13,10 @@
 //  - Iteration order is a pure function of the operation history and the
 //    hash function — deterministic across runs, but NOT insertion order and
 //    NOT stable across rehash.
-//  - Iterators/pointers invalidate on rehash (insert may rehash). erase(it)
-//    never moves elements, so erase-while-iterating loops are safe:
+//  - Iterators/pointers invalidate on rehash. Only inserting a NEW key can
+//    rehash; try_emplace/operator[]/insert on an already-present key never
+//    invalidates (same rule as std::unordered_map lookups). erase(it) never
+//    moves elements, so erase-while-iterating loops are safe:
 //    `it = map.erase(it)`.
 #pragma once
 
@@ -167,16 +169,27 @@ class FlatMap {
 
   template <class... Args>
   std::pair<iterator, bool> try_emplace(const Key& key, Args&&... args) {
-    grow_if_needed();
+    if (states_.empty()) rehash(kMinCapacity);
     auto [idx, inserted] = probe_for_insert(key);
-    if (inserted) {
-      slots_[idx].first = key;
-      slots_[idx].second = T(std::forward<Args>(args)...);
-      states_[idx] = State::kFull;
-      set_bit(idx);
-      ++size_;
+    if (!inserted) return {iterator_at(idx), false};
+    // Grow only when a new key is actually being inserted, so try_emplace /
+    // operator[] on a present key never rehashes (matches unordered_map's
+    // rule that lookup of an existing key never invalidates). The load
+    // invariant (size_+dead_ <= 7/8 cap after every insert) guarantees the
+    // pre-grow probe above always terminates on an empty slot.
+    if (size_type cap = states_.size(); (size_ + dead_ + 1) * 8 > cap * 7) {
+      // Double only when genuinely loaded; if tombstones dominate, rehash at
+      // the same capacity to reclaim them (steady-state churn stays O(1)).
+      rehash(size_ + 1 > cap - cap / 4 ? cap * 2 : cap);
+      idx = probe_for_insert(key).first;  // slot moved with the rehash
     }
-    return {iterator_at(idx), inserted};
+    if (states_[idx] == State::kDead) --dead_;  // tombstone reclaimed
+    slots_[idx].first = key;
+    slots_[idx].second = T(std::forward<Args>(args)...);
+    states_[idx] = State::kFull;
+    set_bit(idx);
+    ++size_;
+    return {iterator_at(idx), true};
   }
 
   std::pair<iterator, bool> insert(const value_type& value) {
@@ -258,8 +271,11 @@ class FlatMap {
   }
 
   /// Finds the slot for `key`: {index of existing element, false} or
-  /// {index of the insertion slot, true}. Capacity must already suffice.
-  [[nodiscard]] std::pair<size_type, bool> probe_for_insert(const Key& key) {
+  /// {index of the insertion slot, true}. Pure probe — dead_ accounting for a
+  /// reclaimed tombstone happens at the insertion site (the caller may probe,
+  /// rehash, and probe again before committing the insert).
+  [[nodiscard]] std::pair<size_type, bool> probe_for_insert(
+      const Key& key) const {
     size_type mask = states_.size() - 1;
     size_type idx = Hash{}(key)&mask;
     size_type first_dead = npos;
@@ -268,11 +284,7 @@ class FlatMap {
       if (s == State::kFull && slots_[idx].first == key) return {idx, false};
       if (s == State::kDead && first_dead == npos) first_dead = idx;
       if (s == State::kEmpty) {
-        if (first_dead != npos) {
-          --dead_;
-          return {first_dead, true};
-        }
-        return {idx, true};
+        return {first_dead != npos ? first_dead : idx, true};
       }
       idx = (idx + 1) & mask;
     }
@@ -284,21 +296,6 @@ class FlatMap {
     clear_bit(idx);
     ++dead_;
     --size_;
-  }
-
-  /// Grows (or rehashes in place to clear tombstones) when full+dead slots
-  /// exceed 7/8 of capacity.
-  void grow_if_needed() {
-    if (states_.empty()) {
-      rehash(kMinCapacity);
-      return;
-    }
-    size_type cap = states_.size();
-    if ((size_ + dead_ + 1) * 8 > cap * 7) {
-      // Double only when genuinely loaded; if tombstones dominate, rehash at
-      // the same capacity to reclaim them (steady-state churn stays O(1)).
-      rehash(size_ + 1 > cap - cap / 4 ? cap * 2 : cap);
-    }
   }
 
   void rehash(size_type new_capacity) {

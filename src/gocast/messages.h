@@ -74,6 +74,8 @@ struct GossipDigestMsg final : net::Message {
                   net::PeerDegrees degrees)
       : GossipDigestMsg(nullptr, entries_in, members_in, degrees) {}
 
+  // Arena-backed payloads: iterate in place or COPY out (copies detach to the
+  // global allocator via PayloadAllocator); never move a PoolVec out.
   net::PoolVec<DigestEntry> entries;
   net::PoolVec<membership::MemberEntry> members;
   net::PeerDegrees degrees;
@@ -104,6 +106,7 @@ struct PullRequestMsg final : net::Message {
         ids(ids_in.begin(), ids_in.end(), net::PayloadAllocator<MsgId>()),
         degrees(degrees) {}
 
+  // Arena-backed payload: iterate in place or COPY out; never move it out.
   net::PoolVec<MsgId> ids;
   net::PeerDegrees degrees;
 

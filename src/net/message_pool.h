@@ -143,6 +143,14 @@ class ArenaAllocator {
 /// ArenaAllocator) keeps the arena alive until then — so a raw pointer is
 /// safe and avoids a shared_ptr refcount per vector. Null falls back to the
 /// global allocator (tests, direct construction).
+///
+/// Lifetime guard: select_on_container_copy_construction() returns a NULL
+/// allocator, so a PoolVec copied out of a message (`auto ids = msg.ids;`)
+/// uses the global allocator and may safely outlive the arena. Only copies
+/// detach this way — do NOT move a PoolVec out of a message (the moved-to
+/// vector would steal arena-backed storage plus this raw pointer); messages
+/// are handled as shared_ptr<const Message>, which makes that impossible
+/// through the normal MessagePtr path.
 template <class T>
 class PayloadAllocator {
  public:
@@ -151,6 +159,12 @@ class PayloadAllocator {
   PayloadAllocator() = default;
   explicit PayloadAllocator(const std::shared_ptr<MessageArena>& arena)
       : arena_(arena.get()) {}
+
+  /// Container copies detach from the arena (see class comment).
+  [[nodiscard]] PayloadAllocator select_on_container_copy_construction()
+      const {
+    return PayloadAllocator();
+  }
 
   template <class U>
   PayloadAllocator(const PayloadAllocator<U>& other) : arena_(other.arena()) {}

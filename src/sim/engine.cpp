@@ -24,7 +24,7 @@ void Engine::sift_up(std::size_t pos) {
   heap_[pos] = e;
 }
 
-void Engine::sift_down(std::size_t pos) {
+void Engine::sift_down(std::size_t pos, std::size_t top) {
   // Bottom-up variant (same trick as libstdc++ __adjust_heap): walk the hole
   // all the way down along min-children, then bubble the displaced element up
   // from the leaf. The displaced element came from the heap's back — almost
@@ -32,6 +32,11 @@ void Engine::sift_down(std::size_t pos) {
   // skips a per-level comparison against it. The full-fanout min-of-4 scan
   // is unrolled and compiles to conditional moves (128-bit compares), so the
   // descent takes no data-dependent branches.
+  //
+  // The bubble-up must stop at `top` (the position the sift started from,
+  // libstdc++'s __topIndex), NOT at kRootPos: when Floyd heapify sifts an
+  // interior node whose ancestors are not yet heapified, stopping only at the
+  // root would hoist the element above its own subtree and corrupt the heap.
   const std::size_t n = heap_.size();
   const HeapEntry e = heap_[pos];
   HeapEntry* h = heap_.data();
@@ -63,7 +68,7 @@ void Engine::sift_down(std::size_t pos) {
     h[pos] = h[best];
     pos = best;
   }
-  while (pos > kRootPos) {
+  while (pos > top) {
     const std::size_t parent = (pos + 8) / 4;
     if (!(e < h[parent])) break;
     h[pos] = h[parent];
@@ -94,7 +99,7 @@ void Engine::heap_pop() {
     best = h[7] < h[best] ? 7 : best;
     __builtin_prefetch(&slot_ref(tag_slot(entry_tag(h[best]))));
   }
-  sift_down(kRootPos);
+  sift_down(kRootPos, kRootPos);
 }
 
 Engine::~Engine() {
@@ -164,9 +169,11 @@ void Engine::compact_heap() {
               heap_.end());
   const std::size_t n = heap_.size();
   if (n > kRootPos + 1) {
-    // Floyd heapify: sift interior nodes bottom-up (last parent first).
+    // Floyd heapify: sift interior nodes bottom-up (last parent first). Each
+    // sift is bounded at its own start position `i` — the subtree root —
+    // because nodes above i are not heapified yet.
     for (std::size_t i = std::min((n - 1 + 8) / 4, n - 1); i >= kRootPos; --i) {
-      sift_down(i);
+      sift_down(i, i);
     }
   }
   dead_in_heap_ = 0;
@@ -175,6 +182,11 @@ void Engine::compact_heap() {
   // ones the heap and the live-event count must agree with pending().
   GOCAST_ASSERT(heap_.size() - kRootPos == live_events_);
   GOCAST_ASSERT(pending() == live_events_);
+  // Full heap invariant: no entry sorts below its parent. Fires immediately
+  // on a heapify bug instead of surfacing later as an out-of-order event.
+  for (std::size_t c = kRootPos + 1; c < heap_.size(); ++c) {
+    GOCAST_ASSERT(!(heap_[c] < heap_[(c + 8) / 4]));
+  }
 #endif
 }
 

@@ -196,8 +196,12 @@ class Engine {
   [[nodiscard]] HeapEntry heap_top() const { return heap_[kRootPos]; }
 
   // 4-ary min-heap primitives over physical indices (see kRootPos).
+  // sift_down restores the heap below `pos` assuming only h[pos] may violate
+  // the invariant; `top` bounds the bubble-up phase so a sift rooted at an
+  // interior node (Floyd heapify in compact_heap) never hoists the element
+  // above its own subtree.
   void sift_up(std::size_t pos);
-  void sift_down(std::size_t pos);
+  void sift_down(std::size_t pos, std::size_t top);
   void heap_push(HeapEntry e);
   void heap_pop();
 

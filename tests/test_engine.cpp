@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace gocast::sim {
@@ -172,6 +174,59 @@ TEST(Engine, ManyEventsStress) {
   engine.run();
   EXPECT_EQ(counter, 10000u);
   EXPECT_EQ(engine.processed(), 10000u);
+}
+
+// Regression: compact_heap's Floyd heapify sifts interior nodes, and the
+// sift's bubble-up phase must stop at the sift's own start position — not at
+// the root — or elements get hoisted above their subtree and the heap fires
+// events out of (time, seq) order. The trigger needs a well-mixed heap
+// array, so each round interleaves a schedule wave, a run_until slice (pops
+// move back elements through the root, scrambling array order), and a cancel
+// storm of ~2/3 of everything pending (drives dead > live -> compaction).
+// With the unbounded bubble-up this pattern corrupts the heap in round one
+// (verified: it throws the engine's t >= now_ assertion); afterwards
+// delivery must be in nondecreasing time with same-time ties in scheduling
+// order.
+TEST(Engine, CancelHeavyCompactionPreservesOrder) {
+  Engine engine;
+  std::vector<std::pair<double, int>> fired;
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+
+  std::vector<EventId> ids;
+  int seq = 0;
+  std::size_t canceled = 0;
+  for (int round = 0; round < 30; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      // Coarse time grid (1024 distinct offsets): plenty of same-time ties.
+      const double t =
+          engine.now() + static_cast<double>(next() % 1024) / 64.0;
+      const int tag = seq++;
+      ids.push_back(engine.schedule_at(t, [&fired, &engine, tag] {
+        fired.emplace_back(engine.now(), tag);
+      }));
+    }
+    engine.run_until(engine.now() + static_cast<double>(next() % 512) / 64.0);
+    // Stale ids from prior rounds are generation-checked cancel no-ops.
+    for (EventId& id : ids) {
+      if (next() % 3 != 0 && engine.cancel(id)) ++canceled;
+    }
+  }
+
+  engine.run();
+  EXPECT_EQ(engine.pending(), 0u);
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(seq) - canceled);
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    ASSERT_LE(fired[i - 1].first, fired[i].first)
+        << "events fired out of time order at index " << i;
+    if (fired[i - 1].first == fired[i].first) {
+      ASSERT_LT(fired[i - 1].second, fired[i].second)
+          << "same-time events fired out of scheduling order at index " << i;
+    }
+  }
 }
 
 TEST(Engine, RecursiveSchedulingChain) {

@@ -70,6 +70,32 @@ TEST(FlatMap, ReservePreventsRehashDuringFill) {
   EXPECT_EQ(map.capacity(), cap) << "reserve(n) must cover n inserts";
 }
 
+// try_emplace/operator[] on a present key must never rehash, even when the
+// table sits exactly at the load threshold where the next NEW key would —
+// matches std::unordered_map's rule that lookup of an existing key never
+// invalidates references.
+TEST(FlatMap, ExistingKeyAccessNeverInvalidates) {
+  FlatMap<int, int> map;
+  map[0] = 0;
+  // Fill until one more new key would trigger a rehash.
+  int key = 1;
+  while ((map.size() + 1) * 8 <= map.capacity() * 7) {
+    map[key] = key;
+    ++key;
+  }
+  const std::size_t cap = map.capacity();
+  int* ref = &map[0];
+  for (int k = 0; k < key; ++k) {
+    map[k] = k;
+    auto [it, inserted] = map.try_emplace(k, -1);
+    EXPECT_FALSE(inserted);
+    EXPECT_EQ(it->second, k);
+  }
+  EXPECT_EQ(map.capacity(), cap) << "existing-key access rehashed";
+  EXPECT_EQ(ref, &map[0]) << "existing-key access moved elements";
+  EXPECT_EQ(*ref, 0);
+}
+
 // Steady-state churn at constant size must not grow the table: tombstones
 // are reclaimed by same-capacity rehash, not by doubling forever.
 TEST(FlatMap, TombstoneChurnKeepsCapacityBounded) {

@@ -348,6 +348,27 @@ TEST(NetworkLoss, SetLossProbabilityTakesEffectMidRun) {
   EXPECT_EQ(b.received.size(), before + 100u);
 }
 
+// A PoolVec copied out of a message detaches from the arena
+// (select_on_container_copy_construction returns a null-arena allocator), so
+// the copy may safely outlive every pooled message and the Network itself.
+// Under ASan this also proves no free into a destroyed arena.
+TEST(MessagePool, CopiedPayloadVectorDetachesFromArena) {
+  PoolVec<int> copy;
+  {
+    auto arena = std::make_shared<MessageArena>();
+    PoolVec<int> pooled{PayloadAllocator<int>(arena)};
+    for (int i = 0; i < 64; ++i) pooled.push_back(i);
+    PoolVec<int> detached = pooled;  // copy ctor: allocator must not follow
+    EXPECT_EQ(detached.get_allocator().arena(), nullptr);
+    ASSERT_EQ(detached.size(), 64u);
+    copy = detached;  // copy's own (null) allocator supplies the storage
+  }  // arena and all arena-backed storage destroyed
+  copy.push_back(64);
+  EXPECT_EQ(copy.size(), 65u);
+  EXPECT_EQ(copy.front(), 0);
+  EXPECT_EQ(copy.back(), 64);
+}
+
 TEST(NetworkRoundRobin, MapsNodesToSitesModulo) {
   sim::Engine engine;
   Network network(engine, std::make_shared<RingLatencyModel>(3, 0.08),
