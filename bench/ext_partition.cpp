@@ -32,11 +32,15 @@ int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
 
-  harness::Args args(argc, argv, {"nodes", "seed", "warmup", "csv", "help"});
+  harness::Args args(argc, argv,
+                     {"nodes", "seed", "warmup", "csv", "readvertise", "help"});
   if (args.get_bool("help", false)) {
     std::cout << "ext_partition — delivery across a partition-and-heal cycle\n"
                  "flags: --nodes N [512] --seed S [7] --warmup SECS [180]\n"
-                 "       --csv FILE (append per-window rows)\n";
+                 "       --csv FILE (append per-window rows)\n"
+                 "       --readvertise (re-gossip recent ids on partition "
+                 "heal; compare the 'during partition' row against a run "
+                 "without it)\n";
     return 0;
   }
 
@@ -44,6 +48,7 @@ int main(int argc, char** argv) {
       args.get_int("nodes", static_cast<long>(scaled_count(512, 64))));
   std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
   double warmup = args.get_double("warmup", env_double("GOCAST_WARMUP", 180.0));
+  bool readvertise = args.get_bool("readvertise", false);
 
   // Timeline: pre-window traffic, then partition, traffic during the split,
   // heal, settle, post-window traffic. All times absolute sim seconds.
@@ -60,11 +65,13 @@ int main(int argc, char** argv) {
       "EXT: delivery across a partition-and-heal cycle (n=" +
           std::to_string(nodes) + ")",
       "30% of nodes split off at t=" + fmt(partition_at, 0) + " s, heal at t=" +
-          fmt(heal_at, 0) + " s; traffic windows before / during / after");
+          fmt(heal_at, 0) + " s; traffic windows before / during / after" +
+          (readvertise ? "; heal re-advertisement ON" : ""));
 
   core::SystemConfig config;
   config.node_count = nodes;
   config.seed = seed;
+  config.node.readvertise_on_heal = readvertise;
   core::System system(config);
 
   fault::FaultPlan plan;
@@ -140,8 +147,17 @@ int main(int argc, char** argv) {
   }
   table.print(std::cout);
 
+  std::uint64_t readvertised = 0;
+  for (NodeId id : alive) {
+    readvertised += system.node(id).dissemination().readvertised_ids();
+  }
+  std::cout << "\nheal re-advertisement "
+            << (readvertise ? "ON" : "OFF (--readvertise to enable)") << ": "
+            << readvertised
+            << " message ids re-queued for gossip after root changes\n";
+
   double remerge_delay = remerged_at >= 0.0 ? remerged_at - heal_at : -1.0;
-  std::cout << "\noverlay re-merged "
+  std::cout << "overlay re-merged "
             << (remerged_at >= 0.0 ? fmt(remerge_delay, 1) + " s after heal"
                                    : std::string("NEVER (within 60 s)"))
             << "\n";
@@ -162,15 +178,16 @@ int main(int argc, char** argv) {
     std::string path = args.get("csv", "");
     std::ofstream out(path, std::ios::app);
     if (out.tellp() == 0) {
-      out << "window,nodes,seed,messages,delivered,mean_delay_ms,p99_delay_ms,"
-             "remerge_s,violations\n";
+      out << "window,nodes,seed,readvertise,messages,delivered,mean_delay_ms,"
+             "p99_delay_ms,remerge_s,readvertised_ids,violations\n";
     }
     for (const Window& w : windows) {
       out << w.name << "," << nodes << "," << seed << ","
-          << w.report.messages << "," << fmt(w.report.delivered_fraction, 6)
-          << "," << fmt(w.report.delay.mean() * 1000.0, 3) << ","
+          << (readvertise ? 1 : 0) << "," << w.report.messages << ","
+          << fmt(w.report.delivered_fraction, 6) << ","
+          << fmt(w.report.delay.mean() * 1000.0, 3) << ","
           << fmt(w.report.p99 * 1000.0, 3) << "," << fmt(remerge_delay, 3)
-          << "," << checker.violation_count() << "\n";
+          << "," << readvertised << "," << checker.violation_count() << "\n";
     }
     std::cout << "rows appended to " << path << "\n";
   }

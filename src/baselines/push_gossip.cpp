@@ -4,91 +4,99 @@
 
 #include "common/assert.h"
 #include "gocast/system.h"  // default_latency_model
+#include "runtime/realtime_runtime.h"
 
 namespace gocast::baselines {
 
-PushGossipNode::PushGossipNode(NodeId id, net::Network& network,
-                               PushGossipParams params, Rng rng)
+template <runtime::Context RT>
+PushGossipNodeT<RT>::PushGossipNodeT(NodeId id, RT rt, PushGossipParams params,
+                                     Rng rng)
     : id_(id),
-      network_(network),
-      engine_(network.engine()),
+      rt_(rt),
       params_(params),
       rng_(std::move(rng)),
-      gossip_timer_(engine_, params.gossip_period, [this] { on_gossip_timer(); }),
-      gc_timer_(engine_, params.gc_sweep_period, [this] { gc_sweep(); }) {
+      gossip_timer_(rt_, params.gossip_period, [this] { on_gossip_timer(); }),
+      gc_timer_(rt_, params.gc_sweep_period, [this] { gc_sweep(); }) {
   GOCAST_ASSERT(params_.fanout >= 1);
   GOCAST_ASSERT(params_.gossip_period > 0.0);
-  network_.set_endpoint(id_, this);
+  rt_.set_endpoint(id_, this);
 }
 
-void PushGossipNode::start(SimTime stagger) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::start(SimTime stagger) {
   if (!params_.no_wait) gossip_timer_.start(stagger + params_.gossip_period);
   gc_timer_.start(stagger + params_.gc_sweep_period);
 }
 
-void PushGossipNode::stop() {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::stop() {
   gossip_timer_.stop();
   gc_timer_.stop();
 }
 
-void PushGossipNode::kill() {
-  network_.fail_node(id_);
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::kill() {
+  rt_.fail_node(id_);
   stop();
 }
 
-MsgId PushGossipNode::multicast(std::size_t payload_bytes) {
-  GOCAST_ASSERT(network_.alive(id_));
+template <runtime::Context RT>
+MsgId PushGossipNodeT<RT>::multicast(std::size_t payload_bytes) {
+  GOCAST_ASSERT(rt_.alive(id_));
   MsgId id{id_, next_seq_++};
-  accept_message(id, engine_.now(), payload_bytes, core::DeliveryPath::kLocal);
+  accept_message(id, rt_.now(), payload_bytes, core::DeliveryPath::kLocal);
   return id;
 }
 
-NodeId PushGossipNode::random_target() {
-  GOCAST_ASSERT(network_.node_count() >= 2);
+template <runtime::Context RT>
+NodeId PushGossipNodeT<RT>::random_target() {
+  GOCAST_ASSERT(rt_.node_count() >= 2);
   for (;;) {
-    NodeId target = static_cast<NodeId>(rng_.next_below(network_.node_count()));
+    NodeId target = static_cast<NodeId>(rng_.next_below(rt_.node_count()));
     if (target != id_) return target;
   }
 }
 
-void PushGossipNode::accept_message(MsgId id, SimTime inject_time,
-                                    std::size_t payload_bytes,
-                                    core::DeliveryPath path) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::accept_message(MsgId id, SimTime inject_time,
+                                         std::size_t payload_bytes,
+                                         core::DeliveryPath path) {
   auto [it, inserted] = store_.try_emplace(
-      id,
-      Stored{inject_time, engine_.now(), payload_bytes, params_.fanout, true});
+      id, Stored{inject_time, rt_.now(), payload_bytes, params_.fanout, true});
   GOCAST_ASSERT(inserted);
   ++deliveries_;
   pull_pending_.erase(id);
   if (delivery_hook_) {
-    delivery_hook_(core::DeliveryEvent{id_, id, inject_time, engine_.now(), path});
+    delivery_hook_(core::DeliveryEvent{id_, id, inject_time, rt_.now(), path});
   }
   if (params_.no_wait) gossip_now(id);
 }
 
-void PushGossipNode::gossip_now(MsgId id) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::gossip_now(MsgId id) {
   // Immediately tell `fanout` distinct random nodes.
   auto it = store_.find(id);
   GOCAST_ASSERT(it != store_.end());
   it->second.remaining_fanout = 0;
   std::unordered_set<NodeId> picked;
   int wanted = std::min<int>(params_.fanout,
-                             static_cast<int>(network_.node_count()) - 1);
+                             static_cast<int>(rt_.node_count()) - 1);
   while (static_cast<int>(picked.size()) < wanted) {
     picked.insert(random_target());
   }
   for (NodeId target : picked) {
     ++gossips_sent_;
-    network_.send(id_, target,
-                  network_.make<core::GossipDigestMsg>(
-                      std::vector<core::DigestEntry>{
-                          core::DigestEntry{id, it->second.inject_time}},
-                      std::vector<membership::MemberEntry>{},
-                      net::PeerDegrees{}));
+    rt_.send(id_, target,
+             rt_.template make<core::GossipDigestMsg>(
+                 std::vector<core::DigestEntry>{
+                     core::DigestEntry{id, it->second.inject_time}},
+                 std::vector<membership::MemberEntry>{},
+                 net::PeerDegrees{}));
   }
 }
 
-void PushGossipNode::on_gossip_timer() {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::on_gossip_timer() {
   // One digest per period to one random node, containing every ID that
   // still owes gossip rounds; each send consumes one round per ID.
   std::vector<core::DigestEntry> entries;
@@ -100,14 +108,16 @@ void PushGossipNode::on_gossip_timer() {
   }
   if (entries.empty()) return;  // "a gossip can be saved"
   ++gossips_sent_;
-  network_.send(id_, random_target(),
-                network_.make<core::GossipDigestMsg>(
-                    std::move(entries), std::vector<membership::MemberEntry>{},
-                    net::PeerDegrees{}));
+  rt_.send(id_, random_target(),
+           rt_.template make<core::GossipDigestMsg>(
+               std::move(entries), std::vector<membership::MemberEntry>{},
+               net::PeerDegrees{}));
 }
 
-void PushGossipNode::on_digest(NodeId from, const core::GossipDigestMsg& msg) {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::on_digest(NodeId from,
+                                    const core::GossipDigestMsg& msg) {
+  SimTime now = rt_.now();
   for (const core::DigestEntry& entry : msg.entries) {
     if (store_.count(entry.id) > 0) continue;
     if (pull_pending_.count(entry.id) > 0) continue;
@@ -116,14 +126,15 @@ void PushGossipNode::on_digest(NodeId from, const core::GossipDigestMsg& msg) {
   }
 }
 
-void PushGossipNode::issue_pull(NodeId target, MsgId id) {
-  network_.send(id_, target,
-                network_.make<core::PullRequestMsg>(id, net::PeerDegrees{}));
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::issue_pull(NodeId target, MsgId id) {
+  rt_.send(id_, target,
+           rt_.template make<core::PullRequestMsg>(id, net::PeerDegrees{}));
   // Self-driven retry: a lost pull or response must not orphan the message.
-  engine_.schedule_after(params_.pull_retry_timeout, [this, id] {
+  rt_.schedule_after(params_.pull_retry_timeout, [this, id] {
     auto it = pull_pending_.find(id);
     if (it == pull_pending_.end()) return;
-    if (store_.count(id) > 0 || !network_.alive(id_)) {
+    if (store_.count(id) > 0 || !rt_.alive(id_)) {
       pull_pending_.erase(it);
       return;
     }
@@ -135,30 +146,33 @@ void PushGossipNode::issue_pull(NodeId target, MsgId id) {
   });
 }
 
-void PushGossipNode::on_pull(NodeId from, const core::PullRequestMsg& msg) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::on_pull(NodeId from, const core::PullRequestMsg& msg) {
   for (MsgId id : msg.ids) {
     auto it = store_.find(id);
     if (it == store_.end() || !it->second.payload_present) continue;
-    network_.send(id_, from,
-                  network_.make<core::DataMsg>(
-                      id, it->second.inject_time, it->second.payload_bytes,
-                      /*via_tree=*/false, net::PeerDegrees{}));
+    rt_.send(id_, from,
+             rt_.template make<core::DataMsg>(
+                 id, it->second.inject_time, it->second.payload_bytes,
+                 /*via_tree=*/false, net::PeerDegrees{}));
   }
 }
 
-void PushGossipNode::on_data(NodeId from, const core::DataMsg& msg) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::on_data(NodeId from, const core::DataMsg& msg) {
   if (store_.count(msg.id) > 0) {
     ++duplicates_;
     // Same abort courtesy as GoCast: a redundant transfer is cut short.
-    network_.report_aborted_transfer(from, id_, msg.payload_bytes);
+    rt_.report_aborted_transfer(from, id_, msg.payload_bytes);
     return;
   }
   accept_message(msg.id, msg.inject_time, msg.payload_bytes,
                  core::DeliveryPath::kPull);
 }
 
-void PushGossipNode::gc_sweep() {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::gc_sweep() {
+  SimTime now = rt_.now();
   for (auto it = store_.begin(); it != store_.end();) {
     SimTime age = now - it->second.received_at;
     if (age > params_.gc_record_after) {
@@ -177,7 +191,9 @@ void PushGossipNode::gc_sweep() {
   }
 }
 
-void PushGossipNode::handle_message(NodeId from, const net::MessagePtr& msg) {
+template <runtime::Context RT>
+void PushGossipNodeT<RT>::handle_message(NodeId from,
+                                         const net::MessagePtr& msg) {
   switch (msg->packet_type()) {
     case core::kPktGossipDigest:
       on_digest(from, static_cast<const core::GossipDigestMsg&>(*msg));
@@ -192,6 +208,9 @@ void PushGossipNode::handle_message(NodeId from, const net::MessagePtr& msg) {
       return;  // baseline ignores anything else
   }
 }
+
+template class PushGossipNodeT<runtime::SimRuntime>;
+template class PushGossipNodeT<runtime::RealtimeContext>;
 
 // ---------------------------------------------------------------------------
 // System facade

@@ -14,6 +14,9 @@
 // Unlike GoCast, targets are chosen from the full membership (complete
 // randomness) — matching the baseline's definition and giving it the most
 // favorable membership assumption.
+//
+// The node is a template over a runtime context (see runtime/context.h);
+// PushGossipNode binds the simulator. PushGossipSystem stays sim-only.
 #pragma once
 
 #include <memory>
@@ -24,6 +27,8 @@
 #include "common/types.h"
 #include "gocast/dissemination.h"  // DeliveryEvent / DeliveryHook / wire messages
 #include "net/network.h"
+#include "runtime/context.h"
+#include "runtime/sim_runtime.h"
 #include "sim/timer.h"
 
 namespace gocast::baselines {
@@ -40,10 +45,10 @@ struct PushGossipParams {
   int pull_max_attempts = 5;
 };
 
-class PushGossipNode final : public net::Endpoint {
+template <runtime::Context RT>
+class PushGossipNodeT final : public net::Endpoint {
  public:
-  PushGossipNode(NodeId id, net::Network& network, PushGossipParams params,
-                 Rng rng);
+  PushGossipNodeT(NodeId id, RT rt, PushGossipParams params, Rng rng);
 
   [[nodiscard]] NodeId id() const { return id_; }
 
@@ -89,8 +94,7 @@ class PushGossipNode final : public net::Endpoint {
   [[nodiscard]] NodeId random_target();
 
   NodeId id_;
-  net::Network& network_;
-  sim::Engine& engine_;
+  RT rt_;
   PushGossipParams params_;
   Rng rng_;
 
@@ -105,13 +109,16 @@ class PushGossipNode final : public net::Endpoint {
   std::uint32_t next_seq_ = 0;
 
   core::DeliveryHook delivery_hook_;
-  sim::PeriodicTimer gossip_timer_;
-  sim::PeriodicTimer gc_timer_;
+  runtime::PeriodicTimer<RT> gossip_timer_;
+  runtime::PeriodicTimer<RT> gc_timer_;
 
   std::uint64_t deliveries_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t gossips_sent_ = 0;
 };
+
+/// The simulation-backed baseline node.
+using PushGossipNode = PushGossipNodeT<runtime::SimRuntime>;
 
 /// Assembles a complete push-gossip deployment over the same network
 /// substrate as core::System.

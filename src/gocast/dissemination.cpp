@@ -5,24 +5,25 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "runtime/realtime_runtime.h"
 
 namespace gocast::core {
 
-Dissemination::Dissemination(NodeId self, net::Network& network,
-                             membership::PartialView& view,
-                             overlay::OverlayManager& overlay,
-                             tree::TreeManager* tree, DisseminationParams params,
-                             Rng rng)
+template <runtime::Context RT>
+DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
+                                   membership::PartialView& view,
+                                   overlay::OverlayManagerT<RT>& overlay,
+                                   tree::TreeManagerT<RT>* tree,
+                                   DisseminationParams params, Rng rng)
     : self_(self),
-      network_(network),
-      engine_(network.engine()),
+      rt_(rt),
       view_(view),
       overlay_(overlay),
       tree_(tree),
       params_(params),
       rng_(std::move(rng)),
-      gossip_timer_(engine_, params.gossip_period, [this] { on_gossip_timer(); }),
-      gc_timer_(engine_, params.gc_sweep_period, [this] { gc_sweep(); }) {
+      gossip_timer_(rt_, params.gossip_period, [this] { on_gossip_timer(); }),
+      gc_timer_(rt_, params.gc_sweep_period, [this] { gc_sweep(); }) {
   GOCAST_ASSERT(params_.gossip_period > 0.0);
   GOCAST_ASSERT(params_.pull_delay_threshold >= 0.0);
   GOCAST_ASSERT(params_.gc_record_after >= params_.gc_payload_after);
@@ -38,19 +39,22 @@ Dissemination::Dissemination(NodeId self, net::Network& network,
   piggyback_buf_.reserve(params_.piggyback_members + 1);
 }
 
-void Dissemination::start(SimTime stagger) {
+template <runtime::Context RT>
+void DisseminationT<RT>::start(SimTime stagger) {
   gossip_timer_.start(stagger + params_.gossip_period);
   gc_timer_.start(stagger + params_.gc_sweep_period);
 }
 
-void Dissemination::stop() {
+template <runtime::Context RT>
+void DisseminationT<RT>::stop() {
   gossip_timer_.stop();
   gc_timer_.stop();
 }
 
-MsgId Dissemination::multicast(std::size_t payload_bytes) {
+template <runtime::Context RT>
+MsgId DisseminationT<RT>::multicast(std::size_t payload_bytes) {
   MsgId id{self_, next_seq_++};
-  accept_message(id, engine_.now(), payload_bytes, kInvalidNode,
+  accept_message(id, rt_.now(), payload_bytes, kInvalidNode,
                  DeliveryPath::kLocal);
   return id;
 }
@@ -59,11 +63,12 @@ MsgId Dissemination::multicast(std::size_t payload_bytes) {
 // Core acceptance path
 // ---------------------------------------------------------------------------
 
-void Dissemination::accept_message(MsgId id, SimTime inject_time,
-                                   std::size_t payload_bytes, NodeId learned_from,
-                                   DeliveryPath path) {
+template <runtime::Context RT>
+void DisseminationT<RT>::accept_message(MsgId id, SimTime inject_time,
+                                        std::size_t payload_bytes,
+                                        NodeId learned_from, DeliveryPath path) {
   auto [it, inserted] = store_.try_emplace(
-      id, Stored{inject_time, engine_.now(), payload_bytes, true});
+      id, Stored{inject_time, rt_.now(), payload_bytes, true});
   GOCAST_ASSERT(inserted);
   ++deliveries_;
   pull_pending_.erase(id);
@@ -76,7 +81,7 @@ void Dissemination::accept_message(MsgId id, SimTime inject_time,
   }
 
   if (delivery_hook_) {
-    delivery_hook_(DeliveryEvent{self_, id, inject_time, engine_.now(), path});
+    delivery_hook_(DeliveryEvent{self_, id, inject_time, rt_.now(), path});
   }
 
   // Push without stop along remaining tree links (also after a pull: a
@@ -92,7 +97,8 @@ void Dissemination::accept_message(MsgId id, SimTime inject_time,
   }
 }
 
-std::vector<MsgId>& Dissemination::pending_slot(NodeId peer) {
+template <runtime::Context RT>
+std::vector<MsgId>& DisseminationT<RT>::pending_slot(NodeId peer) {
   auto [it, fresh] = pending_.try_emplace(peer);
   if (fresh && !spare_pending_.empty()) {
     // Recycle the capacity of a departed neighbor's vector.
@@ -102,23 +108,26 @@ std::vector<MsgId>& Dissemination::pending_slot(NodeId peer) {
   return it->second;
 }
 
-void Dissemination::forward_on_tree(MsgId id, const Stored& stored, NodeId except) {
-  auto msg = network_.make<DataMsg>(id, stored.inject_time,
-                                       stored.payload_bytes, /*via_tree=*/true,
-                                       overlay_.my_degrees());
+template <runtime::Context RT>
+void DisseminationT<RT>::forward_on_tree(MsgId id, const Stored& stored,
+                                         NodeId except) {
+  auto msg = rt_.template make<DataMsg>(id, stored.inject_time,
+                                        stored.payload_bytes, /*via_tree=*/true,
+                                        overlay_.my_degrees());
   for (NodeId peer : tree_->tree_neighbors()) {
-    if (peer != except) network_.send(self_, peer, msg);
+    if (peer != except) rt_.send(self_, peer, msg);
   }
 }
 
-void Dissemination::on_data(NodeId from, const DataMsg& msg) {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_data(NodeId from, const DataMsg& msg) {
   if (store_.count(msg.id) > 0) {
     // Redundant arrival — the paper's §2.1 "2% overhead" path. Optimization
     // (1) of §2.1: a real deployment aborts the transfer mid-stream, so the
     // payload bytes are not actually carried; we track them as savings.
     ++duplicates_;
     aborted_bytes_ += msg.payload_bytes;
-    network_.report_aborted_transfer(from, self_, msg.payload_bytes);
+    rt_.report_aborted_transfer(from, self_, msg.payload_bytes);
     return;
   }
   accept_message(msg.id, msg.inject_time, msg.payload_bytes, from,
@@ -129,7 +138,8 @@ void Dissemination::on_data(NodeId from, const DataMsg& msg) {
 // Gossip
 // ---------------------------------------------------------------------------
 
-void Dissemination::on_gossip_timer() {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_gossip_timer() {
   if (params_.adaptive_gossip) {
     // Back off while idle (no IDs waiting for any neighbor).
     bool idle = true;
@@ -168,12 +178,14 @@ void Dissemination::on_gossip_timer() {
 
   ++gossips_sent_;
   digest_entries_sent_ += digest_buf_.size();
-  network_.send(self_, target,
-                network_.make<GossipDigestMsg>(
-                    digest_buf_, piggyback_members(), overlay_.my_degrees()));
+  rt_.send(self_, target,
+           rt_.template make<GossipDigestMsg>(
+               digest_buf_, piggyback_members(), overlay_.my_degrees()));
 }
 
-const std::vector<membership::MemberEntry>& Dissemination::piggyback_members() {
+template <runtime::Context RT>
+const std::vector<membership::MemberEntry>&
+DisseminationT<RT>::piggyback_members() {
   std::vector<membership::MemberEntry>& members = piggyback_buf_;
   members.clear();
 
@@ -182,7 +194,7 @@ const std::vector<membership::MemberEntry>& Dissemination::piggyback_members() {
   membership::MemberEntry self_entry;
   self_entry.id = self_;
   self_entry.landmark_rtt = own_landmarks_;
-  self_entry.heard_at = engine_.now();
+  self_entry.heard_at = rt_.now();
   members.push_back(self_entry);
 
   const auto& entries = view_.entries();
@@ -195,10 +207,12 @@ const std::vector<membership::MemberEntry>& Dissemination::piggyback_members() {
   return members;
 }
 
-void Dissemination::on_gossip_digest(NodeId from, const GossipDigestMsg& msg) {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_gossip_digest(NodeId from,
+                                          const GossipDigestMsg& msg) {
   view_.integrate(msg.members);
 
-  SimTime now = engine_.now();
+  SimTime now = rt_.now();
   for (const DigestEntry& entry : msg.entries) {
     // The peer evidently knows this message: never gossip it back.
     remove_from_pending(from, entry.id);
@@ -213,32 +227,34 @@ void Dissemination::on_gossip_digest(NodeId from, const GossipDigestMsg& msg) {
     if (delay <= 0.0) {
       issue_pull(from, entry.id);
     } else {
-      engine_.schedule_after(delay, [this, from, id = entry.id] {
+      rt_.schedule_after(delay, [this, from, id = entry.id] {
         if (store_.count(id) > 0) {
           pull_pending_.erase(id);  // the tree won the race
           return;
         }
-        if (!network_.alive(self_)) return;
+        if (!rt_.alive(self_)) return;
         issue_pull(from, id);
       });
     }
   }
 }
 
-void Dissemination::issue_pull(NodeId target, MsgId id) {
+template <runtime::Context RT>
+void DisseminationT<RT>::issue_pull(NodeId target, MsgId id) {
   ++pulls_sent_;
-  network_.send(self_, target,
-                network_.make<PullRequestMsg>(id, overlay_.my_degrees()));
+  rt_.send(self_, target,
+           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees()));
   schedule_pull_retry(id);
 }
 
-void Dissemination::schedule_pull_retry(MsgId id) {
+template <runtime::Context RT>
+void DisseminationT<RT>::schedule_pull_retry(MsgId id) {
   // Self-driven retries: a lost pull request or a lost response must not
   // orphan the message (each neighbor advertises an ID only once).
-  engine_.schedule_after(params_.pull_retry_timeout, [this, id] {
+  rt_.schedule_after(params_.pull_retry_timeout, [this, id] {
     auto it = pull_pending_.find(id);
     if (it == pull_pending_.end()) return;  // satisfied
-    if (store_.count(id) > 0 || !network_.alive(self_)) {
+    if (store_.count(id) > 0 || !rt_.alive(self_)) {
       pull_pending_.erase(it);
       return;
     }
@@ -250,19 +266,21 @@ void Dissemination::schedule_pull_retry(MsgId id) {
   });
 }
 
-void Dissemination::on_pull_request(NodeId from, const PullRequestMsg& msg) {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg) {
   for (MsgId id : msg.ids) {
     auto it = store_.find(id);
     if (it == store_.end() || !it->second.payload_present) continue;
-    network_.send(self_, from,
-                  network_.make<DataMsg>(id, it->second.inject_time,
-                                            it->second.payload_bytes,
-                                            /*via_tree=*/false,
-                                            overlay_.my_degrees()));
+    rt_.send(self_, from,
+             rt_.template make<DataMsg>(id, it->second.inject_time,
+                                        it->second.payload_bytes,
+                                        /*via_tree=*/false,
+                                        overlay_.my_degrees()));
   }
 }
 
-void Dissemination::remove_from_pending(NodeId neighbor, MsgId id) {
+template <runtime::Context RT>
+void DisseminationT<RT>::remove_from_pending(NodeId neighbor, MsgId id) {
   auto it = pending_.find(neighbor);
   if (it == pending_.end()) return;
   auto& vec = it->second;
@@ -274,11 +292,38 @@ void Dissemination::remove_from_pending(NodeId neighbor, MsgId id) {
 }
 
 // ---------------------------------------------------------------------------
+// Partition-heal re-advertisement
+// ---------------------------------------------------------------------------
+
+template <runtime::Context RT>
+std::size_t DisseminationT<RT>::readvertise_recent() {
+  // Messages whose payload is still held are exactly those younger than the
+  // waiting period b — the ones the other side of a healed partition can
+  // still pull. Re-queue each for every current neighbor; dedup against the
+  // slot so a neighbor already waiting for the ID is not advertised twice.
+  std::size_t requeued = 0;
+  for (const auto& [id, stored] : store_) {
+    if (!stored.payload_present) continue;
+    bool queued = false;
+    for (NodeId peer : rotation_) {
+      std::vector<MsgId>& slot = pending_slot(peer);
+      if (std::find(slot.begin(), slot.end(), id) != slot.end()) continue;
+      slot.push_back(id);
+      queued = true;
+    }
+    if (queued) ++requeued;
+  }
+  readvertised_ids_ += requeued;
+  return requeued;
+}
+
+// ---------------------------------------------------------------------------
 // Garbage collection
 // ---------------------------------------------------------------------------
 
-std::size_t Dissemination::payloads_older_than(SimTime age) const {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+std::size_t DisseminationT<RT>::payloads_older_than(SimTime age) const {
+  SimTime now = rt_.now();
   std::size_t count = 0;
   for (const auto& [id, stored] : store_) {
     if (stored.payload_present && now - stored.received_at > age) ++count;
@@ -286,8 +331,9 @@ std::size_t Dissemination::payloads_older_than(SimTime age) const {
   return count;
 }
 
-std::size_t Dissemination::records_older_than(SimTime age) const {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+std::size_t DisseminationT<RT>::records_older_than(SimTime age) const {
+  SimTime now = rt_.now();
   std::size_t count = 0;
   for (const auto& [id, stored] : store_) {
     if (now - stored.received_at > age) ++count;
@@ -295,8 +341,9 @@ std::size_t Dissemination::records_older_than(SimTime age) const {
   return count;
 }
 
-void Dissemination::gc_sweep() {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+void DisseminationT<RT>::gc_sweep() {
+  SimTime now = rt_.now();
   for (auto it = store_.begin(); it != store_.end();) {
     SimTime age = now - it->second.received_at;
     if (age > params_.gc_record_after) {
@@ -319,14 +366,16 @@ void Dissemination::gc_sweep() {
 // Overlay listener
 // ---------------------------------------------------------------------------
 
-void Dissemination::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
   (void)kind;
   if (std::find(rotation_.begin(), rotation_.end(), peer) == rotation_.end()) {
     rotation_.push_back(peer);
   }
 }
 
-void Dissemination::on_neighbor_removed(NodeId peer) {
+template <runtime::Context RT>
+void DisseminationT<RT>::on_neighbor_removed(NodeId peer) {
   auto it = std::find(rotation_.begin(), rotation_.end(), peer);
   if (it != rotation_.end()) {
     std::size_t idx = static_cast<std::size_t>(it - rotation_.begin());
@@ -342,5 +391,8 @@ void Dissemination::on_neighbor_removed(NodeId peer) {
     pending_.erase(pit);
   }
 }
+
+template class DisseminationT<runtime::SimRuntime>;
+template class DisseminationT<runtime::RealtimeContext>;
 
 }  // namespace gocast::core

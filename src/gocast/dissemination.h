@@ -2,6 +2,10 @@
 // plus background gossip of message IDs to overlay neighbors (round-robin,
 // one per gossip period) with pull-based recovery, the pull-delay threshold
 // f, and payload garbage collection after the waiting period b.
+//
+// Template over a runtime context (see runtime/context.h); the Dissemination
+// alias binds the simulator backend. Bodies live in dissemination.cpp with
+// explicit instantiations for both backends.
 #pragma once
 
 #include <cstdint>
@@ -14,8 +18,9 @@
 #include "gocast/messages.h"
 #include "gocast/params.h"
 #include "membership/partial_view.h"
-#include "net/network.h"
 #include "overlay/overlay_manager.h"
+#include "runtime/context.h"
+#include "runtime/sim_runtime.h"
 #include "sim/timer.h"
 #include "tree/tree_manager.h"
 
@@ -33,12 +38,14 @@ struct DeliveryEvent {
 
 using DeliveryHook = std::function<void(const DeliveryEvent&)>;
 
-class Dissemination final : public overlay::OverlayListener {
+template <runtime::Context RT>
+class DisseminationT final : public overlay::OverlayListener {
  public:
   /// `tree` may be null (gossip-only baselines).
-  Dissemination(NodeId self, net::Network& network, membership::PartialView& view,
-                overlay::OverlayManager& overlay, tree::TreeManager* tree,
-                DisseminationParams params, Rng rng);
+  DisseminationT(NodeId self, RT rt, membership::PartialView& view,
+                 overlay::OverlayManagerT<RT>& overlay,
+                 tree::TreeManagerT<RT>* tree, DisseminationParams params,
+                 Rng rng);
 
   void start(SimTime stagger);
   void stop();
@@ -50,6 +57,13 @@ class Dissemination final : public overlay::OverlayListener {
 
   /// Starts a multicast from this node. Returns the assigned message id.
   MsgId multicast(std::size_t payload_bytes);
+
+  /// Partition-heal re-advertisement (GoCastConfig::readvertise_on_heal):
+  /// re-queues the IDs of every stored message whose payload is still held
+  /// (i.e. younger than the waiting period b) for one more gossip round to
+  /// every current overlay neighbor. Called by the owning node when the tree
+  /// root changes to a healed epoch. Returns the number of IDs re-queued.
+  std::size_t readvertise_recent();
 
   // -- message entry points --
   void on_data(NodeId from, const DataMsg& msg);
@@ -77,6 +91,9 @@ class Dissemination final : public overlay::OverlayListener {
   [[nodiscard]] std::uint64_t gossips_sent() const { return gossips_sent_; }
   [[nodiscard]] std::uint64_t digest_entries_sent() const {
     return digest_entries_sent_;
+  }
+  [[nodiscard]] std::uint64_t readvertised_ids() const {
+    return readvertised_ids_;
   }
   [[nodiscard]] const DisseminationParams& params() const { return params_; }
 
@@ -109,11 +126,10 @@ class Dissemination final : public overlay::OverlayListener {
   [[nodiscard]] const std::vector<membership::MemberEntry>& piggyback_members();
 
   NodeId self_;
-  net::Network& network_;
-  sim::Engine& engine_;
+  RT rt_;
   membership::PartialView& view_;
-  overlay::OverlayManager& overlay_;
-  tree::TreeManager* tree_;
+  overlay::OverlayManagerT<RT>& overlay_;
+  tree::TreeManagerT<RT>* tree_;
   DisseminationParams params_;
   Rng rng_;
 
@@ -137,8 +153,8 @@ class Dissemination final : public overlay::OverlayListener {
   membership::LandmarkVector own_landmarks_ = membership::empty_landmarks();
   DeliveryHook delivery_hook_;
 
-  sim::PeriodicTimer gossip_timer_;
-  sim::PeriodicTimer gc_timer_;
+  runtime::PeriodicTimer<RT> gossip_timer_;
+  runtime::PeriodicTimer<RT> gc_timer_;
 
   std::uint64_t deliveries_ = 0;
   std::uint64_t duplicates_ = 0;
@@ -146,6 +162,10 @@ class Dissemination final : public overlay::OverlayListener {
   std::uint64_t pulls_sent_ = 0;
   std::uint64_t gossips_sent_ = 0;
   std::uint64_t digest_entries_sent_ = 0;
+  std::uint64_t readvertised_ids_ = 0;
 };
+
+/// The simulation-backed dissemination layer used throughout the simulator.
+using Dissemination = DisseminationT<runtime::SimRuntime>;
 
 }  // namespace gocast::core

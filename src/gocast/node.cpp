@@ -3,6 +3,7 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "overlay/messages.h"
+#include "runtime/realtime_runtime.h"
 #include "tree/messages.h"
 
 namespace gocast::core {
@@ -15,71 +16,92 @@ GoCastConfig normalize(GoCastConfig config) {
 }
 }  // namespace
 
-GoCastNode::GoCastNode(NodeId id, net::Network& network, GoCastConfig config,
-                       Rng rng)
+template <runtime::Context RT>
+GoCastNodeT<RT>::GoCastNodeT(NodeId id, RT rt, GoCastConfig config, Rng rng)
     : id_(id),
-      network_(network),
+      rt_(rt),
       config_(normalize(std::move(config))),
       view_(id, config_.view_capacity, rng.fork("view")),
-      overlay_(id, network, view_, config_.overlay, rng.fork("overlay")),
-      tree_(id, network, overlay_, config_.tree),
-      dissemination_(id, network, view_, overlay_,
+      overlay_(id, rt_, view_, config_.overlay, rng.fork("overlay")),
+      tree_(id, rt_, overlay_, config_.tree),
+      dissemination_(id, rt_, view_, overlay_,
                      config_.tree.enabled ? &tree_ : nullptr,
                      config_.dissemination, rng.fork("dissemination")),
       own_landmarks_(membership::empty_landmarks()) {
   overlay_.add_listener(&tree_);
   overlay_.add_listener(&dissemination_);
-  network_.set_endpoint(id_, this);
+  if (config_.readvertise_on_heal) {
+    tree_.set_root_change_hook([this](NodeId old_root, NodeId new_root) {
+      (void)old_root;
+      (void)new_root;
+      dissemination_.readvertise_recent();
+    });
+  }
+  rt_.set_endpoint(id_, this);
 }
 
-void GoCastNode::start(SimTime stagger) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::start(SimTime stagger) {
   overlay_.start(stagger);
   tree_.start(stagger);
   dissemination_.start(stagger);
   measure_landmarks();
 }
 
-void GoCastNode::stop() {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::stop() {
   overlay_.stop();
   tree_.stop();
   dissemination_.stop();
 }
 
-void GoCastNode::freeze() {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::freeze() {
   overlay_.freeze();
   tree_.freeze();
 }
 
-void GoCastNode::kill() {
-  network_.fail_node(id_);
+template <runtime::Context RT>
+void GoCastNodeT<RT>::kill() {
+  rt_.fail_node(id_);
   stop();
 }
 
-void GoCastNode::join_via(NodeId bootstrap) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::join_via(NodeId bootstrap) {
   GOCAST_ASSERT(bootstrap != id_);
-  network_.send(id_, bootstrap, network_.make<overlay::JoinRequestMsg>());
+  rt_.send(id_, bootstrap, rt_.template make<overlay::JoinRequestMsg>());
 }
 
-void GoCastNode::seed_view(std::span<const membership::MemberEntry> entries) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::seed_view(
+    std::span<const membership::MemberEntry> entries) {
   view_.integrate(entries);
 }
 
-void GoCastNode::bootstrap_link(NodeId peer, overlay::LinkKind kind) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::bootstrap_link(NodeId peer, overlay::LinkKind kind) {
   overlay_.bootstrap_link(peer, kind);
 }
 
-void GoCastNode::become_root() { tree_.become_root(); }
+template <runtime::Context RT>
+void GoCastNodeT<RT>::become_root() {
+  tree_.become_root();
+}
 
-MsgId GoCastNode::multicast(std::size_t payload_bytes) {
-  GOCAST_ASSERT_MSG(network_.alive(id_), "dead node starting a multicast");
+template <runtime::Context RT>
+MsgId GoCastNodeT<RT>::multicast(std::size_t payload_bytes) {
+  GOCAST_ASSERT_MSG(rt_.alive(id_), "dead node starting a multicast");
   return dissemination_.multicast(payload_bytes);
 }
 
-void GoCastNode::set_delivery_hook(DeliveryHook hook) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::set_delivery_hook(DeliveryHook hook) {
   dissemination_.set_delivery_hook(std::move(hook));
 }
 
-void GoCastNode::measure_landmarks() {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::measure_landmarks() {
   const auto& landmarks = config_.landmarks;
   for (std::size_t i = 0;
        i < landmarks.size() && i < membership::kLandmarkSlots; ++i) {
@@ -102,7 +124,8 @@ void GoCastNode::measure_landmarks() {
 // Dispatch
 // ---------------------------------------------------------------------------
 
-void GoCastNode::handle_message(NodeId from, const net::MessagePtr& msg) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::handle_message(NodeId from, const net::MessagePtr& msg) {
   if (const net::PeerDegrees* degrees = msg->peer_degrees()) {
     overlay_.note_peer_degrees(from, *degrees);
   }
@@ -166,24 +189,30 @@ void GoCastNode::handle_message(NodeId from, const net::MessagePtr& msg) {
   }
 }
 
-void GoCastNode::handle_send_failure(NodeId to, const net::MessagePtr& msg) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::handle_send_failure(NodeId to, const net::MessagePtr& msg) {
   (void)msg;
   overlay_.on_peer_failure(to);
 }
 
-void GoCastNode::on_join_request(NodeId from) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::on_join_request(NodeId from) {
   std::vector<membership::MemberEntry> members = view_.sample(64);
   membership::MemberEntry self_entry;
   self_entry.id = id_;
   self_entry.landmark_rtt = own_landmarks_;
-  self_entry.heard_at = network_.engine().now();
+  self_entry.heard_at = rt_.now();
   members.push_back(self_entry);
-  network_.send(id_, from,
-                network_.make<overlay::JoinReplyMsg>(std::move(members)));
+  rt_.send(id_, from,
+           rt_.template make<overlay::JoinReplyMsg>(std::move(members)));
 }
 
-void GoCastNode::on_join_reply(const overlay::JoinReplyMsg& msg) {
+template <runtime::Context RT>
+void GoCastNodeT<RT>::on_join_reply(const overlay::JoinReplyMsg& msg) {
   view_.integrate(msg.members);
 }
+
+template class GoCastNodeT<runtime::SimRuntime>;
+template class GoCastNodeT<runtime::RealtimeContext>;
 
 }  // namespace gocast::core

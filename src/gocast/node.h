@@ -1,6 +1,12 @@
 // A complete GoCast node: partial membership view, overlay maintenance,
-// embedded tree, and the dissemination layer, wired to the simulated
-// network. This is the main public entry point for using the protocol.
+// embedded tree, and the dissemination layer, wired to a runtime backend.
+// This is the main public entry point for using the protocol.
+//
+// Template over a runtime context (see runtime/context.h): the GoCastNode
+// alias binds the simulator; tools/gocastd instantiates
+// GoCastNodeT<runtime::RealtimeContext> to run live nodes over the real-time
+// loopback transport. Bodies live in node.cpp with explicit instantiations
+// for both backends.
 #pragma once
 
 #include <memory>
@@ -11,19 +17,22 @@
 #include "gocast/dissemination.h"
 #include "gocast/params.h"
 #include "membership/partial_view.h"
-#include "net/network.h"
+#include "net/endpoint.h"
 #include "overlay/overlay_manager.h"
+#include "runtime/context.h"
+#include "runtime/sim_runtime.h"
 #include "tree/tree_manager.h"
 
 namespace gocast::core {
 
-class GoCastNode final : public net::Endpoint {
+template <runtime::Context RT>
+class GoCastNodeT final : public net::Endpoint {
  public:
-  /// Registers itself as `id`'s endpoint on `network`.
-  GoCastNode(NodeId id, net::Network& network, GoCastConfig config, Rng rng);
+  /// Registers itself as `id`'s endpoint on the runtime.
+  GoCastNodeT(NodeId id, RT rt, GoCastConfig config, Rng rng);
 
-  GoCastNode(const GoCastNode&) = delete;
-  GoCastNode& operator=(const GoCastNode&) = delete;
+  GoCastNodeT(const GoCastNodeT&) = delete;
+  GoCastNodeT& operator=(const GoCastNodeT&) = delete;
 
   [[nodiscard]] NodeId id() const { return id_; }
 
@@ -36,7 +45,7 @@ class GoCastNode final : public net::Endpoint {
   /// adds/drops/replacements, no tree repair. Dissemination keeps running.
   void freeze();
 
-  /// Crashes the node: marks it dead on the network and stops all timers.
+  /// Crashes the node: marks it dead on the runtime and stops all timers.
   void kill();
 
   /// Joins an existing overlay through a known bootstrap node: requests its
@@ -70,12 +79,14 @@ class GoCastNode final : public net::Endpoint {
   // -- subsystem access (tests, analysis) --
   [[nodiscard]] membership::PartialView& view() { return view_; }
   [[nodiscard]] const membership::PartialView& view() const { return view_; }
-  [[nodiscard]] overlay::OverlayManager& overlay() { return overlay_; }
-  [[nodiscard]] const overlay::OverlayManager& overlay() const { return overlay_; }
-  [[nodiscard]] tree::TreeManager& tree() { return tree_; }
-  [[nodiscard]] const tree::TreeManager& tree() const { return tree_; }
-  [[nodiscard]] Dissemination& dissemination() { return dissemination_; }
-  [[nodiscard]] const Dissemination& dissemination() const {
+  [[nodiscard]] overlay::OverlayManagerT<RT>& overlay() { return overlay_; }
+  [[nodiscard]] const overlay::OverlayManagerT<RT>& overlay() const {
+    return overlay_;
+  }
+  [[nodiscard]] tree::TreeManagerT<RT>& tree() { return tree_; }
+  [[nodiscard]] const tree::TreeManagerT<RT>& tree() const { return tree_; }
+  [[nodiscard]] DisseminationT<RT>& dissemination() { return dissemination_; }
+  [[nodiscard]] const DisseminationT<RT>& dissemination() const {
     return dissemination_;
   }
   [[nodiscard]] const GoCastConfig& config() const { return config_; }
@@ -93,13 +104,16 @@ class GoCastNode final : public net::Endpoint {
   void on_join_reply(const overlay::JoinReplyMsg& msg);
 
   NodeId id_;
-  net::Network& network_;
+  RT rt_;
   GoCastConfig config_;
   membership::PartialView view_;
-  overlay::OverlayManager overlay_;
-  tree::TreeManager tree_;
-  Dissemination dissemination_;
+  overlay::OverlayManagerT<RT> overlay_;
+  tree::TreeManagerT<RT> tree_;
+  DisseminationT<RT> dissemination_;
   membership::LandmarkVector own_landmarks_;
 };
+
+/// The simulation-backed node used by the harness and tests.
+using GoCastNode = GoCastNodeT<runtime::SimRuntime>;
 
 }  // namespace gocast::core

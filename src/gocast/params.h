@@ -74,6 +74,18 @@ struct GoCastConfig {
   /// Partial-view capacity (bounded member list).
   std::size_t view_capacity = 256;
 
+  /// Partition-heal recovery (extension; see DESIGN.md §7 and
+  /// bench/ext_partition). When a node's tree root cedes to a different root
+  /// — the signature of a healed partition — the node re-queues the IDs of
+  /// messages younger than the payload waiting period b for one more round
+  /// of gossip. Nodes on the other side of the former partition have never
+  /// seen those IDs (gossip advertises an ID to each neighbor only once, and
+  /// during the partition no link crossed the cut), so without
+  /// re-advertisement recovery depends entirely on fresh cross-partition
+  /// links happening to carry later digests. Off by default: it adds digest
+  /// traffic after root changes and is not part of the paper's protocol.
+  bool readvertise_on_heal = false;
+
   /// Global landmark node ids used for triangulation estimates.
   std::vector<NodeId> landmarks;
 };

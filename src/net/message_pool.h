@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace gocast::net {
@@ -199,5 +201,23 @@ class PayloadAllocator {
 /// for arena-less instances). Used for variable-length message payloads.
 template <class T>
 using PoolVec = std::vector<T, PayloadAllocator<T>>;
+
+/// Constructs a message of type `M` from `pool` (object + control block in
+/// one pooled allocation). Message types with an arena-first constructor get
+/// the pool passed through, so their variable-length payloads (PoolVec
+/// members) are pooled too. Shared by every backend that owns a MessageArena
+/// (net::Network, runtime::RealtimeRuntime).
+template <class M, class... Args>
+[[nodiscard]] std::shared_ptr<const M> make_pooled(
+    const std::shared_ptr<MessageArena>& pool, Args&&... args) {
+  if constexpr (std::is_constructible_v<M, const std::shared_ptr<MessageArena>&,
+                                        Args&&...>) {
+    return std::allocate_shared<M>(ArenaAllocator<M>(pool), pool,
+                                   std::forward<Args>(args)...);
+  } else {
+    return std::allocate_shared<M>(ArenaAllocator<M>(pool),
+                                   std::forward<Args>(args)...);
+  }
+}
 
 }  // namespace gocast::net

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "net/endpoint.h"
 #include "net/latency_model.h"
 #include "net/link_policy.h"
 #include "net/message.h"
@@ -20,22 +21,6 @@
 #include "sim/engine.h"
 
 namespace gocast::net {
-
-/// Interface protocol nodes implement to receive traffic.
-class Endpoint {
- public:
-  virtual ~Endpoint() = default;
-
-  /// A message from `from` arrived. `from` may have died after sending.
-  virtual void handle_message(NodeId from, const MessagePtr& msg) = 0;
-
-  /// TCP-reset analogue: the message sent to `to` could not be delivered
-  /// because `to` is dead. Arrives one RTT after the failed send.
-  virtual void handle_send_failure(NodeId to, const MessagePtr& msg) {
-    (void)to;
-    (void)msg;
-  }
-};
 
 struct NetworkConfig {
   /// One-way latency between two distinct nodes mapped to the same site
@@ -110,14 +95,7 @@ class Network {
   /// too.
   template <class M, class... Args>
   [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
-    if constexpr (std::is_constructible_v<M, const std::shared_ptr<MessageArena>&,
-                                          Args&&...>) {
-      return std::allocate_shared<M>(ArenaAllocator<M>(pool_), pool_,
-                                     std::forward<Args>(args)...);
-    } else {
-      return std::allocate_shared<M>(ArenaAllocator<M>(pool_),
-                                     std::forward<Args>(args)...);
-    }
+    return make_pooled<M>(pool_, std::forward<Args>(args)...);
   }
 
   [[nodiscard]] const MessageArena& pool() const { return *pool_; }
@@ -138,6 +116,13 @@ class Network {
 
   /// Changes the global loss probability at runtime (fault injection).
   void set_loss_probability(double p);
+
+  /// Child generator derived from this network's seed material. Forking is
+  /// independent of the network's own consumption, so runtime backends can
+  /// hand out per-node streams without perturbing loss/latency draws.
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) const {
+    return rng_.fork(salt);
+  }
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const LatencyModel& latency_model() const { return *latency_; }

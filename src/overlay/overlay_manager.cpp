@@ -5,19 +5,20 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "coord/triangulation.h"
+#include "runtime/realtime_runtime.h"
 
 namespace gocast::overlay {
 
-OverlayManager::OverlayManager(NodeId self, net::Network& network,
-                               membership::PartialView& view,
-                               OverlayParams params, Rng rng)
+template <runtime::Context RT>
+OverlayManagerT<RT>::OverlayManagerT(NodeId self, RT rt,
+                                     membership::PartialView& view,
+                                     OverlayParams params, Rng rng)
     : self_(self),
-      network_(network),
-      engine_(network.engine()),
+      rt_(rt),
       view_(view),
       params_(params),
       rng_(std::move(rng)),
-      maintenance_timer_(engine_, params.maintenance_period,
+      maintenance_timer_(rt_, params.maintenance_period,
                          [this] { on_maintenance(); }) {
   GOCAST_ASSERT(params_.target_rand_degree >= 0);
   GOCAST_ASSERT(params_.target_near_degree >= 0);
@@ -34,30 +35,42 @@ OverlayManager::OverlayManager(NodeId self, net::Network& network,
   pending_pings_.reserve(16);
 }
 
-void OverlayManager::start(SimTime stagger) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::start(SimTime stagger) {
   maintenance_timer_.start(stagger + params_.maintenance_period);
 }
 
-void OverlayManager::stop() { maintenance_timer_.stop(); }
+template <runtime::Context RT>
+void OverlayManagerT<RT>::stop() {
+  maintenance_timer_.stop();
+}
 
-void OverlayManager::freeze() { frozen_ = true; }
+template <runtime::Context RT>
+void OverlayManagerT<RT>::freeze() {
+  frozen_ = true;
+}
 
-void OverlayManager::bootstrap_link(NodeId peer, LinkKind kind) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::bootstrap_link(NodeId peer, LinkKind kind) {
   GOCAST_ASSERT(peer != self_);
   if (table_.has(peer)) return;
   establish(peer, kind);
 }
 
-void OverlayManager::add_listener(OverlayListener* listener) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::add_listener(OverlayListener* listener) {
   GOCAST_ASSERT(listener != nullptr);
   listeners_.push_back(listener);
 }
 
-void OverlayManager::set_own_landmarks(const membership::LandmarkVector& landmarks) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::set_own_landmarks(
+    const membership::LandmarkVector& landmarks) {
   own_landmarks_ = landmarks;
 }
 
-net::PeerDegrees OverlayManager::my_degrees() const {
+template <runtime::Context RT>
+net::PeerDegrees OverlayManagerT<RT>::my_degrees() const {
   net::PeerDegrees d;
   d.rand_degree = static_cast<std::uint16_t>(table_.rand_degree());
   d.near_degree = static_cast<std::uint16_t>(table_.near_degree());
@@ -69,7 +82,8 @@ net::PeerDegrees OverlayManager::my_degrees() const {
 // Maintenance cycle
 // ---------------------------------------------------------------------------
 
-void OverlayManager::on_maintenance() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_maintenance() {
   if (frozen_) return;
   prune_pending();
   keepalive_check();
@@ -91,11 +105,12 @@ void OverlayManager::on_maintenance() {
   }
 }
 
-void OverlayManager::keepalive_check() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::keepalive_check() {
   // TCP-keepalive analogue: probe the most-stale neighbor so degree caches
   // stay fresh and dead neighbors are discovered even when the higher
   // layers are quiet. At most one probe per maintenance cycle.
-  SimTime now = engine_.now();
+  SimTime now = rt_.now();
   NodeId stalest = kInvalidNode;
   SimTime oldest = now - params_.keepalive_interval;
   for (const auto& [peer, info] : table_.raw()) {
@@ -111,8 +126,9 @@ void OverlayManager::keepalive_check() {
   }
 }
 
-void OverlayManager::prune_pending() {
-  SimTime now = engine_.now();
+template <runtime::Context RT>
+void OverlayManagerT<RT>::prune_pending() {
+  SimTime now = rt_.now();
   for (auto it = pending_adds_.begin(); it != pending_adds_.end();) {
     if (now - it->second.started > params_.pending_timeout) {
       (it->second.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
@@ -130,7 +146,8 @@ void OverlayManager::prune_pending() {
   }
 }
 
-void OverlayManager::maintain_random() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::maintain_random() {
   const int c_rand = params_.target_rand_degree;
   int degree = table_.rand_degree();
 
@@ -140,7 +157,7 @@ void OverlayManager::maintain_random() {
       NodeId target = view_.random_member();
       if (target == kInvalidNode) return;
       if (!eligible_candidate(target)) continue;
-      pending_adds_[target] = PendingAdd{LinkKind::kRandom, engine_.now()};
+      pending_adds_[target] = PendingAdd{LinkKind::kRandom, rt_.now()};
       ++pending_rand_;
       send_request(target, LinkKind::kRandom, kNever, /*transfer=*/false);
       return;
@@ -158,8 +175,8 @@ void OverlayManager::maintain_random() {
     if (j >= i) ++j;
     NodeId y = rand_ids[i];
     NodeId z = rand_ids[j];
-    network_.send(self_, y,
-                  network_.make<LinkTransferMsg>(z, my_degrees()));
+    rt_.send(self_, y,
+             rt_.template make<LinkTransferMsg>(z, my_degrees()));
     drop_link(y, /*notify_peer=*/false);  // the transfer message implies it
     drop_link(z, /*notify_peer=*/true);
     return;
@@ -178,7 +195,8 @@ void OverlayManager::maintain_random() {
   }
 }
 
-void OverlayManager::maintain_nearby() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::maintain_nearby() {
   const int c_near = params_.target_near_degree;
   int degree = table_.near_degree();
 
@@ -193,7 +211,8 @@ void OverlayManager::maintain_nearby() {
   replace_step();
 }
 
-void OverlayManager::drop_excess_nearby() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::drop_excess_nearby() {
   const int c_near = params_.target_near_degree;
   // Drop longest-RTT neighbors first, but only those whose degree is not
   // dangerously low (condition C1's floor), until we are back at C_near.
@@ -205,11 +224,12 @@ void OverlayManager::drop_excess_nearby() {
   }
 }
 
-void OverlayManager::start_nearby_add() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::start_nearby_add() {
   NodeId candidate = next_nearby_candidate();
   if (candidate == kInvalidNode) return;
   // Measure first so the request carries a real RTT for Q's C3 check.
-  pending_adds_[candidate] = PendingAdd{LinkKind::kNearby, engine_.now()};
+  pending_adds_[candidate] = PendingAdd{LinkKind::kNearby, rt_.now()};
   ++pending_near_;
   measure_rtt(candidate, [this, candidate](SimTime rtt) {
     auto it = pending_adds_.find(candidate);
@@ -219,7 +239,8 @@ void OverlayManager::start_nearby_add() {
   });
 }
 
-void OverlayManager::replace_step() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::replace_step() {
   NodeId candidate = next_nearby_candidate();
   if (candidate == kInvalidNode) return;
   if (pending_near_ > 0) return;  // one replacement in flight at a time
@@ -228,7 +249,9 @@ void OverlayManager::replace_step() {
   });
 }
 
-void OverlayManager::evaluate_replace_candidate(NodeId candidate, SimTime rtt) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::evaluate_replace_candidate(NodeId candidate,
+                                                     SimTime rtt) {
   if (frozen_) return;
   if (table_.has(candidate) || pending_adds_.count(candidate) > 0) return;
   if (pending_near_ > 0) return;
@@ -248,14 +271,15 @@ void OverlayManager::evaluate_replace_candidate(NodeId candidate, SimTime rtt) {
   if (!(rtt <= params_.replace_ratio * u_rtt)) return;
 
   // C2 and C3 are evaluated by the candidate when it receives the request.
-  PendingAdd pending{LinkKind::kNearby, engine_.now()};
+  PendingAdd pending{LinkKind::kNearby, rt_.now()};
   pending.replace_victim = *victim;
   pending_adds_[candidate] = pending;
   ++pending_near_;
   send_request(candidate, LinkKind::kNearby, rtt, /*transfer=*/false);
 }
 
-NodeId OverlayManager::next_nearby_candidate() {
+template <runtime::Context RT>
+NodeId OverlayManagerT<RT>::next_nearby_candidate() {
   if (!initial_queue_built_ && !view_.empty()) build_initial_measure_queue();
 
   // Phase 1: probe members in increasing estimated latency.
@@ -274,7 +298,8 @@ NodeId OverlayManager::next_nearby_candidate() {
   return kInvalidNode;
 }
 
-void OverlayManager::build_initial_measure_queue() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::build_initial_measure_queue() {
   initial_queue_built_ = true;
   std::vector<std::pair<SimTime, NodeId>> est;
   est.reserve(view_.size());
@@ -287,7 +312,8 @@ void OverlayManager::build_initial_measure_queue() {
   for (const auto& [estimate, id] : est) measure_queue_.push_back(id);
 }
 
-bool OverlayManager::eligible_candidate(NodeId id) const {
+template <runtime::Context RT>
+bool OverlayManagerT<RT>::eligible_candidate(NodeId id) const {
   return id != self_ && id != kInvalidNode && !table_.has(id) &&
          pending_adds_.count(id) == 0;
 }
@@ -296,23 +322,27 @@ bool OverlayManager::eligible_candidate(NodeId id) const {
 // RTT measurement
 // ---------------------------------------------------------------------------
 
-void OverlayManager::measure_rtt(NodeId target, std::function<void(SimTime)> done) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::measure_rtt(NodeId target,
+                                      std::function<void(SimTime)> done) {
   GOCAST_ASSERT(target != self_);
   std::uint32_t nonce = next_nonce_++;
-  pending_pings_[nonce] = PendingPing{target, engine_.now(), std::move(done)};
+  pending_pings_[nonce] = PendingPing{target, rt_.now(), std::move(done)};
   ++pings_sent_;
-  network_.send(self_, target, network_.make<PingMsg>(nonce));
+  rt_.send(self_, target, rt_.template make<PingMsg>(nonce));
 }
 
-void OverlayManager::on_ping(NodeId from, const PingMsg& msg) {
-  network_.send(self_, from, network_.make<PongMsg>(msg.nonce, my_degrees()));
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_ping(NodeId from, const PingMsg& msg) {
+  rt_.send(self_, from, rt_.template make<PongMsg>(msg.nonce, my_degrees()));
 }
 
-void OverlayManager::on_pong(NodeId from, const PongMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_pong(NodeId from, const PongMsg& msg) {
   auto it = pending_pings_.find(msg.nonce);
   if (it == pending_pings_.end()) return;
   if (it->second.target != from) return;
-  SimTime rtt = engine_.now() - it->second.sent;
+  SimTime rtt = rt_.now() - it->second.sent;
   auto done = std::move(it->second.done);
   pending_pings_.erase(it);
   table_.update_rtt(from, rtt);  // refresh if the peer is a neighbor
@@ -323,17 +353,20 @@ void OverlayManager::on_pong(NodeId from, const PongMsg& msg) {
 // Handshake
 // ---------------------------------------------------------------------------
 
-void OverlayManager::send_request(NodeId target, LinkKind kind, SimTime rtt,
-                                  bool transfer) {
-  network_.send(self_, target, network_.make<NeighborRequestMsg>(
-                                   kind, rtt, transfer, my_degrees()));
+template <runtime::Context RT>
+void OverlayManagerT<RT>::send_request(NodeId target, LinkKind kind, SimTime rtt,
+                                       bool transfer) {
+  rt_.send(self_, target, rt_.template make<NeighborRequestMsg>(
+                              kind, rtt, transfer, my_degrees()));
 }
 
-void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_neighbor_request(NodeId from,
+                                              const NeighborRequestMsg& msg) {
   if (table_.has(from)) {
     // Duplicate (e.g. retry after a lost accept): re-accept idempotently.
-    network_.send(self_, from, network_.make<NeighborAcceptMsg>(
-                                   msg.link, msg.measured_rtt, my_degrees()));
+    rt_.send(self_, from, rt_.template make<NeighborAcceptMsg>(
+                              msg.link, msg.measured_rtt, my_degrees()));
     return;
   }
 
@@ -350,7 +383,7 @@ void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& 
     bool c3 = true;
     if (table_.near_degree() >= c_near) {
       SimTime rtt = msg.measured_rtt;
-      if (rtt == kNever) rtt = network_.rtt(self_, from);
+      if (rtt == kNever) rtt = rt_.rtt(self_, from);
       c3 = rtt < table_.max_nearby_rtt();
     }
     accept = c2 && c3;
@@ -359,8 +392,8 @@ void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& 
   if (frozen_) accept = false;
 
   if (!accept) {
-    network_.send(self_, from,
-                  network_.make<NeighborRejectMsg>(msg.link, my_degrees()));
+    rt_.send(self_, from,
+             rt_.template make<NeighborRejectMsg>(msg.link, my_degrees()));
     return;
   }
 
@@ -368,19 +401,21 @@ void OverlayManager::on_neighbor_request(NodeId from, const NeighborRequestMsg& 
   // The request carried the peer's degrees, but it was not yet a neighbor
   // when the dispatcher cached them; seed the cache now.
   if (const net::PeerDegrees* degrees = msg.peer_degrees()) {
-    table_.update_degrees(from, *degrees, engine_.now());
+    table_.update_degrees(from, *degrees, rt_.now());
   }
-  network_.send(self_, from, network_.make<NeighborAcceptMsg>(
-                                 msg.link, msg.measured_rtt, my_degrees()));
+  rt_.send(self_, from, rt_.template make<NeighborAcceptMsg>(
+                            msg.link, msg.measured_rtt, my_degrees()));
 }
 
-void OverlayManager::on_neighbor_accept(NodeId from, const NeighborAcceptMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_neighbor_accept(NodeId from,
+                                             const NeighborAcceptMsg& msg) {
   auto it = pending_adds_.find(from);
   if (it == pending_adds_.end()) {
     // We gave up on this handshake (timeout) but the peer established the
     // link; tear its half down.
     if (!table_.has(from)) {
-      network_.send(self_, from, network_.make<NeighborDropMsg>(my_degrees()));
+      rt_.send(self_, from, rt_.template make<NeighborDropMsg>(my_degrees()));
     }
     return;
   }
@@ -391,7 +426,7 @@ void OverlayManager::on_neighbor_accept(NodeId from, const NeighborAcceptMsg& ms
   if (table_.has(from)) return;  // simultaneous handshakes; already linked
   establish(from, msg.link);
   if (const net::PeerDegrees* degrees = msg.peer_degrees()) {
-    table_.update_degrees(from, *degrees, engine_.now());
+    table_.update_degrees(from, *degrees, rt_.now());
   }
 
   // Replacement: drop the victim chosen under C1, re-validated now.
@@ -407,7 +442,9 @@ void OverlayManager::on_neighbor_accept(NodeId from, const NeighborAcceptMsg& ms
   }
 }
 
-void OverlayManager::on_neighbor_reject(NodeId from, const NeighborRejectMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_neighbor_reject(NodeId from,
+                                             const NeighborRejectMsg& msg) {
   (void)msg;
   auto it = pending_adds_.find(from);
   if (it == pending_adds_.end()) return;
@@ -415,13 +452,17 @@ void OverlayManager::on_neighbor_reject(NodeId from, const NeighborRejectMsg& ms
   pending_adds_.erase(it);
 }
 
-void OverlayManager::on_neighbor_drop(NodeId from, const NeighborDropMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_neighbor_drop(NodeId from,
+                                           const NeighborDropMsg& msg) {
   (void)msg;
   if (!table_.has(from)) return;
   drop_link(from, /*notify_peer=*/false);
 }
 
-void OverlayManager::on_link_transfer(NodeId from, const LinkTransferMsg& msg) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_link_transfer(NodeId from,
+                                           const LinkTransferMsg& msg) {
   // `from` handed us off to msg.target and dropped our link.
   if (table_.has(from)) drop_link(from, /*notify_peer=*/false);
   if (frozen_) return;
@@ -429,16 +470,19 @@ void OverlayManager::on_link_transfer(NodeId from, const LinkTransferMsg& msg) {
   if (target == self_ || table_.has(target) || pending_adds_.count(target) > 0) {
     return;
   }
-  pending_adds_[target] = PendingAdd{LinkKind::kRandom, engine_.now()};
+  pending_adds_[target] = PendingAdd{LinkKind::kRandom, rt_.now()};
   ++pending_rand_;
   send_request(target, LinkKind::kRandom, kNever, /*transfer=*/true);
 }
 
-void OverlayManager::note_peer_degrees(NodeId from, const net::PeerDegrees& degrees) {
-  table_.update_degrees(from, degrees, engine_.now());
+template <runtime::Context RT>
+void OverlayManagerT<RT>::note_peer_degrees(NodeId from,
+                                            const net::PeerDegrees& degrees) {
+  table_.update_degrees(from, degrees, rt_.now());
 }
 
-void OverlayManager::on_peer_failure(NodeId peer) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::on_peer_failure(NodeId peer) {
   view_.remove(peer);
   if (auto it = pending_adds_.find(peer); it != pending_adds_.end()) {
     (it->second.kind == LinkKind::kRandom ? pending_rand_ : pending_near_) -= 1;
@@ -453,32 +497,38 @@ void OverlayManager::on_peer_failure(NodeId peer) {
 // Link state changes
 // ---------------------------------------------------------------------------
 
-void OverlayManager::establish(NodeId peer, LinkKind kind) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::establish(NodeId peer, LinkKind kind) {
   // RTT known from handshake timing (TCP connect) — the simulator provides
   // the true value the timing measurement would produce.
-  SimTime rtt = network_.rtt(self_, peer);
-  bool added = table_.add(peer, kind, rtt, engine_.now());
+  SimTime rtt = rt_.rtt(self_, peer);
+  bool added = table_.add(peer, kind, rtt, rt_.now());
   GOCAST_ASSERT(added);
   ++links_added_;
   record_link_change();
   for (OverlayListener* l : listeners_) l->on_neighbor_added(peer, kind);
 }
 
-void OverlayManager::drop_link(NodeId peer, bool notify_peer) {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::drop_link(NodeId peer, bool notify_peer) {
   std::optional<NeighborInfo> info = table_.remove(peer);
   if (!info.has_value()) return;
   ++links_dropped_;
   record_link_change();
   if (notify_peer) {
-    network_.send(self_, peer, network_.make<NeighborDropMsg>(my_degrees()));
+    rt_.send(self_, peer, rt_.template make<NeighborDropMsg>(my_degrees()));
   }
   for (OverlayListener* l : listeners_) l->on_neighbor_removed(peer);
 }
 
-void OverlayManager::record_link_change() {
+template <runtime::Context RT>
+void OverlayManagerT<RT>::record_link_change() {
   if (params_.record_link_changes) {
-    link_change_times_.push_back(engine_.now());
+    link_change_times_.push_back(rt_.now());
   }
 }
+
+template class OverlayManagerT<runtime::SimRuntime>;
+template class OverlayManagerT<runtime::RealtimeContext>;
 
 }  // namespace gocast::overlay

@@ -12,6 +12,12 @@
 // uses an asynchronous request/accept handshake; the RTT of an established
 // link is obtained from the handshake timing (the TCP connect measurement a
 // real deployment gets for free).
+//
+// The manager is a template over a runtime context (see runtime/context.h):
+// the same protocol logic runs on the discrete-event simulator
+// (runtime::SimRuntime — the default OverlayManager alias) and on the
+// real-time loopback backend (runtime::RealtimeContext). Method bodies live
+// in overlay_manager.cpp with explicit instantiations for both backends.
 #pragma once
 
 #include <cstdint>
@@ -24,9 +30,10 @@
 #include "common/rng.h"
 #include "common/types.h"
 #include "membership/partial_view.h"
-#include "net/network.h"
 #include "overlay/messages.h"
 #include "overlay/neighbor_table.h"
+#include "runtime/context.h"
+#include "runtime/sim_runtime.h"
 #include "sim/timer.h"
 
 namespace gocast::overlay {
@@ -86,13 +93,14 @@ class OverlayListener {
   virtual void on_neighbor_removed(NodeId peer) = 0;
 };
 
-class OverlayManager {
+template <runtime::Context RT>
+class OverlayManagerT {
  public:
-  OverlayManager(NodeId self, net::Network& network, membership::PartialView& view,
-                 OverlayParams params, Rng rng);
+  OverlayManagerT(NodeId self, RT rt, membership::PartialView& view,
+                  OverlayParams params, Rng rng);
 
-  OverlayManager(const OverlayManager&) = delete;
-  OverlayManager& operator=(const OverlayManager&) = delete;
+  OverlayManagerT(const OverlayManagerT&) = delete;
+  OverlayManagerT& operator=(const OverlayManagerT&) = delete;
 
   /// Starts the periodic maintenance timer (phase-staggered by `stagger`).
   void start(SimTime stagger);
@@ -188,8 +196,7 @@ class OverlayManager {
   void send_request(NodeId target, LinkKind kind, SimTime rtt, bool transfer);
 
   NodeId self_;
-  net::Network& network_;
-  sim::Engine& engine_;
+  RT rt_;
   membership::PartialView& view_;
   OverlayParams params_;
   Rng rng_;
@@ -207,7 +214,7 @@ class OverlayManager {
   membership::LandmarkVector own_landmarks_ = membership::empty_landmarks();
 
   std::vector<OverlayListener*> listeners_;
-  sim::PeriodicTimer maintenance_timer_;
+  runtime::PeriodicTimer<RT> maintenance_timer_;
   bool frozen_ = false;
 
   std::uint64_t links_added_ = 0;
@@ -216,5 +223,8 @@ class OverlayManager {
   std::uint64_t pings_sent_ = 0;
   std::vector<SimTime> link_change_times_;
 };
+
+/// The simulation-backed manager used throughout the simulator and tests.
+using OverlayManager = OverlayManagerT<runtime::SimRuntime>;
 
 }  // namespace gocast::overlay

@@ -1,0 +1,126 @@
+#include "runtime/realtime_runtime.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/assert.h"
+
+namespace gocast::runtime {
+
+RealtimeRuntime::RealtimeRuntime(RealtimeConfig config)
+    : config_(config),
+      jitter_rng_(Rng(config.seed).fork("realtime.jitter")),
+      base_rng_(Rng(config.seed).fork("realtime.nodes")) {
+  GOCAST_ASSERT(config_.one_way_latency >= 0.0);
+  GOCAST_ASSERT(config_.jitter >= 0.0);
+}
+
+NodeId RealtimeRuntime::add_node() {
+  nodes_.push_back(NodeRecord{});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void RealtimeRuntime::set_endpoint(NodeId node, net::Endpoint* endpoint) {
+  GOCAST_ASSERT(node < nodes_.size());
+  nodes_[node].endpoint = endpoint;
+}
+
+bool RealtimeRuntime::alive(NodeId node) const {
+  GOCAST_ASSERT(node < nodes_.size());
+  return nodes_[node].alive;
+}
+
+void RealtimeRuntime::fail_node(NodeId node) {
+  GOCAST_ASSERT(node < nodes_.size());
+  nodes_[node].alive = false;
+}
+
+void RealtimeRuntime::recover_node(NodeId node) {
+  GOCAST_ASSERT(node < nodes_.size());
+  nodes_[node].alive = true;
+}
+
+sim::EventId RealtimeRuntime::schedule_after(SimTime delay,
+                                             sim::InlineCallback cb) {
+  GOCAST_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+  // Anchor to the wall clock, not the queue clock: the queue's notion of now
+  // only advances when run_for() fires due work, so queue-relative delays
+  // would drift early whenever callbacks take real time to execute.
+  return queue_.schedule_at(now() + delay, std::move(cb));
+}
+
+void RealtimeRuntime::send(NodeId from, NodeId to, net::MessagePtr msg) {
+  GOCAST_ASSERT(from < nodes_.size());
+  GOCAST_ASSERT(to < nodes_.size());
+  if (!nodes_[from].alive) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  stats_.bytes_sent += msg->wire_size();
+  ++stats_.messages_sent;
+  if (!nodes_[to].alive) {
+    if (config_.notify_send_failures) {
+      queue_.schedule_at(now() + rtt(from, to),
+                         [this, from, to, m = std::move(msg)] {
+                           deliver_failure(from, to, m);
+                         });
+    } else {
+      ++stats_.messages_dropped;
+    }
+    return;
+  }
+  SimTime latency = one_way(from, to);
+  if (config_.jitter > 0.0) {
+    latency += jitter_rng_.next_range(0.0, config_.jitter);
+  }
+  queue_.schedule_at(
+      now() + latency,
+      [this, from, to, m = std::move(msg)] { deliver(from, to, m); });
+}
+
+void RealtimeRuntime::deliver(NodeId from, NodeId to,
+                              const net::MessagePtr& msg) {
+  const NodeRecord& dst = nodes_[to];
+  if (!dst.alive || dst.endpoint == nullptr) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  ++stats_.messages_delivered;
+  dst.endpoint->handle_message(from, msg);
+}
+
+void RealtimeRuntime::deliver_failure(NodeId from, NodeId to,
+                                      const net::MessagePtr& msg) {
+  const NodeRecord& src = nodes_[from];
+  ++stats_.messages_dropped;
+  if (!src.alive || src.endpoint == nullptr) return;
+  src.endpoint->handle_send_failure(to, msg);
+}
+
+void RealtimeRuntime::report_aborted_transfer(NodeId from, NodeId to,
+                                              std::size_t bytes) {
+  (void)from;
+  (void)to;
+  stats_.aborted_transfer_bytes += bytes;
+}
+
+std::size_t RealtimeRuntime::run_for(SimTime wall_seconds) {
+  GOCAST_ASSERT(wall_seconds >= 0.0);
+  const SimTime deadline = now() + wall_seconds;
+  std::size_t fired = 0;
+  for (;;) {
+    const SimTime next = queue_.next_event_time();
+    if (next == kNever || next > deadline) break;
+    if (next > now()) {
+      std::this_thread::sleep_until(
+          anchor_ + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(next)));
+    }
+    // The sleep may overshoot; fire everything due by the wall clock, but
+    // never past the caller's horizon.
+    fired += queue_.run_until(std::min(now(), deadline));
+  }
+  return fired;
+}
+
+}  // namespace gocast::runtime

@@ -1,0 +1,195 @@
+// Real-time binding of the runtime seam (see runtime/context.h).
+//
+// RealtimeRuntime drives the same protocol templates the simulator does, but
+// against a std::chrono steady clock and an in-process loopback transport.
+// Time is wall-clock seconds since runtime construction; timers actually
+// sleep; sends are delivered to the destination endpoint after a configurable
+// injected one-way latency (plus optional jitter), mimicking a LAN/WAN hop
+// inside one process. tools/gocastd uses it to run N live GoCast nodes.
+//
+// Implementation: the pending-work queue is a sim::Engine — the same
+// generation-checked 4-ary heap the simulator uses — anchored to the steady
+// clock. run_for() repeatedly sleeps until the earliest deadline, then fires
+// everything that has come due. Single-threaded by design: protocol code runs
+// only inside run_for(), so no locking is needed and the protocol classes
+// stay oblivious to which backend hosts them.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/endpoint.h"
+#include "net/message.h"
+#include "net/message_pool.h"
+#include "runtime/context.h"
+#include "sim/engine.h"
+
+namespace gocast::runtime {
+
+struct RealtimeConfig {
+  /// Injected one-way latency between distinct nodes, in seconds. The
+  /// loopback transport itself is instantaneous; this emulates a network hop.
+  SimTime one_way_latency = 0.0002;
+
+  /// Uniform jitter added to each hop: latency is drawn from
+  /// [one_way_latency, one_way_latency + jitter].
+  SimTime jitter = 0.0;
+
+  /// Whether senders receive handle_send_failure (after one RTT) for
+  /// messages addressed to failed nodes — mirrors net::NetworkConfig.
+  bool notify_send_failures = true;
+
+  /// Seed for jitter draws and fork_rng() per-node streams.
+  std::uint64_t seed = 1;
+};
+
+class RealtimeRuntime {
+ public:
+  struct Stats {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t messages_dropped = 0;  // dead sender or dead receiver
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t aborted_transfer_bytes = 0;
+  };
+
+  explicit RealtimeRuntime(RealtimeConfig config = {});
+
+  RealtimeRuntime(const RealtimeRuntime&) = delete;
+  RealtimeRuntime& operator=(const RealtimeRuntime&) = delete;
+
+  /// Registers a node; returns its id (dense, starting at 0).
+  NodeId add_node();
+
+  void set_endpoint(NodeId node, net::Endpoint* endpoint);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] bool alive(NodeId node) const;
+  void fail_node(NodeId node);
+  void recover_node(NodeId node);
+
+  /// Wall-clock seconds since this runtime was constructed.
+  [[nodiscard]] SimTime now() const {
+    return std::chrono::duration<double>(Clock::now() - anchor_).count();
+  }
+
+  sim::EventId schedule_after(SimTime delay, sim::InlineCallback cb);
+  bool cancel(sim::EventId id) { return queue_.cancel(id); }
+
+  void send(NodeId from, NodeId to, net::MessagePtr msg);
+
+  template <class M, class... Args>
+  [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
+    return net::make_pooled<M>(pool_, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] SimTime one_way(NodeId a, NodeId b) const {
+    return a == b ? 0.0 : config_.one_way_latency;
+  }
+  [[nodiscard]] SimTime rtt(NodeId a, NodeId b) const {
+    return 2.0 * one_way(a, b);
+  }
+
+  void report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes);
+
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) const {
+    return base_rng_.fork(salt);
+  }
+
+  /// Runs the event loop for `wall_seconds` of real time: sleeps until the
+  /// earliest pending deadline, fires due work, repeats. Returns early if the
+  /// queue drains (single-threaded — nothing can add work while we sleep).
+  /// Returns the number of callbacks fired.
+  std::size_t run_for(SimTime wall_seconds);
+
+  [[nodiscard]] std::size_t pending() const { return queue_.pending(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const RealtimeConfig& config() const { return config_; }
+  [[nodiscard]] const net::MessageArena& pool() const { return *pool_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct NodeRecord {
+    net::Endpoint* endpoint = nullptr;
+    bool alive = true;
+  };
+
+  void deliver(NodeId from, NodeId to, const net::MessagePtr& msg);
+  void deliver_failure(NodeId from, NodeId to, const net::MessagePtr& msg);
+
+  RealtimeConfig config_;
+  Clock::time_point anchor_ = Clock::now();
+  sim::Engine queue_;
+  std::shared_ptr<net::MessageArena> pool_ =
+      std::make_shared<net::MessageArena>();
+  Rng jitter_rng_;
+  Rng base_rng_;
+  std::vector<NodeRecord> nodes_;
+  Stats stats_;
+};
+
+/// Copyable handle over a RealtimeRuntime — the Context type protocol
+/// templates are instantiated with (mirrors SimRuntime's two-pointer shape;
+/// protocol members store contexts by value).
+class RealtimeContext final {
+ public:
+  using TimerId = sim::EventId;
+  [[nodiscard]] static constexpr sim::EventId invalid_timer() {
+    return sim::kInvalidEvent;
+  }
+
+  RealtimeContext(RealtimeRuntime& rt)  // NOLINT(google-explicit-constructor)
+      : rt_(&rt) {}
+
+  [[nodiscard]] SimTime now() const { return rt_->now(); }
+
+  TimerId schedule_after(SimTime delay, sim::InlineCallback cb) {
+    return rt_->schedule_after(delay, std::move(cb));
+  }
+  bool cancel(TimerId id) { return rt_->cancel(id); }
+
+  void send(NodeId from, NodeId to, net::MessagePtr msg) {
+    rt_->send(from, to, std::move(msg));
+  }
+
+  template <class M, class... Args>
+  [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
+    return rt_->make<M>(std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] bool alive(NodeId node) const { return rt_->alive(node); }
+  [[nodiscard]] std::size_t node_count() const { return rt_->node_count(); }
+  [[nodiscard]] SimTime rtt(NodeId a, NodeId b) const { return rt_->rtt(a, b); }
+  [[nodiscard]] SimTime one_way(NodeId a, NodeId b) const {
+    return rt_->one_way(a, b);
+  }
+
+  void report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes) {
+    rt_->report_aborted_transfer(from, to, bytes);
+  }
+  void set_endpoint(NodeId node, net::Endpoint* endpoint) {
+    rt_->set_endpoint(node, endpoint);
+  }
+  void fail_node(NodeId node) { rt_->fail_node(node); }
+
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) const {
+    return rt_->fork_rng(salt);
+  }
+
+  [[nodiscard]] RealtimeRuntime& runtime() { return *rt_; }
+
+ private:
+  RealtimeRuntime* rt_;
+};
+
+static_assert(Context<RealtimeContext>,
+              "RealtimeContext must satisfy the runtime Context contract");
+
+}  // namespace gocast::runtime

@@ -1,0 +1,94 @@
+// Simulation binding of the runtime seam (see runtime/context.h).
+//
+// A SimRuntime is two pointers — the event engine and the simulated network —
+// and every method is an inline forward. Protocol classes instantiated over
+// it compile to the same code they did when they held `sim::Engine&` /
+// `net::Network&` members directly: no virtual dispatch, no extra
+// indirection, nothing for the optimizer to chew through. The implicit
+// conversion from net::Network& keeps the dozens of existing construction
+// sites (`OverlayManager(id, network, ...)`) source-compatible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "net/endpoint.h"
+#include "net/message.h"
+#include "net/network.h"
+#include "runtime/context.h"
+#include "sim/engine.h"
+
+namespace gocast::runtime {
+
+class SimRuntime final {
+ public:
+  using TimerId = sim::EventId;
+  [[nodiscard]] static constexpr sim::EventId invalid_timer() {
+    return sim::kInvalidEvent;
+  }
+
+  // Implicit on purpose: every existing protocol constructor takes
+  // `net::Network&` and should keep working unchanged.
+  SimRuntime(net::Network& network)  // NOLINT(google-explicit-constructor)
+      : engine_(&network.engine()), network_(&network) {}
+
+  [[nodiscard]] SimTime now() const { return engine_->now(); }
+
+  TimerId schedule_after(SimTime delay, sim::InlineCallback cb) {
+    return engine_->schedule_after(delay, std::move(cb));
+  }
+
+  bool cancel(TimerId id) { return engine_->cancel(id); }
+
+  void send(NodeId from, NodeId to, net::MessagePtr msg) {
+    network_->send(from, to, std::move(msg));
+  }
+
+  template <class M, class... Args>
+  [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
+    return network_->make<M>(std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] bool alive(NodeId node) const { return network_->alive(node); }
+  [[nodiscard]] std::size_t node_count() const {
+    return network_->node_count();
+  }
+  [[nodiscard]] SimTime rtt(NodeId a, NodeId b) const {
+    return network_->rtt(a, b);
+  }
+  [[nodiscard]] SimTime one_way(NodeId a, NodeId b) const {
+    return network_->one_way(a, b);
+  }
+
+  void report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes) {
+    network_->report_aborted_transfer(from, to, bytes);
+  }
+
+  void set_endpoint(NodeId node, net::Endpoint* endpoint) {
+    network_->set_endpoint(node, endpoint);
+  }
+
+  void fail_node(NodeId node) { network_->fail_node(node); }
+
+  [[nodiscard]] Rng fork_rng(std::uint64_t salt) const {
+    return network_->fork_rng(salt);
+  }
+
+  // Escape hatches for sim-only code (harness, analysis). Protocol logic
+  // must stay on the Context surface above.
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+
+ private:
+  sim::Engine* engine_;
+  net::Network* network_;
+};
+
+static_assert(Context<SimRuntime>,
+              "SimRuntime must satisfy the runtime Context contract");
+
+}  // namespace gocast::runtime

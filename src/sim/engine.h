@@ -51,6 +51,14 @@ class Engine {
  public:
   using Callback = InlineCallback;
 
+  // Scheduler concept (see sim/timer.h and runtime/context.h): any type with
+  // TimerId/invalid_timer()/now()/schedule_after()/cancel() can drive a
+  // BasicPeriodicTimer. The engine is the canonical implementation.
+  using TimerId = EventId;
+  [[nodiscard]] static constexpr EventId invalid_timer() {
+    return kInvalidEvent;
+  }
+
   Engine() { heap_.assign(kRootPos, HeapEntry{0}); }
   ~Engine();
   Engine(const Engine&) = delete;

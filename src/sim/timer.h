@@ -1,29 +1,56 @@
-// Periodic timer built on the engine. Owns its pending event: destroying or
-// stopping the timer cancels the event, so callbacks never outlive their
+// Periodic timer built on any scheduler satisfying the timer concept (the
+// simulation engine, a runtime backend). Owns its pending event: destroying
+// or stopping the timer cancels the event, so callbacks never outlive their
 // owner.
+//
+// The tick callable is stored as a sim::InlineCallback, not a std::function:
+// periodic protocol ticks are the most common recurring schedule in the
+// system (every node arms maintenance/gossip/gc/heartbeat timers), and
+// std::function would heap-allocate any capture beyond its tiny inline
+// buffer. Captures must fit InlineCallback's inline capacity — asserted at
+// compile time, so an outgrown capture is a build error, never a silent
+// allocation.
 #pragma once
 
-#include <functional>
+#include <type_traits>
 #include <utility>
 
 #include "common/assert.h"
 #include "sim/engine.h"
+#include "sim/inline_callback.h"
 
 namespace gocast::sim {
 
-class PeriodicTimer {
+/// Periodic timer over a Scheduler providing:
+///   using TimerId = ...;             // handle to a pending one-shot
+///   static TimerId invalid_timer();  // sentinel handle
+///   SimTime now() const;
+///   TimerId schedule_after(SimTime delay, InlineCallback cb);
+///   bool cancel(TimerId id);
+template <class Scheduler>
+class BasicPeriodicTimer {
  public:
-  /// `fn` fires every `period` seconds once started.
-  PeriodicTimer(Engine& engine, SimTime period, std::function<void()> fn)
-      : engine_(engine), period_(period), fn_(std::move(fn)) {
+  using TimerId = typename Scheduler::TimerId;
+
+  /// `fn` fires every `period` seconds once started. The capture must fit
+  /// the engine's inline callback storage (compile-time checked).
+  template <class F>
+  BasicPeriodicTimer(Scheduler& scheduler, SimTime period, F&& fn)
+      : scheduler_(scheduler), period_(period), fn_(std::forward<F>(fn)) {
+    static_assert(sizeof(std::decay_t<F>) <= InlineCallback::kInlineCapacity,
+                  "periodic tick capture must fit InlineCallback inline "
+                  "storage; shrink the capture or raise kInlineCapacity");
+    static_assert(std::is_nothrow_move_constructible_v<std::decay_t<F>>,
+                  "periodic tick capture must be nothrow-movable to stay on "
+                  "the InlineCallback inline path");
     GOCAST_ASSERT(period_ > 0.0);
-    GOCAST_ASSERT(fn_ != nullptr);
+    GOCAST_ASSERT(static_cast<bool>(fn_));
   }
 
-  PeriodicTimer(const PeriodicTimer&) = delete;
-  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+  BasicPeriodicTimer(const BasicPeriodicTimer&) = delete;
+  BasicPeriodicTimer& operator=(const BasicPeriodicTimer&) = delete;
 
-  ~PeriodicTimer() { stop(); }
+  ~BasicPeriodicTimer() { stop(); }
 
   /// Starts (or restarts) the timer; the first firing happens after
   /// `first_delay` seconds.
@@ -39,8 +66,8 @@ class PeriodicTimer {
   void stop() {
     if (!running_) return;
     running_ = false;
-    engine_.cancel(pending_);
-    pending_ = kInvalidEvent;
+    scheduler_.cancel(pending_);
+    pending_ = Scheduler::invalid_timer();
   }
 
   [[nodiscard]] bool running() const { return running_; }
@@ -54,7 +81,7 @@ class PeriodicTimer {
 
  private:
   void arm(SimTime delay) {
-    pending_ = engine_.schedule_after(delay, [this] {
+    pending_ = scheduler_.schedule_after(delay, [this] {
       // Re-arm before invoking: the callback may stop() us, and stopping
       // must win over re-arming.
       arm(period_);
@@ -62,11 +89,14 @@ class PeriodicTimer {
     });
   }
 
-  Engine& engine_;
+  Scheduler& scheduler_;
   SimTime period_;
-  std::function<void()> fn_;
+  InlineCallback fn_;
   bool running_ = false;
-  EventId pending_ = kInvalidEvent;
+  TimerId pending_ = Scheduler::invalid_timer();
 };
+
+/// The engine-driven timer used throughout the simulator.
+using PeriodicTimer = BasicPeriodicTimer<Engine>;
 
 }  // namespace gocast::sim

@@ -4,6 +4,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "runtime/realtime_runtime.h"
 
 namespace gocast::tree {
 
@@ -11,39 +12,43 @@ namespace {
 constexpr double kRelaxEpsilon = 1e-9;
 }  // namespace
 
-TreeManager::TreeManager(NodeId self, net::Network& network,
-                         overlay::OverlayManager& overlay, TreeParams params)
+template <runtime::Context RT>
+TreeManagerT<RT>::TreeManagerT(NodeId self, RT rt,
+                               overlay::OverlayManagerT<RT>& overlay,
+                               TreeParams params)
     : self_(self),
-      network_(network),
+      rt_(rt),
       overlay_(overlay),
       params_(params),
-      root_timer_(network.engine(), params.heartbeat_period,
-                  [this] { flood_heartbeat(); }),
-      watchdog_(network.engine(), params.heartbeat_period,
-                [this] { watchdog_check(); }) {
+      root_timer_(rt_, params.heartbeat_period, [this] { flood_heartbeat(); }),
+      watchdog_(rt_, params.heartbeat_period, [this] { watchdog_check(); }) {
   GOCAST_ASSERT(params_.heartbeat_period > 0.0);
   GOCAST_ASSERT(params_.neighbor_takeover_periods <
                 params_.distant_takeover_periods);
 }
 
-void TreeManager::start(SimTime stagger) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::start(SimTime stagger) {
   if (!params_.enabled) return;
-  last_heartbeat_ = network_.engine().now();
+  last_heartbeat_ = rt_.now();
   watchdog_.start(stagger + params_.heartbeat_period);
   if (is_root()) root_timer_.start(stagger + 0.01);
 }
 
-void TreeManager::stop() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::stop() {
   root_timer_.stop();
   watchdog_.stop();
 }
 
-void TreeManager::freeze() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::freeze() {
   frozen_ = true;
   stop();
 }
 
-void TreeManager::become_root() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::become_root() {
   GOCAST_ASSERT(params_.enabled);
   adopt_epoch(Epoch{epoch_.term + 1, self_});
 }
@@ -52,18 +57,20 @@ void TreeManager::become_root() {
 // Heartbeats
 // ---------------------------------------------------------------------------
 
-void TreeManager::flood_heartbeat() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::flood_heartbeat() {
   if (!is_root() || frozen_) return;
   ++flood_seq_;
-  last_heartbeat_ = network_.engine().now();
-  auto msg = network_.make<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
-                                            overlay_.my_degrees());
+  last_heartbeat_ = rt_.now();
+  auto msg = rt_.template make<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
+                                             overlay_.my_degrees());
   for (NodeId peer : overlay_.neighbor_ids()) {
-    network_.send(self_, peer, msg);
+    rt_.send(self_, peer, msg);
   }
 }
 
-void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
   if (!params_.enabled || frozen_) return;
   const overlay::NeighborInfo* link = overlay_.table().find(from);
   if (link == nullptr) return;  // heartbeats only flow on overlay links
@@ -72,7 +79,7 @@ void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
   if (msg.epoch.beats(epoch_)) adopt_epoch(msg.epoch);
   if (is_root()) return;  // our own flood echoed back through a cycle
 
-  last_heartbeat_ = network_.engine().now();
+  last_heartbeat_ = rt_.now();
 
   if (msg.seq < current_seq_) return;  // stale round
   if (msg.seq > current_seq_) {
@@ -83,7 +90,7 @@ void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
   }
 
   SimTime link_latency = link->rtt == kNever
-                             ? network_.one_way(self_, from)
+                             ? rt_.one_way(self_, from)
                              : link->rtt / 2.0;
   SimTime candidate = msg.cum_latency + link_latency;
   neighbor_dist_[from] = msg.cum_latency;
@@ -91,18 +98,19 @@ void TreeManager::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
   if (candidate + kRelaxEpsilon < best_dist_) {
     best_dist_ = candidate;
     set_parent(from);
-    auto fwd = network_.make<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
-                                              overlay_.my_degrees());
+    auto fwd = rt_.template make<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
+                                               overlay_.my_degrees());
     for (NodeId peer : overlay_.neighbor_ids()) {
-      if (peer != from) network_.send(self_, peer, fwd);
+      if (peer != from) rt_.send(self_, peer, fwd);
     }
   }
 }
 
-void TreeManager::watchdog_check() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::watchdog_check() {
   if (!params_.enabled || frozen_ || is_root()) return;
   if (epoch_.root == kInvalidNode) return;  // no root designated yet
-  SimTime now = network_.engine().now();
+  SimTime now = rt_.now();
   double silent = now - last_heartbeat_;
   double threshold = overlay_.is_neighbor(epoch_.root)
                          ? params_.neighbor_takeover_periods
@@ -114,18 +122,21 @@ void TreeManager::watchdog_check() {
   }
 }
 
-void TreeManager::promote_self() {
+template <runtime::Context RT>
+void TreeManagerT<RT>::promote_self() {
   adopt_epoch(Epoch{epoch_.term + 1, self_});
   flood_heartbeat();
 }
 
-void TreeManager::adopt_epoch(const Epoch& epoch) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::adopt_epoch(const Epoch& epoch) {
   bool was_root = is_root();
+  NodeId old_root = epoch_.root;
   epoch_ = epoch;
   current_seq_ = 0;
   best_dist_ = is_root() ? 0.0 : kNever;
   neighbor_dist_.clear();
-  last_heartbeat_ = network_.engine().now();
+  last_heartbeat_ = rt_.now();
   if (is_root()) {
     set_parent(kInvalidNode);
     if (!was_root && params_.enabled && !frozen_) {
@@ -134,53 +145,64 @@ void TreeManager::adopt_epoch(const Epoch& epoch) {
   } else if (was_root) {
     root_timer_.stop();
   }
+  // A known root ceding to a different one is how a healed partition looks
+  // from the losing side; let the dissemination layer react (cold path).
+  if (root_change_hook_ && old_root != kInvalidNode &&
+      old_root != epoch_.root) {
+    root_change_hook_(old_root, epoch_.root);
+  }
 }
 
 // ---------------------------------------------------------------------------
 // Parent / child bookkeeping
 // ---------------------------------------------------------------------------
 
-void TreeManager::set_parent(NodeId new_parent) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::set_parent(NodeId new_parent) {
   if (parent_ == new_parent) {
     // Refresh the child registration: every heartbeat round re-selects the
     // parent, and an idempotent re-join heals any parent that missed (or
     // rejected during a link-handshake window) the original ChildJoin.
     if (new_parent != kInvalidNode) {
-      network_.send(self_, new_parent,
-                    network_.make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+      rt_.send(self_, new_parent,
+               rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
     }
     return;
   }
   NodeId old_parent = parent_;
   parent_ = new_parent;
-  if (old_parent != kInvalidNode && network_.alive(self_)) {
-    network_.send(self_, old_parent,
-                  network_.make<ChildLeaveMsg>(overlay_.my_degrees()));
+  if (old_parent != kInvalidNode && rt_.alive(self_)) {
+    rt_.send(self_, old_parent,
+             rt_.template make<ChildLeaveMsg>(overlay_.my_degrees()));
   }
   if (new_parent != kInvalidNode) {
-    network_.send(self_, new_parent,
-                  network_.make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+    rt_.send(self_, new_parent,
+             rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
   }
 }
 
-void TreeManager::on_child_join(NodeId from, const ChildJoinMsg& msg) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::on_child_join(NodeId from, const ChildJoinMsg& msg) {
   if (!params_.enabled) return;
   if (!overlay_.is_neighbor(from)) return;  // tree links must be overlay links
   if (epoch_.beats(msg.epoch)) return;      // child follows a stale root
   children_.insert(from);
 }
 
-void TreeManager::on_child_leave(NodeId from, const ChildLeaveMsg& msg) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::on_child_leave(NodeId from, const ChildLeaveMsg& msg) {
   (void)msg;
   children_.erase(from);
 }
 
-void TreeManager::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
   (void)peer;
   (void)kind;
 }
 
-void TreeManager::on_neighbor_removed(NodeId peer) {
+template <runtime::Context RT>
+void TreeManagerT<RT>::on_neighbor_removed(NodeId peer) {
   children_.erase(peer);
   neighbor_dist_.erase(peer);
   if (parent_ == peer) {
@@ -206,7 +228,8 @@ void TreeManager::on_neighbor_removed(NodeId peer) {
   }
 }
 
-std::vector<NodeId> TreeManager::tree_neighbors() const {
+template <runtime::Context RT>
+std::vector<NodeId> TreeManagerT<RT>::tree_neighbors() const {
   std::vector<NodeId> out;
   out.reserve(children_.size() + 1);
   if (parent_ != kInvalidNode) out.push_back(parent_);
@@ -216,8 +239,12 @@ std::vector<NodeId> TreeManager::tree_neighbors() const {
   return out;
 }
 
-bool TreeManager::is_tree_neighbor(NodeId peer) const {
+template <runtime::Context RT>
+bool TreeManagerT<RT>::is_tree_neighbor(NodeId peer) const {
   return peer == parent_ || children_.count(peer) > 0;
 }
+
+template class TreeManagerT<runtime::SimRuntime>;
+template class TreeManagerT<runtime::RealtimeContext>;
 
 }  // namespace gocast::tree

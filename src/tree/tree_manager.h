@@ -8,15 +8,21 @@
 // ChildLeave so both ends treat the link as a tree link. If the root fails,
 // one of its overlay neighbors takes over (elected by heartbeat-timeout plus
 // deterministic epoch ordering).
+//
+// Template over a runtime context (see runtime/context.h); the TreeManager
+// alias binds the simulator backend. Bodies live in tree_manager.cpp with
+// explicit instantiations for both backends.
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
-#include "net/network.h"
 #include "overlay/overlay_manager.h"
+#include "runtime/context.h"
+#include "runtime/sim_runtime.h"
 #include "sim/timer.h"
 #include "tree/messages.h"
 
@@ -31,10 +37,11 @@ struct TreeParams {
   bool enabled = true;
 };
 
-class TreeManager final : public overlay::OverlayListener {
+template <runtime::Context RT>
+class TreeManagerT final : public overlay::OverlayListener {
  public:
-  TreeManager(NodeId self, net::Network& network, overlay::OverlayManager& overlay,
-              TreeParams params);
+  TreeManagerT(NodeId self, RT rt, overlay::OverlayManagerT<RT>& overlay,
+               TreeParams params);
 
   /// Starts heartbeat/watchdog timers. `stagger` de-synchronizes nodes.
   void start(SimTime stagger);
@@ -47,6 +54,16 @@ class TreeManager final : public overlay::OverlayListener {
 
   /// Designates this node as the initial root (harness calls on one node).
   void become_root();
+
+  /// Observer fired when adopting an epoch replaces a previously known root
+  /// with a different one — the signature of a partition healing (the losing
+  /// side's root cedes to the winning epoch). Cold path: root changes are
+  /// rare, so a std::function costs nothing that matters. The dissemination
+  /// layer hooks digest re-advertisement here (GoCastConfig::
+  /// readvertise_on_heal).
+  void set_root_change_hook(std::function<void(NodeId old_root, NodeId new_root)> hook) {
+    root_change_hook_ = std::move(hook);
+  }
 
   // -- message entry points --
   void on_heartbeat(NodeId from, const HeartbeatMsg& msg);
@@ -80,8 +97,8 @@ class TreeManager final : public overlay::OverlayListener {
   void promote_self();
 
   NodeId self_;
-  net::Network& network_;
-  overlay::OverlayManager& overlay_;
+  RT rt_;
+  overlay::OverlayManagerT<RT>& overlay_;
   TreeParams params_;
 
   Epoch epoch_;
@@ -93,10 +110,14 @@ class TreeManager final : public overlay::OverlayListener {
   /// Last cumulative latency each neighbor advertised (parent failover).
   std::unordered_map<NodeId, SimTime> neighbor_dist_;
   SimTime last_heartbeat_ = 0.0;
+  std::function<void(NodeId, NodeId)> root_change_hook_;
 
-  sim::PeriodicTimer root_timer_;
-  sim::PeriodicTimer watchdog_;
+  runtime::PeriodicTimer<RT> root_timer_;
+  runtime::PeriodicTimer<RT> watchdog_;
   bool frozen_ = false;
 };
+
+/// The simulation-backed tree manager used throughout the simulator/tests.
+using TreeManager = TreeManagerT<runtime::SimRuntime>;
 
 }  // namespace gocast::tree

@@ -31,6 +31,9 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
     --benchmark_filter='BM_EngineScheduleAndRun/1000$|BM_EngineCancelHeavy|BM_SystemWarmupSecond/128'
   echo "=== bench-smoke: perf_scaling ==="
   "${root}/build/bench/perf_scaling" --nodes 128 --seconds 10 --messages 3
+  echo "=== bench-smoke: gocastd (live runtime) ==="
+  cmake --build "${root}/build" -j "${jobs}" --target gocastd
+  "${root}/build/tools/gocastd" --nodes 8 --messages 4 --warmup 1.5
   echo "=== bench-smoke passed ==="
   exit 0
 fi
