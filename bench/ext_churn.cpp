@@ -5,16 +5,27 @@
 // traffic flows, and reports delivery completeness and delay for nodes that
 // stay alive, plus how quickly joiners reach the target degree.
 #include <iostream>
+#include <vector>
 
 #include "analysis/delivery_tracker.h"
 #include "analysis/graph_analysis.h"
 #include "common/env.h"
 #include "gocast/system.h"
+#include "harness/args.h"
+#include "harness/runner.h"
 #include "harness/table.h"
+#include "sim/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
+
+  harness::Args args(argc, argv, {"threads", "help"});
+  if (args.get_bool("help", false)) {
+    std::cout << "ext_churn — delivery under continuous churn\n"
+                 "flags: --threads N [0 = auto]\n";
+    return 0;
+  }
 
   std::size_t base_nodes = scaled_count(512, 64);
   double warmup = env_double("GOCAST_WARMUP", 180.0);
@@ -25,66 +36,90 @@ int main() {
       "requirement from the paper's intro: graceful behavior under dynamic "
       "joins and leaves");
 
+  // One job per churn rate; every job owns its system, so the rates shard
+  // across the worker pool and the table is assembled in rate order after.
+  struct Row {
+    analysis::DeliveryTracker::Report report;
+    bool connected = false;
+    bool spanning = false;
+  };
+  const double churn_rates[] = {0.0, 0.5, 2.0, 5.0};
+  harness::Runner runner(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  std::vector<Row> rows = runner.run<Row>(
+      std::size(churn_rates), [&](std::size_t job) {
+        const double churn_rate = churn_rates[job];
+        core::SystemConfig config;
+        config.node_count = base_nodes + base_nodes / 4;
+        config.deferred_nodes = base_nodes / 4;
+        config.seed = 91 + static_cast<std::uint64_t>(churn_rate * 10);
+        core::System system(config);
+        analysis::DeliveryTracker tracker(config.node_count);
+        system.set_delivery_hook(tracker.hook());
+        system.start();
+        system.run_for(warmup);
+
+        // Churn + traffic phase: 60 s of joins/leaves at churn_rate events/s
+        // (half joins, half leaves) with 20 msg/s multicast. Both schedules
+        // are admitted as batches.
+        SimTime phase_start = system.now();
+        const double phase = 60.0;
+        std::vector<sim::Engine::BatchEvent> schedule;
+        if (churn_rate > 0.0) {
+          std::size_t events = static_cast<std::size_t>(phase * churn_rate);
+          schedule.reserve(events);
+          for (std::size_t e = 0; e < events; ++e) {
+            SimTime at = phase_start + static_cast<double>(e) / churn_rate;
+            bool join = e % 2 == 0;
+            schedule.push_back({at, [&system, join] {
+                                  if (join) {
+                                    (void)system.spawn_next();
+                                  } else if (system.network().alive_count() > 8) {
+                                    system.node(system.random_alive_node())
+                                        .kill();
+                                  }
+                                }});
+          }
+          system.engine().schedule_batch(schedule);
+          schedule.clear();
+        }
+        tracker.set_recording(true);
+        std::size_t messages = static_cast<std::size_t>(phase * 20.0);
+        schedule.reserve(messages);
+        for (std::size_t i = 0; i < messages; ++i) {
+          schedule.push_back({phase_start + static_cast<double>(i) / 20.0,
+                              [&system] {
+                                system.node(system.random_alive_node())
+                                    .multicast(512);
+                              }});
+        }
+        system.engine().schedule_batch(schedule);
+        system.run_until(phase_start + phase + 30.0);
+
+        // Survivors: alive now AND alive before the churn phase (they should
+        // have every message; joiners miss messages sent before they joined).
+        std::vector<NodeId> survivors;
+        for (NodeId id = 0; id < base_nodes; ++id) {
+          if (system.network().alive(id)) survivors.push_back(id);
+        }
+        Row row;
+        row.report = tracker.report(survivors);
+        auto graph = analysis::snapshot_overlay(system);
+        row.connected = analysis::components(graph).largest_fraction == 1.0;
+        row.spanning = analysis::tree_stats(system).spanning;
+        return row;
+      });
+
   harness::Table table({"churn (events/s)", "delivered (survivors)",
                         "mean delay", "p99 delay", "connected", "tree spans"});
-
-  for (double churn_rate : {0.0, 0.5, 2.0, 5.0}) {
-    core::SystemConfig config;
-    config.node_count = base_nodes + base_nodes / 4;
-    config.deferred_nodes = base_nodes / 4;
-    config.seed = 91 + static_cast<std::uint64_t>(churn_rate * 10);
-    core::System system(config);
-    analysis::DeliveryTracker tracker(config.node_count);
-    system.set_delivery_hook(tracker.hook());
-    system.start();
-    system.run_for(warmup);
-
-    // Churn + traffic phase: 60 s of joins/leaves at churn_rate events/s
-    // (half joins, half leaves) with 20 msg/s multicast.
-    SimTime phase_start = system.now();
-    const double phase = 60.0;
-    if (churn_rate > 0.0) {
-      std::size_t events = static_cast<std::size_t>(phase * churn_rate);
-      for (std::size_t e = 0; e < events; ++e) {
-        SimTime at = phase_start + static_cast<double>(e) / churn_rate;
-        bool join = e % 2 == 0;
-        system.engine().schedule_at(at, [&system, join] {
-          if (join) {
-            (void)system.spawn_next();
-          } else if (system.network().alive_count() > 8) {
-            system.node(system.random_alive_node()).kill();
-          }
-        });
-      }
-    }
-    tracker.set_recording(true);
-    std::size_t messages = static_cast<std::size_t>(phase * 20.0);
-    for (std::size_t i = 0; i < messages; ++i) {
-      system.engine().schedule_at(phase_start + static_cast<double>(i) / 20.0,
-                                  [&system] {
-                                    system.node(system.random_alive_node())
-                                        .multicast(512);
-                                  });
-    }
-    system.run_until(phase_start + phase + 30.0);
-
-    // Survivors: alive now AND alive before the churn phase (they should
-    // have every message; joiners miss messages sent before they joined).
-    std::vector<NodeId> survivors;
-    for (NodeId id = 0; id < base_nodes; ++id) {
-      if (system.network().alive(id)) survivors.push_back(id);
-    }
-    auto report = tracker.report(survivors);
-    auto graph = analysis::snapshot_overlay(system);
-    auto comp = analysis::components(graph);
-    auto tree = analysis::tree_stats(system);
-
-    table.add_row({fmt(churn_rate, 1),
-                   harness::fmt_pct(report.delivered_fraction, 2),
-                   harness::fmt_ms(report.delay.mean()),
-                   harness::fmt_ms(report.p99),
-                   comp.largest_fraction == 1.0 ? "yes" : "NO",
-                   tree.spanning ? "yes" : "NO"});
+  for (std::size_t job = 0; job < rows.size(); ++job) {
+    const Row& row = rows[job];
+    table.add_row({fmt(churn_rates[job], 1),
+                   harness::fmt_pct(row.report.delivered_fraction, 2),
+                   harness::fmt_ms(row.report.delay.mean()),
+                   harness::fmt_ms(row.report.p99),
+                   row.connected ? "yes" : "NO",
+                   row.spanning ? "yes" : "NO"});
   }
   table.print(std::cout);
   return 0;

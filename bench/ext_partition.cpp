@@ -11,8 +11,10 @@
 // the overlay takes to re-merge into one component after the heal, and runs
 // the InvariantChecker throughout.
 //
-// Flags: --nodes N --seed S --warmup SECS --csv FILE. Two runs with the same
-// flags produce byte-identical CSVs.
+// Flags: --nodes N --seed S --warmup SECS --csv FILE --threads N. Two runs
+// with the same flags produce byte-identical CSVs; the single experiment is
+// dispatched through harness::Runner so the driver shares the sweep
+// machinery (and --threads knob) of the other benches.
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -26,18 +28,21 @@
 #include "fault/invariant_checker.h"
 #include "gocast/system.h"
 #include "harness/args.h"
+#include "harness/runner.h"
 #include "harness/table.h"
+#include "sim/engine.h"
 
 int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
 
-  harness::Args args(argc, argv,
-                     {"nodes", "seed", "warmup", "csv", "readvertise", "help"});
+  harness::Args args(argc, argv, {"nodes", "seed", "warmup", "csv",
+                                  "readvertise", "threads", "help"});
   if (args.get_bool("help", false)) {
     std::cout << "ext_partition — delivery across a partition-and-heal cycle\n"
                  "flags: --nodes N [512] --seed S [7] --warmup SECS [180]\n"
                  "       --csv FILE (append per-window rows)\n"
+                 "       --threads N [0 = auto]\n"
                  "       --readvertise (re-gossip recent ids on partition "
                  "heal; compare the 'during partition' row against a run "
                  "without it)\n";
@@ -68,108 +73,143 @@ int main(int argc, char** argv) {
           fmt(heal_at, 0) + " s; traffic windows before / during / after" +
           (readvertise ? "; heal re-advertisement ON" : ""));
 
-  core::SystemConfig config;
-  config.node_count = nodes;
-  config.seed = seed;
-  config.node.readvertise_on_heal = readvertise;
-  core::System system(config);
-
-  fault::FaultPlan plan;
-  plan.partition_fraction(partition_at, 0.3).heal(heal_at);
-  fault::FaultInjector injector(system, plan, Rng(seed).fork("faults"));
-  fault::InvariantChecker checker(system);
-  injector.set_invariant_checker(&checker);
-  checker.start();
-  injector.arm();
-
-  // One tracker per traffic window, dispatched on injection time, so late
-  // deliveries are attributed to the window whose message they complete.
-  analysis::DeliveryTracker pre(nodes), during(nodes), post(nodes);
-  pre.set_recording(true);
-  during.set_recording(true);
-  post.set_recording(true);
-  system.set_delivery_hook([&](const core::DeliveryEvent& e) {
-    if (e.inject_time < partition_at) {
-      pre.on_delivery(e);
-    } else if (e.inject_time < heal_at) {
-      during.on_delivery(e);
-    } else {
-      post.on_delivery(e);
-    }
-  });
-
-  auto inject_window = [&](double start) {
-    std::size_t messages = static_cast<std::size_t>(window * rate);
-    for (std::size_t i = 0; i < messages; ++i) {
-      system.engine().schedule_at(start + static_cast<double>(i) / rate,
-                                  [&system] {
-                                    system.node(system.random_alive_node())
-                                        .multicast(512);
-                                  });
-    }
+  // The whole experiment runs as one Runner job returning only the data the
+  // report below needs; the system, trackers, and checker stay job-local.
+  struct Outcome {
+    analysis::DeliveryTracker::Report pre;
+    analysis::DeliveryTracker::Report during;
+    analysis::DeliveryTracker::Report post;
+    std::uint64_t readvertised = 0;
+    double remerged_at = -1.0;
+    std::vector<std::string> fault_log;
+    std::vector<fault::InvariantViolation> violations;
   };
-  inject_window(warmup);
-  inject_window(during_start);
-  inject_window(post_start);
+  auto experiment = [&](std::size_t) {
+    core::SystemConfig config;
+    config.node_count = nodes;
+    config.seed = seed;
+    config.node.readvertise_on_heal = readvertise;
+    core::System system(config);
 
-  // After the heal, probe the overlay once per second until it is a single
-  // component again: the re-merge time of the fault model.
-  double remerged_at = -1.0;
-  for (int k = 0; k <= 60; ++k) {
-    system.engine().schedule_at(heal_at + static_cast<double>(k), [&] {
-      if (remerged_at >= 0.0) return;
-      auto graph = analysis::snapshot_overlay(system);
-      if (analysis::components(graph).largest_fraction == 1.0) {
-        remerged_at = system.now();
+    fault::FaultPlan plan;
+    plan.partition_fraction(partition_at, 0.3).heal(heal_at);
+    fault::FaultInjector injector(system, plan, Rng(seed).fork("faults"));
+    fault::InvariantChecker checker(system);
+    injector.set_invariant_checker(&checker);
+    checker.start();
+    injector.arm();
+
+    // One tracker per traffic window, dispatched on injection time, so late
+    // deliveries are attributed to the window whose message they complete.
+    analysis::DeliveryTracker pre(nodes), during(nodes), post(nodes);
+    pre.set_recording(true);
+    during.set_recording(true);
+    post.set_recording(true);
+    system.set_delivery_hook([&](const core::DeliveryEvent& e) {
+      if (e.inject_time < partition_at) {
+        pre.on_delivery(e);
+      } else if (e.inject_time < heal_at) {
+        during.on_delivery(e);
+      } else {
+        post.on_delivery(e);
       }
     });
-  }
 
-  system.start();
-  system.run_until(sim_end);
+    // Both the injection windows and the re-merge probes are admitted as
+    // batches.
+    std::vector<sim::Engine::BatchEvent> schedule;
+    auto inject_window = [&](double start) {
+      std::size_t messages = static_cast<std::size_t>(window * rate);
+      schedule.clear();
+      schedule.reserve(messages);
+      for (std::size_t i = 0; i < messages; ++i) {
+        schedule.push_back({start + static_cast<double>(i) / rate,
+                            [&system] {
+                              system.node(system.random_alive_node())
+                                  .multicast(512);
+                            }});
+      }
+      system.engine().schedule_batch(schedule);
+    };
+    inject_window(warmup);
+    inject_window(during_start);
+    inject_window(post_start);
 
-  std::vector<NodeId> alive = system.alive_nodes();
+    // After the heal, probe the overlay once per second until it is a single
+    // component again: the re-merge time of the fault model.
+    Outcome out;
+    schedule.clear();
+    schedule.reserve(61);
+    for (int k = 0; k <= 60; ++k) {
+      schedule.push_back({heal_at + static_cast<double>(k), [&] {
+                            if (out.remerged_at >= 0.0) return;
+                            auto graph = analysis::snapshot_overlay(system);
+                            if (analysis::components(graph).largest_fraction ==
+                                1.0) {
+                              out.remerged_at = system.now();
+                            }
+                          }});
+    }
+    system.engine().schedule_batch(schedule);
+
+    system.start();
+    system.run_until(sim_end);
+
+    std::vector<NodeId> alive = system.alive_nodes();
+    out.pre = pre.report(alive);
+    out.during = during.report(alive);
+    out.post = post.report(alive);
+    for (NodeId id : alive) {
+      out.readvertised += system.node(id).dissemination().readvertised_ids();
+    }
+    out.fault_log = injector.log();
+    out.violations = checker.violations();
+    return out;
+  };
+  harness::Runner runner(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  Outcome outcome = runner.run<Outcome>(1, experiment).front();
+
   struct Window {
     const char* name;
-    analysis::DeliveryTracker::Report report;
+    const analysis::DeliveryTracker::Report* report;
   };
-  std::vector<Window> windows = {{"pre-partition", pre.report(alive)},
-                                 {"during partition", during.report(alive)},
-                                 {"post-heal", post.report(alive)}};
+  std::vector<Window> windows = {{"pre-partition", &outcome.pre},
+                                 {"during partition", &outcome.during},
+                                 {"post-heal", &outcome.post}};
 
   harness::Table table(
       {"window", "delivered pairs", "mean delay", "p99 delay", "max delay"});
   for (const Window& w : windows) {
-    table.add_row({w.name, harness::fmt_pct(w.report.delivered_fraction, 3),
-                   harness::fmt_ms(w.report.delay.mean()),
-                   harness::fmt_ms(w.report.p99),
-                   harness::fmt_ms(w.report.max_delay)});
+    table.add_row({w.name, harness::fmt_pct(w.report->delivered_fraction, 3),
+                   harness::fmt_ms(w.report->delay.mean()),
+                   harness::fmt_ms(w.report->p99),
+                   harness::fmt_ms(w.report->max_delay)});
   }
   table.print(std::cout);
 
-  std::uint64_t readvertised = 0;
-  for (NodeId id : alive) {
-    readvertised += system.node(id).dissemination().readvertised_ids();
-  }
   std::cout << "\nheal re-advertisement "
             << (readvertise ? "ON" : "OFF (--readvertise to enable)") << ": "
-            << readvertised
+            << outcome.readvertised
             << " message ids re-queued for gossip after root changes\n";
 
-  double remerge_delay = remerged_at >= 0.0 ? remerged_at - heal_at : -1.0;
+  double remerge_delay =
+      outcome.remerged_at >= 0.0 ? outcome.remerged_at - heal_at : -1.0;
   std::cout << "overlay re-merged "
-            << (remerged_at >= 0.0 ? fmt(remerge_delay, 1) + " s after heal"
-                                   : std::string("NEVER (within 60 s)"))
+            << (outcome.remerged_at >= 0.0
+                    ? fmt(remerge_delay, 1) + " s after heal"
+                    : std::string("NEVER (within 60 s)"))
             << "\n";
   std::cout << "fault timeline:\n";
-  for (const std::string& line : injector.log()) {
+  for (const std::string& line : outcome.fault_log) {
     std::cout << "  " << line << "\n";
   }
-  if (checker.violations().empty()) {
+  if (outcome.violations.empty()) {
     std::cout << "invariants: no violations\n";
   } else {
-    std::cout << "invariant violations (" << checker.violation_count() << "):\n";
-    for (const auto& v : checker.violations()) {
+    std::cout << "invariant violations (" << outcome.violations.size()
+              << "):\n";
+    for (const auto& v : outcome.violations) {
       std::cout << "  t=" << fmt(v.at, 1) << " " << v.what << "\n";
     }
   }
@@ -183,11 +223,12 @@ int main(int argc, char** argv) {
     }
     for (const Window& w : windows) {
       out << w.name << "," << nodes << "," << seed << ","
-          << (readvertise ? 1 : 0) << "," << w.report.messages << ","
-          << fmt(w.report.delivered_fraction, 6) << ","
-          << fmt(w.report.delay.mean() * 1000.0, 3) << ","
-          << fmt(w.report.p99 * 1000.0, 3) << "," << fmt(remerge_delay, 3)
-          << "," << readvertised << "," << checker.violation_count() << "\n";
+          << (readvertise ? 1 : 0) << "," << w.report->messages << ","
+          << fmt(w.report->delivered_fraction, 6) << ","
+          << fmt(w.report->delay.mean() * 1000.0, 3) << ","
+          << fmt(w.report->p99 * 1000.0, 3) << "," << fmt(remerge_delay, 3)
+          << "," << outcome.readvertised << "," << outcome.violations.size()
+          << "\n";
     }
     std::cout << "rows appended to " << path << "\n";
   }

@@ -9,13 +9,22 @@
 
 #include "common/env.h"
 #include "gocast/system.h"
+#include "harness/args.h"
+#include "harness/runner.h"
 #include "harness/scenario.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
   using harness::fmt_ms;
+
+  harness::Args args(argc, argv, {"threads", "help"});
+  if (args.get_bool("help", false)) {
+    std::cout << "fig3a_delay_no_failures — five-protocol delay comparison\n"
+                 "flags: --threads N [0 = auto]\n";
+    return 0;
+  }
 
   std::size_t nodes = scaled_count(1024, 64);
   std::size_t messages = scaled_count(200, 20);
@@ -29,27 +38,30 @@ int main() {
 
   auto latency = core::default_latency_model(1);
 
-  const harness::Protocol protocols[] = {
+  harness::SweepSpec spec;
+  spec.base.node_count = nodes;
+  spec.base.message_count = messages;
+  spec.base.warmup = warmup;
+  spec.base.latency = latency;
+  spec.base.seed = 7;
+  spec.protocols = {
       harness::Protocol::kGoCast, harness::Protocol::kProximityOverlay,
       harness::Protocol::kRandomOverlay, harness::Protocol::kPushGossip,
       harness::Protocol::kNoWaitGossip};
+
+  harness::Runner runner(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  auto runs = harness::run_sweep(spec, runner);
 
   harness::Table table({"protocol", "mean", "p50", "p90", "p99", "max",
                         "delivered"});
   double gocast_mean = 0.0;
   double gossip_mean = 0.0;
   std::vector<harness::ScenarioResult> results;
-  for (harness::Protocol protocol : protocols) {
-    harness::ScenarioConfig config;
-    config.protocol = protocol;
-    config.node_count = nodes;
-    config.message_count = messages;
-    config.warmup = warmup;
-    config.latency = latency;
-    config.seed = 7;
-    auto result = harness::run_scenario(config);
-    results.push_back(result);
-    const auto& r = result.report;
+  for (const harness::SweepRun& run : runs) {
+    const harness::Protocol protocol = run.job.config.protocol;
+    results.push_back(run.result);
+    const auto& r = run.result.report;
     table.add_row({harness::protocol_name(protocol), fmt_ms(r.delay.mean()),
                    fmt_ms(r.p50), fmt_ms(r.p90), fmt_ms(r.p99),
                    fmt_ms(r.max_delay), harness::fmt_pct(r.delivered_fraction, 2)});

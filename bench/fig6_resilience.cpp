@@ -11,11 +11,20 @@
 #include "common/env.h"
 #include "common/rng.h"
 #include "gocast/system.h"
+#include "harness/args.h"
+#include "harness/runner.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
+
+  harness::Args args(argc, argv, {"threads", "help"});
+  if (args.get_bool("help", false)) {
+    std::cout << "fig6_resilience — live-component size vs random links\n"
+                 "flags: --threads N [0 = auto]\n";
+    return 0;
+  }
 
   std::size_t nodes = scaled_count(1024, 128);
   double warmup = env_double("GOCAST_WARMUP", 300.0);
@@ -34,24 +43,30 @@ int main() {
   harness::Table table({"failed", "C_rand=0", "C_rand=1", "C_rand=2",
                         "C_rand=4"});
 
-  // One adapted system per C_rand; failures are applied to copies of the
+  // One adapted system per C_rand, sharded across the worker pool (each job
+  // owns its Engine/Network/System); failures are applied to copies of the
   // final overlay graph (pure graph surgery — cheaper and exactly what the
-  // metric measures).
-  std::vector<analysis::OverlayGraph> graphs;
-  for (int c_rand : rand_degrees) {
-    core::SystemConfig config;
-    config.node_count = nodes;
-    config.seed = 21 + static_cast<std::uint64_t>(c_rand);
-    config.node.overlay.target_rand_degree = c_rand;
-    config.node.overlay.target_near_degree = 6 - c_rand;
-    if (config.node.overlay.target_near_degree == 0) {
-      config.node.overlay.maintain_nearby = false;
-    }
-    core::System system(config);
-    system.start();
-    system.run_for(warmup);
-    graphs.push_back(analysis::snapshot_overlay(system));
-  }
+  // metric measures). The surgery below consumes one shared Rng stream, so
+  // it stays serial.
+  harness::Runner runner(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  std::vector<analysis::OverlayGraph> graphs =
+      runner.run<analysis::OverlayGraph>(
+          std::size(rand_degrees), [&](std::size_t g) {
+            const int c_rand = rand_degrees[g];
+            core::SystemConfig config;
+            config.node_count = nodes;
+            config.seed = 21 + static_cast<std::uint64_t>(c_rand);
+            config.node.overlay.target_rand_degree = c_rand;
+            config.node.overlay.target_near_degree = 6 - c_rand;
+            if (config.node.overlay.target_near_degree == 0) {
+              config.node.overlay.maintain_nearby = false;
+            }
+            core::System system(config);
+            system.start();
+            system.run_for(warmup);
+            return analysis::snapshot_overlay(system);
+          });
 
   Rng rng(99);
   double q_rand1_at_25 = -1.0;

@@ -6,6 +6,13 @@
 // changes are visible in review instead of anecdotal.
 //
 //   perf_scaling [--nodes N] [--seconds S] [--messages M] [--seed X]
+//   perf_scaling --sweep [--threads T] [--reps R] [--nodes N] [--seed X]
+//
+// --sweep runs R independent replications of a small scenario through
+// harness::Runner and reports wall clock, replications/hour, and a
+// deterministic checksum over the merged results — the checksum must be
+// identical at every thread count, which tools/bench.sh asserts when it
+// records the sweep_parallel section of BENCH_core.json.
 //
 // The run is deterministic per seed; timing obviously is not.
 #include <sys/resource.h>
@@ -17,6 +24,8 @@
 #include <string>
 
 #include "gocast/system.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
 
 namespace {
 
@@ -33,6 +42,72 @@ double peak_rss_mib() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
+const char* build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+/// FNV-1a over the result fields that any scheduling bug would perturb.
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v;
+  return h * 0x100000001b3ULL;
+}
+
+int run_sweep_mode(std::size_t threads, std::size_t reps, std::size_t nodes,
+                   std::uint64_t seed) {
+  using namespace gocast;
+
+  harness::SweepSpec spec;
+  spec.base.protocol = harness::Protocol::kGoCast;
+  spec.base.node_count = nodes;
+  spec.base.seed = seed;
+  spec.base.warmup = 60.0;
+  spec.base.message_count = 20;
+  spec.base.drain = 20.0;
+  spec.replications = reps;
+
+  harness::Runner runner(threads);
+  const auto start = Clock::now();
+  auto runs = harness::run_sweep(spec, runner);
+  const double wall = seconds_since(start);
+
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (const auto& run : runs) {
+    checksum = mix(checksum, run.result.deliveries);
+    checksum = mix(checksum, run.result.duplicates);
+    checksum = mix(checksum, run.result.traffic.total_sent().messages);
+    checksum = mix(checksum, run.result.traffic.total_sent().bytes);
+    checksum = mix(checksum,
+                   static_cast<std::uint64_t>(run.result.alive_nodes));
+  }
+
+  const double rep_hour =
+      wall > 0.0 ? static_cast<double>(reps) * 3600.0 / wall : 0.0;
+  const double rss = peak_rss_mib();
+  std::printf(
+      "{\n"
+      "  \"mode\": \"sweep\",\n"
+      "  \"build_type\": \"%s\",\n"
+      "  \"threads\": %zu,\n"
+      "  \"reps\": %zu,\n"
+      "  \"nodes\": %zu,\n"
+      "  \"seed\": %llu,\n"
+      "  \"wall_seconds\": %.3f,\n"
+      "  \"replications_per_hour\": %.1f,\n"
+      "  \"peak_rss_mib\": %.1f,\n"
+      "  \"peak_rss_per_thread_mib\": %.1f,\n"
+      "  \"checksum\": \"%016llx\"\n"
+      "}\n",
+      build_type(), runner.threads(), reps, nodes,
+      static_cast<unsigned long long>(seed), wall, rep_hour, rss,
+      rss / static_cast<double>(runner.threads()),
+      static_cast<unsigned long long>(checksum));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -40,6 +115,10 @@ int main(int argc, char** argv) {
   double sim_seconds = 60.0;
   std::size_t messages = 50;
   std::uint64_t seed = 1;
+  bool sweep = false;
+  std::size_t threads = 0;
+  std::size_t reps = 8;
+  bool nodes_set = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -51,19 +130,32 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--nodes") == 0) {
       nodes = static_cast<std::size_t>(std::strtoull(need_value("--nodes"), nullptr, 10));
+      nodes_set = true;
     } else if (std::strcmp(argv[i], "--seconds") == 0) {
       sim_seconds = std::strtod(need_value("--seconds"), nullptr);
     } else if (std::strcmp(argv[i], "--messages") == 0) {
       messages = static_cast<std::size_t>(std::strtoull(need_value("--messages"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--sweep") == 0) {
+      sweep = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<std::size_t>(std::strtoull(need_value("--threads"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--reps") == 0) {
+      reps = static_cast<std::size_t>(std::strtoull(need_value("--reps"), nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes N] [--seconds S] [--messages M] "
-                   "[--seed X]\n",
+                   "[--seed X] [--sweep [--threads T] [--reps R]]\n",
                    argv[0]);
       return 2;
     }
+  }
+
+  if (sweep) {
+    // The sweep replications are deliberately small so serial-vs-parallel
+    // wall clock measures pool overhead, not one giant run.
+    return run_sweep_mode(threads, reps, nodes_set ? nodes : 256, seed);
   }
 
   using namespace gocast;
@@ -97,6 +189,7 @@ int main(int argc, char** argv) {
   const auto& pool = system.network().pool();
   std::printf(
       "{\n"
+      "  \"build_type\": \"%s\",\n"
       "  \"nodes\": %zu,\n"
       "  \"sim_seconds\": %.1f,\n"
       "  \"messages\": %zu,\n"
@@ -110,7 +203,7 @@ int main(int argc, char** argv) {
       "  \"pool\": {\"reused\": %llu, \"fresh\": %llu, \"oversized\": %llu, "
       "\"chunks\": %zu}\n"
       "}\n",
-      nodes, sim_seconds, messages,
+      build_type(), nodes, sim_seconds, messages,
       static_cast<unsigned long long>(seed), setup_wall, run_wall,
       static_cast<unsigned long long>(events),
       run_wall > 0.0 ? static_cast<double>(events) / run_wall : 0.0,

@@ -8,13 +8,22 @@
 
 #include "common/env.h"
 #include "gocast/system.h"
+#include "harness/args.h"
+#include "harness/runner.h"
 #include "harness/scenario.h"
 #include "harness/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gocast;
   using harness::fmt;
   using harness::fmt_ms;
+
+  harness::Args args(argc, argv, {"threads", "help"});
+  if (args.get_bool("help", false)) {
+    std::cout << "txt_fanout_sweep — push-gossip delay vs fanout\n"
+                 "flags: --threads N [0 = auto]\n";
+    return 0;
+  }
 
   std::size_t nodes = scaled_count(1024, 128);
   std::size_t messages = scaled_count(120, 20);
@@ -27,28 +36,37 @@ int main() {
 
   auto latency = core::default_latency_model(1);
 
+  harness::SweepSpec spec;
+  spec.base.protocol = harness::Protocol::kPushGossip;
+  spec.base.node_count = nodes;
+  spec.base.message_count = messages;
+  spec.base.warmup = 5.0;
+  spec.base.latency = latency;
+  spec.base.drain = 30.0;
+  spec.base.seed = 13;
+  for (int fanout : {5, 7, 9, 12, 15}) {
+    spec.overrides.push_back(
+        {std::to_string(fanout),
+         [fanout](harness::ScenarioConfig& c) { c.fanout = fanout; }});
+  }
+
+  harness::Runner runner(
+      static_cast<std::size_t>(args.get_int("threads", 0)));
+  auto runs = harness::run_sweep(spec, runner);
+
   harness::Table table({"fanout", "mean delay", "p90", "max", "delivered",
                         "gossip MB"});
   double mean_at_5 = 0.0;
   double mean_at_9 = 0.0;
   double mean_at_15 = 0.0;
-  for (int fanout : {5, 7, 9, 12, 15}) {
-    harness::ScenarioConfig config;
-    config.protocol = harness::Protocol::kPushGossip;
-    config.node_count = nodes;
-    config.message_count = messages;
-    config.warmup = 5.0;
-    config.fanout = fanout;
-    config.latency = latency;
-    config.drain = 30.0;
-    config.seed = 13;
-    auto result = harness::run_scenario(config);
-    const auto& r = result.report;
+  for (const harness::SweepRun& run : runs) {
+    const int fanout = run.job.config.fanout;
+    const auto& r = run.result.report;
     table.add_row(
         {std::to_string(fanout), fmt_ms(r.delay.mean()), fmt_ms(r.p90),
          fmt_ms(r.max_delay), harness::fmt_pct(r.delivered_fraction, 2),
          fmt(static_cast<double>(
-                 result.traffic.kind(net::MsgKind::kGossipDigest).bytes) /
+                 run.result.traffic.kind(net::MsgKind::kGossipDigest).bytes) /
                  (1024.0 * 1024.0),
              2)});
     if (fanout == 5) mean_at_5 = r.delay.mean();

@@ -1,0 +1,70 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+
+namespace gocast {
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  std::int64_t env = env_int("GOCAST_THREADS", 0);
+  if (env > 0) return static_cast<std::size_t>(env);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::size_t workers = std::min(resolve_threads(threads), n);
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Chunked dynamic scheduling: small enough chunks to balance uneven rows
+  // (triangular work in matrix generation), large enough to keep the shared
+  // cursor off the hot path.
+  const std::size_t chunk = std::max<std::size_t>(1, n / (workers * 8));
+  std::atomic<std::size_t> cursor{0};
+
+  // First-failure capture: lowest-index wins so the surfaced error does not
+  // depend on thread interleaving.
+  std::mutex error_mutex;
+  std::size_t error_index = n;
+  std::exception_ptr error;
+
+  auto work = [&] {
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const std::size_t end = std::min(begin + chunk, n);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (i < error_index) {
+            error_index = i;
+            error = std::current_exception();
+          }
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the caller participates instead of idling at the join
+  for (std::thread& t : pool) t.join();
+
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace gocast

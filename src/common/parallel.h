@@ -1,0 +1,31 @@
+// Minimal data-parallel helper for embarrassingly parallel index loops
+// (row-sharded latency-matrix generation, and anything else below the
+// harness layer that wants worker threads without depending on it).
+//
+// Determinism contract: parallel_for only changes *which thread* runs
+// body(i), never how many times or for which i. Any computation whose
+// output is a pure per-index function (e.g. one forked RNG stream per row)
+// therefore produces identical results at every thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gocast {
+
+/// Resolves a requested worker count: a positive value is returned as-is;
+/// 0 means "auto" — GOCAST_THREADS when set and positive, else
+/// std::thread::hardware_concurrency(), else 1.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+/// Runs body(i) for every i in [0, n), exactly once each, and returns after
+/// all of them complete. With resolved threads == 1 (or n <= 1) the loop runs
+/// inline on the caller's thread in index order — the exact serial path.
+/// Otherwise worker threads pull contiguous index chunks off a shared atomic
+/// cursor; `body` must be safe to call concurrently for distinct i. The first
+/// exception thrown by any body (lowest index among those captured) is
+/// rethrown on the caller's thread after the join.
+void parallel_for(std::size_t n, std::size_t threads,
+                  const std::function<void(std::size_t)>& body);
+
+}  // namespace gocast

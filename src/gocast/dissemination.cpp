@@ -114,9 +114,8 @@ void DisseminationT<RT>::forward_on_tree(MsgId id, const Stored& stored,
   auto msg = rt_.template make<DataMsg>(id, stored.inject_time,
                                         stored.payload_bytes, /*via_tree=*/true,
                                         overlay_.my_degrees());
-  for (NodeId peer : tree_->tree_neighbors()) {
-    if (peer != except) rt_.send(self_, peer, msg);
-  }
+  const std::vector<NodeId> peers = tree_->tree_neighbors();
+  rt_.send_multi(self_, peers.data(), peers.size(), except, std::move(msg));
 }
 
 template <runtime::Context RT>

@@ -1,0 +1,64 @@
+#include "harness/job.h"
+
+#include "common/rng.h"
+
+namespace gocast::harness {
+
+std::uint64_t derive_job_seed(std::uint64_t base_seed, std::size_t index) {
+  // Same derivation family as Rng::fork(index): perturb the base material by
+  // a Weyl step of the index, then mix through SplitMix64.
+  std::uint64_t s =
+      base_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  return splitmix64(s);
+}
+
+std::vector<SweepJob> SweepSpec::jobs() const {
+  std::vector<Protocol> protocol_axis =
+      protocols.empty() ? std::vector<Protocol>{base.protocol} : protocols;
+  std::vector<std::size_t> node_axis =
+      node_counts.empty() ? std::vector<std::size_t>{base.node_count}
+                          : node_counts;
+
+  std::vector<std::uint64_t> seed_axis = seeds;
+  if (seed_axis.empty()) {
+    if (replications > 0) {
+      seed_axis.reserve(replications);
+      for (std::size_t r = 0; r < replications; ++r) {
+        seed_axis.push_back(derive_job_seed(base.seed, r));
+      }
+    } else {
+      seed_axis.push_back(base.seed);
+    }
+  }
+
+  std::vector<SweepJob> out;
+  out.reserve(protocol_axis.size() * node_axis.size() * seed_axis.size() *
+              (overrides.empty() ? 1 : overrides.size()));
+  for (Protocol protocol : protocol_axis) {
+    for (std::size_t nodes : node_axis) {
+      for (std::uint64_t seed : seed_axis) {
+        auto emit = [&](const Override* ov) {
+          SweepJob job;
+          job.index = out.size();
+          job.config = base;
+          job.config.protocol = protocol;
+          job.config.node_count = nodes;
+          job.config.seed = seed;
+          if (ov != nullptr) {
+            job.label = ov->label;
+            ov->apply(job.config);
+          }
+          out.push_back(std::move(job));
+        };
+        if (overrides.empty()) {
+          emit(nullptr);
+        } else {
+          for (const Override& ov : overrides) emit(&ov);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gocast::harness

@@ -1,0 +1,69 @@
+// Declarative sweep jobs for the parallel experiment runner.
+//
+// A SweepSpec is the cross product of protocols x node counts x seeds x
+// config overrides over a base ScenarioConfig. jobs() materializes that
+// product into a flat, fully-ordered job list — the "spec order" every
+// result merge uses — so a sweep's output is a pure function of the spec,
+// never of worker scheduling.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.h"
+
+namespace gocast::harness {
+
+/// Deterministic per-job seed: a SplitMix64-style mix of the base seed and
+/// the job/replication index. Depends only on (base_seed, index) — never on
+/// completion order or thread count — and is bijective-ish enough that
+/// adjacent indices land on well-separated generator states.
+[[nodiscard]] std::uint64_t derive_job_seed(std::uint64_t base_seed,
+                                            std::size_t index);
+
+/// One materialized cell of a sweep, in spec order.
+struct SweepJob {
+  std::size_t index = 0;        ///< position in spec order
+  std::string label;            ///< override label ("" for the identity)
+  ScenarioConfig config;        ///< fully built per-job config
+};
+
+/// The cross product driving a sweep. Axes left empty collapse to the base
+/// config's value, so a spec names only the dimensions it varies. Iteration
+/// order (outermost to innermost): protocols, node_counts, seeds, overrides —
+/// matching the nested loops the serial benches used to write.
+struct SweepSpec {
+  /// Copied into every job, then specialized by the axes below.
+  ScenarioConfig base;
+
+  std::vector<Protocol> protocols;        ///< empty -> {base.protocol}
+  std::vector<std::size_t> node_counts;   ///< empty -> {base.node_count}
+
+  /// Explicit per-cell seeds. Empty: when `replications` > 0 the axis becomes
+  /// derive_job_seed(base.seed, r) for r in [0, replications) — independent
+  /// replications that still compare the same seed across protocols/sizes —
+  /// otherwise it collapses to {base.seed}.
+  std::vector<std::uint64_t> seeds;
+  std::size_t replications = 0;
+
+  /// Config-override axis: each entry is applied to its cell's config after
+  /// the other axes (so an override can touch anything, including the seed).
+  struct Override {
+    std::string label;
+    std::function<void(ScenarioConfig&)> apply;
+  };
+  std::vector<Override> overrides;        ///< empty -> one identity override
+
+  /// Materializes the cross product in spec order.
+  [[nodiscard]] std::vector<SweepJob> jobs() const;
+};
+
+/// One finished cell: the job and its scenario result, still in spec order.
+struct SweepRun {
+  SweepJob job;
+  ScenarioResult result;
+};
+
+}  // namespace gocast::harness

@@ -1,0 +1,69 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "common/parallel.h"
+
+namespace gocast::harness {
+
+std::size_t default_threads() { return resolve_threads(0); }
+
+Runner::Runner(std::size_t threads)
+    : threads_(threads > 0 ? threads : default_threads()) {}
+
+void Runner::dispatch(std::size_t count,
+                      const std::function<void(std::size_t)>& fn) const {
+  if (count == 0) return;
+  const std::size_t workers = std::min(threads_, count);
+  if (workers <= 1) {
+    // The exact pre-Runner serial path: in index order, on this thread, and
+    // a throwing job aborts the loop immediately.
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // One exception slot per job (disjoint writes, published by the joins);
+  // the scan below rethrows the lowest-indexed failure so the surfaced
+  // error does not depend on completion order.
+  std::vector<std::exception_ptr> errors(count);
+  std::atomic<std::size_t> cursor{0};
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        errors[i] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the caller participates instead of idling at the join
+  for (std::thread& t : pool) t.join();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    if (errors[i]) std::rethrow_exception(errors[i]);
+  }
+}
+
+std::vector<SweepRun> run_sweep(const SweepSpec& spec, const Runner& runner) {
+  std::vector<SweepJob> jobs = spec.jobs();
+  std::vector<ScenarioResult> results = runner.run<ScenarioResult>(
+      jobs.size(),
+      [&jobs](std::size_t i) { return run_scenario(jobs[i].config); });
+
+  std::vector<SweepRun> runs;
+  runs.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    runs.push_back(SweepRun{std::move(jobs[i]), std::move(results[i])});
+  }
+  return runs;
+}
+
+}  // namespace gocast::harness

@@ -1,0 +1,67 @@
+// Parallel scenario runner: shards independent replications across a
+// fixed-size worker pool with deterministic merged output.
+//
+// Determinism contract (see DESIGN.md §8):
+//  - each job builds its own Engine/Network/System and runs in isolation —
+//    PR 3's runtime seam guarantees no shared mutable state between runs;
+//  - per-job seeds derive from the job *index* (derive_job_seed), never from
+//    completion order;
+//  - results land in per-index slots and are returned in spec order, so
+//    downstream CSV/JSON output is byte-identical at any thread count;
+//  - `threads == 1` runs every job inline on the caller's thread in index
+//    order — exactly the serial path the benches had before the Runner.
+//
+// Exceptions: a failing job never takes down the pool. In the threaded path
+// every job still runs; after the join the exception of the lowest-indexed
+// failing job is rethrown (deterministic). In the inline path the exception
+// propagates immediately, like the historical serial loop.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/job.h"
+
+namespace gocast::harness {
+
+/// Worker count used for "auto" (0): GOCAST_THREADS when set and positive,
+/// else std::thread::hardware_concurrency(), else 1.
+[[nodiscard]] std::size_t default_threads();
+
+class Runner {
+ public:
+  /// threads == 0 means default_threads(). Benches pass their --threads flag
+  /// straight through (0 when absent).
+  explicit Runner(std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t threads() const { return threads_; }
+
+  /// Runs job(i) for every i in [0, count) across the pool and returns the
+  /// results indexed by i. `job` must be safe to call concurrently for
+  /// distinct indices and T must be default-constructible and movable.
+  template <class T>
+  [[nodiscard]] std::vector<T> run(
+      std::size_t count, const std::function<T(std::size_t)>& job) const {
+    std::vector<T> results(count);
+    dispatch(count, [&](std::size_t i) { results[i] = job(i); });
+    return results;
+  }
+
+ private:
+  /// Executes fn(i) for every index exactly once (inline when threads_ == 1,
+  /// else across spawn-at-call/join-before-return workers pulling indices
+  /// off a shared atomic cursor) and propagates job failures as documented
+  /// above.
+  void dispatch(std::size_t count,
+                const std::function<void(std::size_t)>& fn) const;
+
+  std::size_t threads_;
+};
+
+/// Materializes the spec, runs every job through the runner, and merges the
+/// results in spec order.
+[[nodiscard]] std::vector<SweepRun> run_sweep(const SweepSpec& spec,
+                                              const Runner& runner);
+
+}  // namespace gocast::harness

@@ -8,6 +8,7 @@
 
 #include "common/assert.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace gocast::net {
 
@@ -175,34 +176,53 @@ std::unique_ptr<MatrixLatencyModel> make_synthetic_king(
         rng.next_range(params.access_delay_min_ms, params.access_delay_max_ms);
   }
 
-  // Raw latencies (ms): distance + both access delays, times symmetric jitter.
+  // Raw latencies (ms): distance + both access delays, times symmetric
+  // jitter. The jitter stream is drawn serially in pair order first — the
+  // single RNG consumer, so the matrix stays byte-identical to the
+  // historical all-serial generator — then the arithmetic is row-sharded
+  // across worker threads: row i owns every pair (i, j) with j > i (both
+  // mirror cells in the rescale pass), so writes are disjoint and the
+  // result is a pure function of the seed at any thread count. Per-row sums
+  // are reduced in row order for the same reason.
+  const std::size_t pairs = n * (n - 1) / 2;
+  std::vector<double> jitters(pairs);
+  for (double& j : jitters) {
+    j = rng.next_range(params.jitter_min, params.jitter_max);
+  }
+  // Flat index of row i's first pair (i, i+1) in the pair-ordered stream.
+  auto row_offset = [n](std::size_t i) { return i * (2 * n - i - 1) / 2; };
+
   std::vector<float> matrix(n * n, 0.0f);
-  double sum_ms = 0.0;
-  std::size_t pairs = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  std::vector<double> row_sum(n, 0.0);
+  parallel_for(n, params.threads, [&](std::size_t i) {
+    const double* row_jitter = jitters.data() + row_offset(i);
+    double sum = 0.0;
     for (std::size_t j = i + 1; j < n; ++j) {
       double dx = xs[i] - xs[j];
       double dy = ys[i] - ys[j];
       double dist = std::sqrt(dx * dx + dy * dy);
-      double jitter = rng.next_range(params.jitter_min, params.jitter_max);
+      double jitter = row_jitter[j - i - 1];
       double ms = (dist + access_ms[i] + access_ms[j]) * jitter;
       matrix[i * n + j] = static_cast<float>(ms);
-      sum_ms += ms;
-      ++pairs;
+      sum += ms;
     }
-  }
+    row_sum[i] = sum;
+  });
+  double sum_ms = 0.0;
+  for (std::size_t i = 0; i < n; ++i) sum_ms += row_sum[i];
 
-  // Rescale to the target mean, then clamp into [min, max].
+  // Rescale to the target mean, then clamp into [min, max]. Same row
+  // ownership as the fill pass.
   double mean_ms = sum_ms / static_cast<double>(pairs);
   double scale = params.target_mean_one_way * 1000.0 / mean_ms;
-  for (std::size_t i = 0; i < n; ++i) {
+  parallel_for(n, params.threads, [&](std::size_t i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       double seconds = matrix[i * n + j] * scale / 1000.0;
       seconds = std::clamp(seconds, params.min_one_way, params.max_one_way);
       matrix[i * n + j] = static_cast<float>(seconds);
       matrix[j * n + i] = static_cast<float>(seconds);
     }
-  }
+  });
 
   return std::make_unique<MatrixLatencyModel>(n, std::move(matrix));
 }

@@ -72,6 +72,11 @@ struct SyntheticKingParams {
   double access_delay_max_ms = 8.0;
   double jitter_min = 0.85;            ///< multiplicative path noise
   double jitter_max = 1.30;
+  /// Worker threads for the O(sites^2) matrix fill (0 = auto, see
+  /// gocast::resolve_threads). Jitter is drawn serially in pair order
+  /// before the sharded fill, so the matrix is identical at every thread
+  /// count — and to the historical all-serial generator.
+  std::size_t threads = 0;
 };
 
 /// Builds the clustered synthetic dataset (see DESIGN.md, substitution table):

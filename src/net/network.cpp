@@ -97,6 +97,46 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     return;
   }
 
+  SimTime delay = 0.0;
+  if (!admit(from, to, msg, delay)) return;
+  engine_.schedule_after(delay, [this, from, to, msg = std::move(msg)] {
+    deliver(from, to, msg);
+  });
+}
+
+void Network::send_multi(NodeId from, const NodeId* targets, std::size_t count,
+                         NodeId except, MessagePtr msg) {
+  GOCAST_ASSERT(from < nodes_.size());
+  GOCAST_ASSERT(msg != nullptr);
+
+  if (!nodes_[from].alive) {
+    // Matches the equivalent send() loop: one sender-dead record per target.
+    for (std::size_t i = 0; i < count; ++i) {
+      if (targets[i] != except) traffic_.record_sender_dead();
+    }
+    return;
+  }
+
+  batch_scratch_.clear();
+  batch_scratch_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId to = targets[i];
+    if (to == except) continue;
+    GOCAST_ASSERT(to < nodes_.size());
+    SimTime delay = 0.0;
+    if (!admit(from, to, msg, delay)) continue;
+    batch_scratch_.push_back(
+        {engine_.now() + delay,
+         sim::InlineCallback([this, from, to, msg] { deliver(from, to, msg); })});
+  }
+  engine_.schedule_batch(batch_scratch_);
+  batch_scratch_.clear();
+}
+
+bool Network::admit(NodeId from, NodeId to, const MessagePtr& msg,
+                    SimTime& delay) {
+  GOCAST_ASSERT_MSG(from != to, "node " << from << " sending to itself");
+
   std::size_t bytes = msg->wire_size();
   traffic_.record_send(msg->kind(), bytes);
   if (trace_ != nullptr) trace_->on_send(engine_.now(), from, to, *msg);
@@ -114,7 +154,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     if (trace_ != nullptr) {
       trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kLinkPolicy);
     }
-    return;
+    return false;
   }
 
   if (config_.loss_probability > 0.0 && rng_.next_bool(config_.loss_probability)) {
@@ -122,10 +162,10 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     if (trace_ != nullptr) {
       trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kRandomLoss);
     }
-    return;
+    return false;
   }
 
-  SimTime delay = one_way(from, to);
+  delay = one_way(from, to);
   if (link.latency_multiplier != 1.0) {
     GOCAST_ASSERT(link.latency_multiplier > 0.0);
     delay *= link.latency_multiplier;
@@ -139,28 +179,28 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     sender.uplink_free_at = start + serialize;
     delay += (sender.uplink_free_at - engine_.now());
   }
-  engine_.schedule_after(delay, [this, from, to, msg = std::move(msg)] {
-    NodeRecord& target = nodes_[to];
-    if (target.alive && target.endpoint != nullptr) {
-      traffic_.record_delivered();
-      if (trace_ != nullptr) trace_->on_deliver(engine_.now(), from, to, *msg);
-      target.endpoint->handle_message(from, msg);
-      return;
+  return true;
+}
+
+void Network::deliver(NodeId from, NodeId to, const MessagePtr& msg) {
+  NodeRecord& target = nodes_[to];
+  if (target.alive && target.endpoint != nullptr) {
+    traffic_.record_delivered();
+    if (trace_ != nullptr) trace_->on_deliver(engine_.now(), from, to, *msg);
+    target.endpoint->handle_message(from, msg);
+    return;
+  }
+  traffic_.record_dropped_dead();
+  if (trace_ != nullptr) {
+    trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kDeadReceiver);
+  }
+  if (!config_.notify_send_failures) return;
+  // The reset notification takes another one-way trip back.
+  engine_.schedule_after(one_way(from, to), [this, from, to, msg] {
+    NodeRecord& s = nodes_[from];
+    if (s.alive && s.endpoint != nullptr) {
+      s.endpoint->handle_send_failure(to, msg);
     }
-    traffic_.record_dropped_dead();
-    if (trace_ != nullptr) {
-      trace_->on_drop(engine_.now(), from, to, *msg, DropReason::kDeadReceiver);
-    }
-    if (!config_.notify_send_failures) return;
-    NodeRecord& sender = nodes_[from];
-    // The reset notification takes another one-way trip back.
-    engine_.schedule_after(one_way(from, to), [this, from, to, msg] {
-      NodeRecord& s = nodes_[from];
-      if (s.alive && s.endpoint != nullptr) {
-        s.endpoint->handle_send_failure(to, msg);
-      }
-    });
-    (void)sender;
   });
 }
 

@@ -86,6 +86,15 @@ class Network {
   /// is dead and notify_send_failures is set.
   void send(NodeId from, NodeId to, MessagePtr msg);
 
+  /// Fan-out: sends `msg` from `from` to every id in targets[0..count) except
+  /// `except` (pass kInvalidNode to exclude nobody), processing targets in
+  /// index order with per-target semantics identical to send() — same stats,
+  /// trace, policy and loss RNG draws, and fluid-uplink queueing — but
+  /// admitting all surviving delivery events into the engine in one
+  /// schedule_batch pass. Byte-identical to the equivalent send() loop.
+  void send_multi(NodeId from, const NodeId* targets, std::size_t count,
+                  NodeId except, MessagePtr msg);
+
   /// Constructs a message of type `M` from this network's slab pool.
   /// Steady-state traffic recycles message blocks instead of hitting the
   /// global allocator; the returned pointer is a normal MessagePtr-compatible
@@ -139,12 +148,25 @@ class Network {
     SimTime uplink_free_at = 0.0;
   };
 
+  /// Computes a target's admission — stats, trace, site pairs, link policy
+  /// and loss draws, latency/jitter/uplink delay — and returns false when the
+  /// message is dropped before the wire. On true, `delay` holds the delivery
+  /// delay. Shared by send() and send_multi(); the sender must be alive.
+  bool admit(NodeId from, NodeId to, const MessagePtr& msg, SimTime& delay);
+
+  /// Delivery-time handling: hand to the endpoint, or account the dead
+  /// receiver and schedule the TCP-reset-analogue notification.
+  void deliver(NodeId from, NodeId to, const MessagePtr& msg);
+
   sim::Engine& engine_;
   std::shared_ptr<const LatencyModel> latency_;
   std::shared_ptr<MessageArena> pool_ = std::make_shared<MessageArena>();
   NetworkConfig config_;
   Rng rng_;
   std::vector<NodeRecord> nodes_;
+  /// Reused send_multi staging buffer. Safe as a member: schedule_batch runs
+  /// no callbacks, so a send_multi can never re-enter another.
+  std::vector<sim::Engine::BatchEvent> batch_scratch_;
   std::size_t alive_count_ = 0;
   TrafficStats traffic_;
   TraceSink* trace_ = nullptr;

@@ -22,6 +22,11 @@
 //   TimerId schedule_after(SimTime d, sim::InlineCallback cb);
 //   bool cancel(TimerId id);
 //   void send(NodeId from, NodeId to, net::MessagePtr msg);
+//   void send_multi(NodeId from, const NodeId* targets, std::size_t count,
+//                   NodeId except, net::MessagePtr msg);
+//       // fan-out of one message to targets[0..count) except `except`
+//       // (kInvalidNode = nobody), in index order; semantically identical to
+//       // the equivalent send() loop, but backends may batch the admissions
 //   std::shared_ptr<const M> make<M>(Args&&...);   // pooled construction
 //   bool alive(NodeId) const;            // node liveness
 //   std::size_t node_count() const;      // registered nodes (baselines)
@@ -64,6 +69,8 @@ concept Context = requires(RT rt, const RT crt, NodeId n, SimTime t,
   { rt.cancel(id) } -> std::same_as<bool>;
   { RT::invalid_timer() } -> std::same_as<typename RT::TimerId>;
   rt.send(n, n, std::move(msg));
+  rt.send_multi(n, static_cast<const NodeId*>(nullptr), bytes, n,
+                std::move(msg));
   { crt.alive(n) } -> std::same_as<bool>;
   { crt.node_count() } -> std::convertible_to<std::size_t>;
   { crt.rtt(n, n) } -> std::convertible_to<SimTime>;

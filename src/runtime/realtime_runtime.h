@@ -159,6 +159,15 @@ class RealtimeContext final {
     rt_->send(from, to, std::move(msg));
   }
 
+  /// The real-time backend has no batched admission; the fan-out is a plain
+  /// send() loop with identical per-target semantics.
+  void send_multi(NodeId from, const NodeId* targets, std::size_t count,
+                  NodeId except, net::MessagePtr msg) {
+    for (std::size_t i = 0; i < count; ++i) {
+      if (targets[i] != except) rt_->send(from, targets[i], msg);
+    }
+  }
+
   template <class M, class... Args>
   [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
     return rt_->make<M>(std::forward<Args>(args)...);

@@ -48,6 +48,11 @@ class SimRuntime final {
     network_->send(from, to, std::move(msg));
   }
 
+  void send_multi(NodeId from, const NodeId* targets, std::size_t count,
+                  NodeId except, net::MessagePtr msg) {
+    network_->send_multi(from, targets, count, except, std::move(msg));
+  }
+
   template <class M, class... Args>
   [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
     return network_->make<M>(std::forward<Args>(args)...);

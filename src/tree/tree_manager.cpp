@@ -64,9 +64,9 @@ void TreeManagerT<RT>::flood_heartbeat() {
   last_heartbeat_ = rt_.now();
   auto msg = rt_.template make<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
                                              overlay_.my_degrees());
-  for (NodeId peer : overlay_.neighbor_ids()) {
-    rt_.send(self_, peer, msg);
-  }
+  const std::vector<NodeId> peers = overlay_.neighbor_ids();
+  rt_.send_multi(self_, peers.data(), peers.size(), kInvalidNode,
+                 std::move(msg));
 }
 
 template <runtime::Context RT>
@@ -100,9 +100,8 @@ void TreeManagerT<RT>::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
     set_parent(from);
     auto fwd = rt_.template make<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
                                                overlay_.my_degrees());
-    for (NodeId peer : overlay_.neighbor_ids()) {
-      if (peer != from) rt_.send(self_, peer, fwd);
-    }
+    const std::vector<NodeId> peers = overlay_.neighbor_ids();
+    rt_.send_multi(self_, peers.data(), peers.size(), from, std::move(fwd));
   }
 }
 

@@ -89,6 +89,26 @@ TEST_F(SyntheticKingTest, DistinctSitesHavePositiveLatency) {
   }
 }
 
+TEST_F(SyntheticKingTest, ThreadCountDoesNotChangeTheMatrix) {
+  // Generation is row-sharded with one forked jitter stream per row, so the
+  // matrix must be byte-identical at every worker count.
+  auto build = [](std::size_t threads) {
+    SyntheticKingParams params;
+    params.sites = 96;
+    params.threads = threads;
+    return make_synthetic_king(params, Rng(17));
+  };
+  auto serial = build(1);
+  auto two = build(2);
+  auto four = build(4);
+  for (std::uint32_t i = 0; i < 96; ++i) {
+    for (std::uint32_t j = 0; j < 96; ++j) {
+      ASSERT_EQ(serial->one_way(i, j), two->one_way(i, j));
+      ASSERT_EQ(serial->one_way(i, j), four->one_way(i, j));
+    }
+  }
+}
+
 TEST_F(SyntheticKingTest, DeterministicPerSeed) {
   auto a = make(64, 7);
   auto b = make(64, 7);

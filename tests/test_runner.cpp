@@ -1,0 +1,260 @@
+// The parallel scenario runner: deterministic seed derivation, spec-order
+// merging at every thread count, exception propagation, and — the property
+// the whole design rests on — concurrent scenario runs matching their serial
+// goldens exactly.
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "harness/runner.h"
+#include "harness/scenario.h"
+
+namespace gocast::harness {
+namespace {
+
+// ---------------------------------------------------------------------------
+// derive_job_seed
+// ---------------------------------------------------------------------------
+
+TEST(DeriveJobSeed, PureFunctionOfBaseAndIndex) {
+  EXPECT_EQ(derive_job_seed(42, 0), derive_job_seed(42, 0));
+  EXPECT_EQ(derive_job_seed(42, 17), derive_job_seed(42, 17));
+  EXPECT_NE(derive_job_seed(42, 0), derive_job_seed(43, 0));
+}
+
+TEST(DeriveJobSeed, AdjacentIndicesAreWellSeparated) {
+  std::vector<std::uint64_t> seen;
+  for (std::size_t i = 0; i < 256; ++i) seen.push_back(derive_job_seed(7, i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::unique(seen.begin(), seen.end()), seen.end());
+}
+
+// ---------------------------------------------------------------------------
+// SweepSpec
+// ---------------------------------------------------------------------------
+
+TEST(SweepSpec, EmptyAxesCollapseToTheBaseConfig) {
+  SweepSpec spec;
+  spec.base.protocol = Protocol::kPushGossip;
+  spec.base.node_count = 96;
+  spec.base.seed = 5;
+  auto jobs = spec.jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].index, 0u);
+  EXPECT_EQ(jobs[0].config.protocol, Protocol::kPushGossip);
+  EXPECT_EQ(jobs[0].config.node_count, 96u);
+  EXPECT_EQ(jobs[0].config.seed, 5u);
+}
+
+TEST(SweepSpec, CrossProductIsMaterializedInSpecOrder) {
+  SweepSpec spec;
+  spec.protocols = {Protocol::kGoCast, Protocol::kPushGossip};
+  spec.node_counts = {64, 128};
+  spec.seeds = {1, 2};
+  spec.overrides.push_back({"f=5", [](ScenarioConfig& c) { c.fanout = 5; }});
+  spec.overrides.push_back({"f=9", [](ScenarioConfig& c) { c.fanout = 9; }});
+  auto jobs = spec.jobs();
+  ASSERT_EQ(jobs.size(), 16u);
+  // Outermost protocol, innermost override; indices are the flat positions.
+  EXPECT_EQ(jobs[0].config.protocol, Protocol::kGoCast);
+  EXPECT_EQ(jobs[0].config.node_count, 64u);
+  EXPECT_EQ(jobs[0].config.seed, 1u);
+  EXPECT_EQ(jobs[0].config.fanout, 5);
+  EXPECT_EQ(jobs[1].label, "f=9");
+  EXPECT_EQ(jobs[2].config.seed, 2u);
+  EXPECT_EQ(jobs[4].config.node_count, 128u);
+  EXPECT_EQ(jobs[8].config.protocol, Protocol::kPushGossip);
+  for (std::size_t i = 0; i < jobs.size(); ++i) EXPECT_EQ(jobs[i].index, i);
+}
+
+TEST(SweepSpec, ReplicationsDeriveSeedsFromTheJobIndexNotCompletionOrder) {
+  SweepSpec spec;
+  spec.base.seed = 11;
+  spec.replications = 3;
+  auto jobs = spec.jobs();
+  ASSERT_EQ(jobs.size(), 3u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(jobs[r].config.seed, derive_job_seed(11, r));
+  }
+  // The same replication axis reappears identically for every protocol, so
+  // cross-protocol comparisons share seeds.
+  spec.protocols = {Protocol::kGoCast, Protocol::kPushGossip};
+  auto crossed = spec.jobs();
+  ASSERT_EQ(crossed.size(), 6u);
+  EXPECT_EQ(crossed[0].config.seed, crossed[3].config.seed);
+  EXPECT_EQ(crossed[2].config.seed, crossed[5].config.seed);
+}
+
+TEST(SweepSpec, OverridesMayRetargetTheSeed) {
+  SweepSpec spec;
+  spec.base.seed = 1;
+  spec.overrides.push_back(
+      {"pinned", [](ScenarioConfig& c) { c.seed = 1005; }});
+  auto jobs = spec.jobs();
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].config.seed, 1005u);
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+TEST(Runner, MergesResultsInIndexOrderAtEveryThreadCount) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Runner runner(threads);
+    EXPECT_EQ(runner.threads(), threads);
+    auto results = runner.run<std::size_t>(
+        37, [](std::size_t i) { return i * i + 1; });
+    ASSERT_EQ(results.size(), 37u);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i], i * i + 1);
+    }
+  }
+}
+
+TEST(Runner, RunsEveryJobExactlyOnce) {
+  std::vector<std::atomic<int>> hits(64);
+  Runner runner(4);
+  (void)runner.run<int>(64, [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+    return 0;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, ZeroJobsIsANoOp) {
+  Runner runner(4);
+  EXPECT_TRUE(runner.run<int>(0, [](std::size_t) { return 1; }).empty());
+}
+
+TEST(Runner, ThreadedFailureRethrowsTheLowestIndexedException) {
+  Runner runner(4);
+  std::atomic<int> ran{0};
+  try {
+    (void)runner.run<int>(16, [&ran](std::size_t i) -> int {
+      ran.fetch_add(1);
+      if (i == 3) throw std::runtime_error("job 3 failed");
+      if (i == 7) throw std::runtime_error("job 7 failed");
+      return 0;
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "job 3 failed");
+  }
+  // A failing job never takes down the pool: every job still ran.
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(Runner, SerialPathPropagatesImmediatelyLikeTheHistoricalLoop) {
+  Runner runner(1);
+  int ran = 0;
+  EXPECT_THROW((void)runner.run<int>(8,
+                                     [&ran](std::size_t i) -> int {
+                                       ++ran;
+                                       if (i == 2) throw std::runtime_error("x");
+                                       return 0;
+                                     }),
+               std::runtime_error);
+  EXPECT_EQ(ran, 3);  // jobs after the failure were not started
+}
+
+// ---------------------------------------------------------------------------
+// parallel_for (the sub-harness primitive the King generator uses)
+// ---------------------------------------------------------------------------
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    std::vector<std::atomic<int>> hits(100);
+    parallel_for(100, threads, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, RethrowsTheLowestCapturedFailure) {
+  EXPECT_THROW(parallel_for(32, 4,
+                            [](std::size_t i) {
+                              if (i % 9 == 5) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-level determinism: parallel == serial, byte for byte
+// ---------------------------------------------------------------------------
+
+ScenarioConfig small_scenario(Protocol protocol, std::uint64_t seed) {
+  ScenarioConfig config;
+  config.protocol = protocol;
+  config.node_count = 64;
+  config.seed = seed;
+  config.warmup = 20.0;
+  config.message_count = 8;
+  config.message_rate = 4.0;
+  config.drain = 10.0;
+  return config;
+}
+
+void expect_identical(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.duplicates, b.duplicates);
+  EXPECT_EQ(a.alive_nodes, b.alive_nodes);
+  EXPECT_EQ(a.sim_end, b.sim_end);
+  EXPECT_EQ(a.report.delivered_fraction, b.report.delivered_fraction);
+  EXPECT_EQ(a.report.max_delay, b.report.max_delay);
+  EXPECT_EQ(a.report.p99, b.report.p99);
+  EXPECT_EQ(a.traffic.total_sent().messages, b.traffic.total_sent().messages);
+  EXPECT_EQ(a.traffic.total_sent().bytes, b.traffic.total_sent().bytes);
+  EXPECT_EQ(a.traffic.delivered(), b.traffic.delivered());
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].delay, b.curve[i].delay);
+    EXPECT_EQ(a.curve[i].fraction, b.curve[i].fraction);
+  }
+}
+
+TEST(Runner, ConcurrentEnginesMatchTheirSerialGoldens) {
+  // Two different scenarios, run back-to-back on one thread (the golden),
+  // then concurrently on two threads: every Engine/Network/System is
+  // job-local, so the concurrent results must match exactly.
+  std::vector<ScenarioConfig> configs = {
+      small_scenario(Protocol::kGoCast, 5),
+      small_scenario(Protocol::kPushGossip, 6)};
+
+  std::vector<ScenarioResult> golden;
+  for (const auto& config : configs) golden.push_back(run_scenario(config));
+
+  Runner runner(2);
+  auto concurrent = runner.run<ScenarioResult>(
+      configs.size(),
+      [&configs](std::size_t i) { return run_scenario(configs[i]); });
+
+  ASSERT_EQ(concurrent.size(), golden.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    expect_identical(golden[i], concurrent[i]);
+  }
+}
+
+TEST(Runner, SweepResultsAreIdenticalAtEveryThreadCount) {
+  SweepSpec spec;
+  spec.base = small_scenario(Protocol::kGoCast, 9);
+  spec.protocols = {Protocol::kGoCast, Protocol::kPushGossip};
+  spec.replications = 2;
+
+  auto serial = run_sweep(spec, Runner(1));
+  auto parallel = run_sweep(spec, Runner(4));
+  ASSERT_EQ(serial.size(), 4u);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].job.index, parallel[i].job.index);
+    EXPECT_EQ(serial[i].job.config.seed, parallel[i].job.config.seed);
+    expect_identical(serial[i].result, parallel[i].result);
+  }
+}
+
+}  // namespace
+}  // namespace gocast::harness

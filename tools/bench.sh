@@ -1,27 +1,48 @@
 #!/usr/bin/env bash
-# Performance baseline runner. Builds the benchmarks, runs the micro-benchmark
-# suite (min-of-repetitions, the only robust statistic on a shared/noisy host)
-# and the large-scale perf_scaling probe, and assembles everything into
-# BENCH_core.json at the repo root so perf numbers travel with the PR.
+# Performance baseline runner. Builds the benchmarks in a dedicated Release
+# build tree, runs the micro-benchmark suite (min-of-repetitions, the only
+# robust statistic on a shared/noisy host), the large-scale perf_scaling
+# probe, and the serial-vs-parallel sweep comparison, and assembles
+# everything into BENCH_core.json at the repo root so perf numbers travel
+# with the PR.
 #
 #   tools/bench.sh                 # full run: 5 reps, 8192 nodes x 60s
-#   REPS=3 NODES=1024 SECONDS=20 tools/bench.sh   # lighter variant
+#   REPS=3 NODES=1024 SECONDS_ARG=20 tools/bench.sh   # lighter variant
+#   SWEEP_REPS=8 SWEEP_THREADS=4 tools/bench.sh       # sweep knobs
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+# A dedicated Release tree: the default dev tree may be Debug/sanitized, and
+# recording numbers from an unoptimized build poisons the baseline.
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build-bench}"
 OUT="${OUT:-$REPO_ROOT/BENCH_core.json}"
 REPS="${REPS:-5}"
 NODES="${NODES:-8192}"
 SECONDS_ARG="${SECONDS_ARG:-60}"
 MESSAGES="${MESSAGES:-50}"
+SWEEP_REPS="${SWEEP_REPS:-8}"
+SWEEP_NODES="${SWEEP_NODES:-256}"
+SWEEP_THREADS="${SWEEP_THREADS:-$(nproc)}"
 
-cmake -S "$REPO_ROOT" -B "$BUILD_DIR" >/dev/null
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_core perf_scaling -j "$(nproc)" >/dev/null
 
 MICRO_JSON="$(mktemp)"
 SCALING_JSON="$(mktemp)"
-trap 'rm -f "$MICRO_JSON" "$SCALING_JSON"' EXIT
+SWEEP_SERIAL_JSON="$(mktemp)"
+SWEEP_PARALLEL_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON"' EXIT
+
+# Fail loudly if the benchmark binary was not compiled optimized: the
+# distro's libbenchmark reports its *own* build type, so the binary embeds a
+# gocast_build_type context entry describing how it was compiled.
+GOCAST_BUILD_TYPE="$("$BUILD_DIR/bench/perf_scaling" --sweep --reps 1 --nodes 32 \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["build_type"])')"
+if [ "$GOCAST_BUILD_TYPE" != "release" ]; then
+  echo "FATAL: bench binaries report build_type=$GOCAST_BUILD_TYPE (want release)." >&2
+  echo "       Refusing to record numbers from an unoptimized build." >&2
+  exit 1
+fi
 
 echo "== micro_core ($REPS repetitions, min-of-reps) =="
 "$BUILD_DIR/bench/micro_core" \
@@ -36,14 +57,32 @@ echo "== perf_scaling ($NODES nodes, ${SECONDS_ARG}s sim) =="
   --nodes "$NODES" --seconds "$SECONDS_ARG" --messages "$MESSAGES" \
   | tee "$SCALING_JSON"
 
-python3 - "$MICRO_JSON" "$SCALING_JSON" "$OUT" <<'PY'
+echo "== sweep_parallel ($SWEEP_REPS reps x $SWEEP_NODES nodes: 1 vs $SWEEP_THREADS threads) =="
+"$BUILD_DIR/bench/perf_scaling" --sweep --threads 1 \
+  --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_SERIAL_JSON"
+"$BUILD_DIR/bench/perf_scaling" --sweep --threads "$SWEEP_THREADS" \
+  --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_PARALLEL_JSON"
+
+python3 - "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$OUT" <<'PY'
 import json, sys
 
-micro_path, scaling_path, out_path = sys.argv[1:4]
+micro_path, scaling_path, sweep_serial_path, sweep_parallel_path, out_path = sys.argv[1:6]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(scaling_path) as f:
     scaling = json.load(f)
+with open(sweep_serial_path) as f:
+    sweep_serial = json.load(f)
+with open(sweep_parallel_path) as f:
+    sweep_parallel = json.load(f)
+
+# The merged sweep output must not depend on thread count; a checksum
+# mismatch means a determinism bug, and the numbers must not be recorded.
+if sweep_serial["checksum"] != sweep_parallel["checksum"]:
+    sys.exit(
+        f"FATAL: sweep checksum mismatch: serial={sweep_serial['checksum']} "
+        f"parallel={sweep_parallel['checksum']} — parallel runner is not "
+        "deterministic, refusing to write BENCH_core.json")
 
 # Min over repetitions: on a busy single-CPU host the mean is dominated by
 # scheduling noise, while the minimum approximates the undisturbed run.
@@ -56,10 +95,18 @@ for b in micro["benchmarks"]:
     if name not in best or t < best[name]["real_time"]:
         best[name] = {"real_time": t, "time_unit": b["time_unit"]}
 
+serial_wall = sweep_serial["wall_seconds"]
+parallel_wall = sweep_parallel["wall_seconds"]
 result = {
     "context": micro.get("context", {}),
     "micro_min_of_reps": best,
     "perf_scaling": scaling,
+    "sweep_parallel": {
+        "serial": sweep_serial,
+        "parallel": sweep_parallel,
+        "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+        "checksums_match": True,
+    },
 }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)

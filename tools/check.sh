@@ -3,6 +3,7 @@
 # ASan+UBSan configuration (GOCAST_SANITIZE=ON). Run from the repo root:
 #   tools/check.sh [extra ctest args...]
 #   tools/check.sh bench-smoke     # quick perf-tooling sanity run only
+#   tools/check.sh tsan            # TSan: runner tests + 2-thread mini-sweep
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -35,6 +36,21 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
   cmake --build "${root}/build" -j "${jobs}" --target gocastd
   "${root}/build/tools/gocastd" --nodes 8 --messages 4 --warmup 1.5
   echo "=== bench-smoke passed ==="
+  exit 0
+fi
+
+# tsan: the concurrency surface under ThreadSanitizer — the runner/parallel
+# unit tests plus a real 2-thread sweep through a converted bench driver.
+if [[ "${1:-}" == "tsan" ]]; then
+  cmake -B "${root}/build-tsan" -S "${root}" -DGOCAST_SANITIZE=thread
+  cmake --build "${root}/build-tsan" -j "${jobs}" --target gocast_tests fig4_scalability
+  echo "=== tsan: runner unit tests ==="
+  (cd "${root}/build-tsan" && ctest --output-on-failure \
+    -R 'Runner|Sweep|Parallel|DeriveJobSeed|EngineBatch')
+  echo "=== tsan: 2-thread mini-sweep ==="
+  GOCAST_BENCH_SCALE=0.05 GOCAST_WARMUP=40 \
+    "${root}/build-tsan/bench/fig4_scalability" --threads 2
+  echo "=== tsan checks passed ==="
   exit 0
 fi
 
