@@ -1,0 +1,52 @@
+// Per-node adversarial / slow-node behavior, set by the fault subsystem and
+// consulted by the protocol layers (node dispatch, overlay maintenance,
+// dissemination). Lives in common/ because both the overlay layer and the
+// gocast core read it; it carries no protocol dependencies of its own.
+//
+// A node's behavior is owned by the GoCastNode and shared by const pointer
+// with its subsystems, so the FaultInjector can flip a node adversarial (or
+// cure it) at any scheduled time and every layer sees the change
+// immediately. All defaults mean "honest": the honest path never branches on
+// anything but cheap always-false flags.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gocast {
+
+struct FaultBehavior {
+  /// Accepts tree pushes and gossip normally but never forwards payloads:
+  /// no tree forwarding, no digest entries advertised, pull requests
+  /// ignored. Membership piggybacking still flows (the node looks alive).
+  bool mute_forwarder = false;
+
+  /// Advertises MsgIds it does not hold: every id heard in a digest is
+  /// re-advertised to the other neighbors as if stored, but the node never
+  /// pulls the payload and never answers pull requests — pulls to it yield
+  /// nothing until the requester's retry timer fires.
+  bool digest_liar = false;
+
+  /// Advertises fake degrees in every outgoing message, distorting the
+  /// C1–C4 maintenance decisions of its neighbors (e.g. the default 0/0
+  /// makes the liar look permanently under-provisioned: peers never select
+  /// it as a drop/replacement victim and keep accepting its links).
+  bool degree_liar = false;
+  std::uint16_t fake_rand_degree = 0;
+  std::uint16_t fake_near_degree = 0;
+
+  /// CPU-style per-message processing delay applied in the node's receive
+  /// path (distinct from per-link `degrade`: the delay is paid once per
+  /// inbound message regardless of sender). 0 = no delay.
+  SimTime processing_delay = 0.0;
+
+  [[nodiscard]] bool honest() const {
+    return !mute_forwarder && !digest_liar && !degree_liar &&
+           processing_delay <= 0.0;
+  }
+
+  friend bool operator==(const FaultBehavior&, const FaultBehavior&) = default;
+};
+
+}  // namespace gocast

@@ -97,6 +97,15 @@ void FaultInjector::apply(const FaultEvent& event) {
       detail = s.str();
       break;
     }
+    case FaultKind::kMuteForwarder:
+    case FaultKind::kDigestLiar:
+    case FaultKind::kDegreeLiar:
+    case FaultKind::kSlow:
+      apply_behavior(event, detail);
+      break;
+    case FaultKind::kCure:
+      apply_cure(event, detail);
+      break;
   }
   if (checker_ != nullptr) checker_->note_disturbance();
 
@@ -165,6 +174,81 @@ void FaultInjector::apply_partition(const FaultEvent& event,
   detail = "island " + std::to_string(group) + " holds " +
            std::to_string(island.size());
   append_ids(detail, island);
+}
+
+void FaultInjector::apply_behavior(const FaultEvent& event,
+                                   std::string& detail) {
+  std::vector<NodeId> victims;
+  if (event.node != kInvalidNode) {
+    // Explicit victims stack behaviors (a node can both mute and lie).
+    if (system_.network().alive(event.node)) victims.push_back(event.node);
+  } else {
+    // Random selection draws from alive, currently-honest nodes, so
+    // fractions of different behavior kinds afflict disjoint sets.
+    std::vector<NodeId> pool;
+    for (NodeId id : system_.alive_nodes()) {
+      if (system_.node(id).fault_behavior().honest()) pool.push_back(id);
+    }
+    std::size_t count = event.count != 0
+                            ? event.count
+                            : fraction_to_count(event.fraction, pool.size());
+    victims = pick_victims(std::move(pool), count);
+  }
+
+  for (NodeId id : victims) {
+    FaultBehavior behavior = system_.node(id).fault_behavior();
+    switch (event.kind) {
+      case FaultKind::kMuteForwarder:
+        behavior.mute_forwarder = true;
+        break;
+      case FaultKind::kDigestLiar:
+        behavior.digest_liar = true;
+        break;
+      case FaultKind::kDegreeLiar:
+        behavior.degree_liar = true;
+        behavior.fake_rand_degree = event.fake_rand_degree;
+        behavior.fake_near_degree = event.fake_near_degree;
+        break;
+      case FaultKind::kSlow:
+        behavior.processing_delay = event.delay;
+        break;
+      default:
+        GOCAST_ASSERT_MSG(false, "apply_behavior on non-behavior kind");
+    }
+    system_.node(id).set_fault_behavior(behavior);
+    if (checker_ != nullptr) checker_->mark_adversary(id, true);
+    auto pos = std::lower_bound(adversaries_.begin(), adversaries_.end(), id);
+    if (pos == adversaries_.end() || *pos != id) adversaries_.insert(pos, id);
+  }
+
+  std::ostringstream s;
+  s << "afflicted " << victims.size();
+  if (event.kind == FaultKind::kSlow) s << " delay=" << event.delay;
+  if (event.kind == FaultKind::kDegreeLiar) {
+    s << " rand=" << event.fake_rand_degree
+      << " near=" << event.fake_near_degree;
+  }
+  detail = s.str();
+  append_ids(detail, victims);
+}
+
+void FaultInjector::apply_cure(const FaultEvent& event, std::string& detail) {
+  std::vector<NodeId> cured;
+  if (event.node != kInvalidNode) {
+    if (!system_.node(event.node).fault_behavior().honest()) {
+      cured.push_back(event.node);
+    }
+  } else {
+    cured = adversaries_;  // every current victim, already sorted
+  }
+  for (NodeId id : cured) {
+    system_.node(id).set_fault_behavior(FaultBehavior{});
+    if (checker_ != nullptr) checker_->mark_adversary(id, false);
+    auto pos = std::lower_bound(adversaries_.begin(), adversaries_.end(), id);
+    if (pos != adversaries_.end() && *pos == id) adversaries_.erase(pos);
+  }
+  detail = "cured " + std::to_string(cured.size());
+  append_ids(detail, cured);
 }
 
 void FaultInjector::apply_degrade(const FaultEvent& event,

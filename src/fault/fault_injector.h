@@ -46,6 +46,13 @@ class FaultInjector {
   /// and system produce identical logs (the determinism test's witness).
   [[nodiscard]] const std::vector<std::string>& log() const { return applied_; }
 
+  /// Nodes currently carrying an adversarial / slow behavior (sorted;
+  /// behavior events add, cures remove). The harness uses this to compute
+  /// eviction coverage.
+  [[nodiscard]] const std::vector<NodeId>& adversaries() const {
+    return adversaries_;
+  }
+
  private:
   void apply(const FaultEvent& event);
   void apply_crash(const FaultEvent& event, std::string& detail);
@@ -53,6 +60,8 @@ class FaultInjector {
   void apply_crash_site(const FaultEvent& event, std::string& detail);
   void apply_partition(const FaultEvent& event, std::string& detail);
   void apply_degrade(const FaultEvent& event, std::string& detail);
+  void apply_behavior(const FaultEvent& event, std::string& detail);
+  void apply_cure(const FaultEvent& event, std::string& detail);
 
   /// Uniform random sample of `count` ids out of `pool`, returned sorted.
   [[nodiscard]] std::vector<NodeId> pick_victims(std::vector<NodeId> pool,
@@ -67,6 +76,7 @@ class FaultInjector {
   std::uint32_t next_group_ = 1;
   bool armed_ = false;
   std::vector<std::string> applied_;
+  std::vector<NodeId> adversaries_;
 };
 
 }  // namespace gocast::fault

@@ -19,6 +19,11 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kDegrade: return "degrade";
     case FaultKind::kRestore: return "restore";
     case FaultKind::kLoss: return "loss";
+    case FaultKind::kMuteForwarder: return "mute_forwarder";
+    case FaultKind::kDigestLiar: return "digest_liar";
+    case FaultKind::kDegreeLiar: return "degree_liar";
+    case FaultKind::kSlow: return "slow";
+    case FaultKind::kCure: return "cure";
   }
   return "?";
 }
@@ -122,6 +127,83 @@ FaultPlan& FaultPlan::set_loss(SimTime at, double p) {
   return add(e);
 }
 
+FaultPlan& FaultPlan::mute_forwarder_fraction(SimTime at, double fraction) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kMuteForwarder;
+  e.fraction = fraction;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::mute_forwarder_node(SimTime at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kMuteForwarder;
+  e.node = node;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::digest_liar_fraction(SimTime at, double fraction) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDigestLiar;
+  e.fraction = fraction;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::digest_liar_node(SimTime at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDigestLiar;
+  e.node = node;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::degree_liar_fraction(SimTime at, double fraction,
+                                           std::uint16_t fake_rand,
+                                           std::uint16_t fake_near) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kDegreeLiar;
+  e.fraction = fraction;
+  e.fake_rand_degree = fake_rand;
+  e.fake_near_degree = fake_near;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::slow_fraction(SimTime at, double fraction, SimTime delay) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSlow;
+  e.fraction = fraction;
+  e.delay = delay;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::slow_node(SimTime at, NodeId node, SimTime delay) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kSlow;
+  e.node = node;
+  e.delay = delay;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::cure_all(SimTime at) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCure;
+  return add(e);
+}
+
+FaultPlan& FaultPlan::cure_node(SimTime at, NodeId node) {
+  FaultEvent e;
+  e.at = at;
+  e.kind = FaultKind::kCure;
+  e.node = node;
+  return add(e);
+}
+
 // ---------------------------------------------------------------------------
 // Spec parsing
 // ---------------------------------------------------------------------------
@@ -165,7 +247,9 @@ FaultKind parse_kind(const std::string& name, const std::string& context) {
   for (FaultKind kind :
        {FaultKind::kCrash, FaultKind::kRecover, FaultKind::kCrashSite,
         FaultKind::kPartition, FaultKind::kHeal, FaultKind::kDegrade,
-        FaultKind::kRestore, FaultKind::kLoss}) {
+        FaultKind::kRestore, FaultKind::kLoss, FaultKind::kMuteForwarder,
+        FaultKind::kDigestLiar, FaultKind::kDegreeLiar, FaultKind::kSlow,
+        FaultKind::kCure}) {
     if (name == fault_kind_name(kind)) return kind;
   }
   GOCAST_ASSERT_MSG(false, "unknown fault kind '" << name << "' in '"
@@ -268,6 +352,51 @@ FaultPlan FaultPlan::parse(const std::string& spec) {
                           "loss p out of [0,1) in '" << entry << "'");
         break;
       }
+      case FaultKind::kMuteForwarder:
+      case FaultKind::kDigestLiar:
+      case FaultKind::kDegreeLiar:
+      case FaultKind::kSlow: {
+        std::string frac = take("frac");
+        std::string count = take("count");
+        std::string node = take("node");
+        GOCAST_ASSERT_MSG(
+            !frac.empty() || !count.empty() || !node.empty(),
+            "'" << entry << "' needs frac=, count=, or node= victims");
+        if (!frac.empty()) event.fraction = parse_double(frac, entry);
+        if (!count.empty()) {
+          event.count = static_cast<std::size_t>(parse_uint(count, entry));
+        }
+        if (!node.empty()) {
+          event.node = static_cast<NodeId>(parse_uint(node, entry));
+        }
+        if (event.kind == FaultKind::kDegreeLiar) {
+          std::string rand = take("rand");
+          std::string near = take("near");
+          if (!rand.empty()) {
+            event.fake_rand_degree =
+                static_cast<std::uint16_t>(parse_uint(rand, entry));
+          }
+          if (!near.empty()) {
+            event.fake_near_degree =
+                static_cast<std::uint16_t>(parse_uint(near, entry));
+          }
+        }
+        if (event.kind == FaultKind::kSlow) {
+          std::string delay = take("delay");
+          GOCAST_ASSERT_MSG(!delay.empty(), "'" << entry << "' needs delay=");
+          event.delay = parse_double(delay, entry);
+          GOCAST_ASSERT_MSG(event.delay > 0.0,
+                            "slow delay must be > 0 in '" << entry << "'");
+        }
+        break;
+      }
+      case FaultKind::kCure: {
+        std::string node = take("node");
+        if (!node.empty()) {
+          event.node = static_cast<NodeId>(parse_uint(node, entry));
+        }
+        break;
+      }
       case FaultKind::kHeal:
       case FaultKind::kRestore:
         break;
@@ -317,6 +446,22 @@ std::string FaultPlan::to_spec() const {
         break;
       case FaultKind::kLoss:
         arg("p", e.loss);
+        break;
+      case FaultKind::kMuteForwarder:
+      case FaultKind::kDigestLiar:
+      case FaultKind::kDegreeLiar:
+      case FaultKind::kSlow:
+        if (e.fraction != 0.0) arg("frac", e.fraction);
+        if (e.count != 0) arg("count", e.count);
+        if (e.node != kInvalidNode) arg("node", e.node);
+        if (e.kind == FaultKind::kDegreeLiar) {
+          if (e.fake_rand_degree != 0) arg("rand", e.fake_rand_degree);
+          if (e.fake_near_degree != 0) arg("near", e.fake_near_degree);
+        }
+        if (e.kind == FaultKind::kSlow) arg("delay", e.delay);
+        break;
+      case FaultKind::kCure:
+        if (e.node != kInvalidNode) arg("node", e.node);
         break;
       case FaultKind::kHeal:
       case FaultKind::kRestore:

@@ -21,6 +21,13 @@ enum class FaultKind : std::uint8_t {
   kDegrade,    ///< latency multiplier / jitter / loss on links (subset or all)
   kRestore,    ///< clear all link degradations
   kLoss,       ///< set the global message loss probability
+  // Adversarial / slow-node behaviors (see common/fault_behavior.h). Victims
+  // stay alive but misbehave until a `cure` event revokes the behavior.
+  kMuteForwarder,  ///< accept payloads but never forward or serve them
+  kDigestLiar,     ///< advertise ids it does not hold; pulls yield nothing
+  kDegreeLiar,     ///< advertise fake degrees, distorting C1–C4 decisions
+  kSlow,           ///< per-node CPU-style processing delay per message
+  kCure,           ///< revoke behaviors (one explicit node, or every victim)
 };
 
 [[nodiscard]] const char* fault_kind_name(FaultKind kind);
@@ -41,6 +48,11 @@ struct FaultEvent {
   double latency_multiplier = 1.0;  ///< degrade: one-way latency scale
   SimTime jitter = 0.0;             ///< degrade: max uniform extra delay (s)
   double loss = 0.0;                ///< degrade: per-link loss | loss: global p
+
+  /// Behavior parameters:
+  SimTime delay = 0.0;  ///< slow: per-message processing delay (required > 0)
+  std::uint16_t fake_rand_degree = 0;  ///< degree_liar: advertised C_rand
+  std::uint16_t fake_near_degree = 0;  ///< degree_liar: advertised C_near
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -67,6 +79,17 @@ class FaultPlan {
                      double loss, double fraction = 0.0);
   FaultPlan& restore(SimTime at);
   FaultPlan& set_loss(SimTime at, double p);
+  FaultPlan& mute_forwarder_fraction(SimTime at, double fraction);
+  FaultPlan& mute_forwarder_node(SimTime at, NodeId node);
+  FaultPlan& digest_liar_fraction(SimTime at, double fraction);
+  FaultPlan& digest_liar_node(SimTime at, NodeId node);
+  FaultPlan& degree_liar_fraction(SimTime at, double fraction,
+                                  std::uint16_t fake_rand = 0,
+                                  std::uint16_t fake_near = 0);
+  FaultPlan& slow_fraction(SimTime at, double fraction, SimTime delay);
+  FaultPlan& slow_node(SimTime at, NodeId node, SimTime delay);
+  FaultPlan& cure_all(SimTime at);
+  FaultPlan& cure_node(SimTime at, NodeId node);
 
   [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
   [[nodiscard]] bool empty() const { return events_.empty(); }
@@ -84,7 +107,13 @@ class FaultPlan {
   ///   degrade    mult=, jitter=, loss=, frac= (frac absent -> all links)
   ///   restore    (none)
   ///   loss       p=
+  ///   mute_forwarder | digest_liar  frac= | count= | node=
+  ///   degree_liar    frac= | count= | node=  [, rand=, near=]
+  ///   slow           delay=, frac= | count= | node=
+  ///   cure           node= (absent -> cure every current victim)
   /// Example: "330:crash:frac=0.2; 400:partition:frac=0.3; 460:heal"
+  ///      or:  "60:mute_forwarder:frac=0.05; 60:digest_liar:frac=0.05;
+  ///            200:cure"
   [[nodiscard]] static FaultPlan parse(const std::string& spec);
 
   /// Serializes back to the spec grammar; parse(to_spec()) reproduces the

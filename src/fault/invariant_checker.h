@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/types.h"
@@ -82,10 +83,30 @@ class InvariantChecker {
   /// resume settle_after seconds after the partition heals).
   void set_partition_active(bool active);
 
+  /// Marks a node as an active adversarial victim (FaultInjector behavior
+  /// events call this; a cure clears it). Structural violations caused by an
+  /// adversary — on the victim itself, on its direct neighbors (degree lies
+  /// distort their C1–C4 decisions), or overlay/tree splits while any
+  /// adversary is active — are *expected* consequences of the attack: they
+  /// are reported separately and never count as protocol failures.
+  void mark_adversary(NodeId id, bool active);
+  [[nodiscard]] bool is_adversary(NodeId id) const {
+    return adversaries_.count(id) > 0;
+  }
+
   [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
     return violations_;
   }
   [[nodiscard]] std::size_t violation_count() const { return violations_.size(); }
+  /// Violations attributed to active adversarial victims (see
+  /// mark_adversary) — attack damage, not protocol bugs.
+  [[nodiscard]] const std::vector<InvariantViolation>& expected_violations()
+      const {
+    return expected_violations_;
+  }
+  [[nodiscard]] std::size_t expected_violation_count() const {
+    return expected_violations_.size();
+  }
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
   [[nodiscard]] const InvariantCheckerParams& params() const { return params_; }
 
@@ -96,6 +117,10 @@ class InvariantChecker {
   void check_tree_and_connectivity(SimTime now);
   void check_store_gc(SimTime now);
   void report(SimTime at, std::string what);
+  void report_expected(SimTime at, std::string what);
+  /// True when `id` is an adversary or directly neighbors one (the blast
+  /// radius inside which degree distortion is attributable to the attack).
+  [[nodiscard]] bool in_adversary_blast_radius(NodeId id) const;
 
   [[nodiscard]] bool settled(SimTime now) const {
     return now - last_disturbance_ >= params_.settle_after;
@@ -107,11 +132,13 @@ class InvariantChecker {
 
   SimTime last_disturbance_ = 0.0;
   bool partition_active_ = false;
+  std::unordered_set<NodeId> adversaries_;
 
   /// (node, dead neighbor) -> when the checker first saw the stale link.
   std::unordered_map<std::uint64_t, SimTime> stale_links_;
 
   std::vector<InvariantViolation> violations_;
+  std::vector<InvariantViolation> expected_violations_;
   std::uint64_t sweeps_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "gocast/dissemination.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <memory>
 
 #include "common/assert.h"
@@ -14,14 +16,17 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
                                    membership::PartialView& view,
                                    overlay::OverlayManagerT<RT>& overlay,
                                    tree::TreeManagerT<RT>* tree,
-                                   DisseminationParams params, Rng rng)
+                                   DisseminationParams params,
+                                   DefenseParams defense, Rng rng)
     : self_(self),
       rt_(rt),
       view_(view),
       overlay_(overlay),
       tree_(tree),
       params_(params),
+      defense_(defense),
       rng_(std::move(rng)),
+      retry_rng_(rng_.fork("pull-retry")),
       gossip_timer_(rt_, params.gossip_period, [this] { on_gossip_timer(); }),
       gc_timer_(rt_, params.gc_sweep_period, [this] { gc_sweep(); }) {
   GOCAST_ASSERT(params_.gossip_period > 0.0);
@@ -30,6 +35,10 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
   GOCAST_ASSERT(params_.gossip_period_max >= params_.gossip_period);
   GOCAST_ASSERT(params_.gossip_backoff >= 1.0);
   GOCAST_ASSERT(params_.pull_max_attempts >= 1);
+  GOCAST_ASSERT(params_.pull_retry_backoff >= 1.0);
+  GOCAST_ASSERT(params_.pull_retry_jitter >= 0.0);
+  GOCAST_ASSERT(defense_.suspicion_decay_halflife > 0.0);
+  GOCAST_ASSERT(defense_.suspicion_threshold > 0.0);
   // Flat tables, sized once: the store holds messages for gc_record_after
   // seconds, pending_ one slot per overlay neighbor, pull_pending_ the ids
   // currently being recovered. Steady state should never rehash.
@@ -68,10 +77,15 @@ void DisseminationT<RT>::accept_message(MsgId id, SimTime inject_time,
                                         std::size_t payload_bytes,
                                         NodeId learned_from, DeliveryPath path) {
   auto [it, inserted] = store_.try_emplace(
-      id, Stored{inject_time, rt_.now(), payload_bytes, true});
-  GOCAST_ASSERT(inserted);
+      id, Stored{inject_time, rt_.now(), payload_bytes, true, true});
+  if (!inserted) {
+    // Only a digest-liar can race its own fake (payload-less) record against
+    // a real arrival; promote the record instead of asserting.
+    it->second = Stored{inject_time, rt_.now(), payload_bytes, true, true};
+  }
   ++deliveries_;
   pull_pending_.erase(id);
+  if (defense_.audit_pulls) recent_ids_.emplace_back(rt_.now(), id);
 
   if (params_.adaptive_gossip &&
       gossip_timer_.period() > params_.gossip_period && gossip_timer_.running()) {
@@ -84,16 +98,29 @@ void DisseminationT<RT>::accept_message(MsgId id, SimTime inject_time,
     delivery_hook_(DeliveryEvent{self_, id, inject_time, rt_.now(), path});
   }
 
+  if (defense_.suspect_silent && params_.use_tree && tree_ != nullptr) {
+    check_parent_silence();
+  }
+
+  // A mute forwarder is a free-rider: it consumes other nodes' messages
+  // without ever pushing or advertising them (the black-hole behavior of
+  // DESIGN.md §9) — but it still disseminates its own multicasts, since the
+  // point of muting is to shed relay cost, not to censor itself.
+  const bool mute = behavior_ != nullptr && behavior_->mute_forwarder &&
+                    learned_from != kInvalidNode;
+
   // Push without stop along remaining tree links (also after a pull: a
   // message entering a tree fragment floods the whole fragment, §2.1).
-  if (params_.use_tree && tree_ != nullptr) {
+  if (params_.use_tree && tree_ != nullptr && !mute) {
     forward_on_tree(id, it->second, learned_from);
   }
 
   // Queue the ID for gossiping to every overlay neighbor except the one we
   // heard the message from.
-  for (NodeId peer : rotation_) {
-    if (peer != learned_from) pending_slot(peer).push_back(id);
+  if (!mute) {
+    for (NodeId peer : rotation_) {
+      if (peer != learned_from) pending_slot(peer).push_back(id);
+    }
   }
 }
 
@@ -120,7 +147,25 @@ void DisseminationT<RT>::forward_on_tree(MsgId id, const Stored& stored,
 
 template <runtime::Context RT>
 void DisseminationT<RT>::on_data(NodeId from, const DataMsg& msg) {
-  if (store_.count(msg.id) > 0) {
+  if (defense_.suspect_silent && from == watched_parent_) {
+    // Any push from the watched parent — fresh or redundant — is proof it
+    // still forwards.
+    last_parent_data_ = rt_.now();
+  }
+  if (defense_.audit_pulls) {
+    auto audit_it = audit_pending_.find(msg.id);
+    if (audit_it != audit_pending_.end() && audit_it->second.target == from) {
+      // Challenge answered: a passed spot-check wipes the slate. Lost
+      // messages make honest peers fail the occasional probe, so only
+      // CONSECUTIVE failures — the one pattern an adversary cannot avoid —
+      // may accumulate toward the eviction threshold.
+      audit_pending_.erase(audit_it);
+      auto sit = suspicion_.find(from);
+      if (sit != suspicion_.end()) sit->second.score = 0.0;
+    }
+  }
+  auto it = store_.find(msg.id);
+  if (it != store_.end() && it->second.delivered) {
     // Redundant arrival — the paper's §2.1 "2% overhead" path. Optimization
     // (1) of §2.1: a real deployment aborts the transfer mid-stream, so the
     // payload bytes are not actually carried; we track them as savings.
@@ -129,6 +174,8 @@ void DisseminationT<RT>::on_data(NodeId from, const DataMsg& msg) {
     rt_.report_aborted_transfer(from, self_, msg.payload_bytes);
     return;
   }
+  // First real payload (a record may exist but be a liar's undelivered
+  // plant — accept_message promotes it in place).
   accept_message(msg.id, msg.inject_time, msg.payload_bytes, from,
                  msg.via_tree ? DeliveryPath::kTree : DeliveryPath::kPull);
 }
@@ -161,13 +208,33 @@ void DisseminationT<RT>::on_gossip_timer() {
   NodeId target = rotation_[rotation_idx_];
   rotation_idx_ = (rotation_idx_ + 1) % rotation_.size();
 
+  if (defense_.deprioritize_suspects &&
+      suspicion_score(target) >= defense_.suspicion_threshold) {
+    // Skip past suspects in the rotation while an unsuspected neighbor
+    // exists; if every neighbor is suspect, gossip to the original pick
+    // anyway (starving the whole rotation would only hurt ourselves).
+    for (std::size_t i = 0; i + 1 < rotation_.size(); ++i) {
+      NodeId candidate = rotation_[rotation_idx_];
+      rotation_idx_ = (rotation_idx_ + 1) % rotation_.size();
+      if (suspicion_score(candidate) < defense_.suspicion_threshold) {
+        target = candidate;
+        break;
+      }
+    }
+  }
+
+  // A digest-liar advertises every record it knows of, including the fake
+  // payload-less ones it planted on hearing other digests.
+  const bool advertise_unheld = behavior_ != nullptr && behavior_->digest_liar;
+
   digest_buf_.clear();
   auto pending_it = pending_.find(target);
   if (pending_it != pending_.end() && !pending_it->second.empty()) {
     digest_buf_.reserve(pending_it->second.size());
     for (MsgId id : pending_it->second) {
       auto it = store_.find(id);
-      if (it == store_.end() || !it->second.payload_present) continue;
+      if (it == store_.end()) continue;
+      if (!it->second.payload_present && !advertise_unheld) continue;
       digest_buf_.push_back(DigestEntry{id, it->second.inject_time});
     }
     pending_it->second.clear();  // keeps capacity for the next burst
@@ -180,6 +247,8 @@ void DisseminationT<RT>::on_gossip_timer() {
   rt_.send(self_, target,
            rt_.template make<GossipDigestMsg>(
                digest_buf_, piggyback_members(), overlay_.my_degrees()));
+
+  if (defense_.audit_pulls) maybe_challenge(target);
 }
 
 template <runtime::Context RT>
@@ -210,15 +279,59 @@ template <runtime::Context RT>
 void DisseminationT<RT>::on_gossip_digest(NodeId from,
                                           const GossipDigestMsg& msg) {
   view_.integrate(msg.members);
-
   SimTime now = rt_.now();
+
+  if (defense_.digest_sanity &&
+      msg.entries.size() > defense_.max_digest_entries) {
+    // No honest backlog produces digests this large at our message rates;
+    // treat the flood as hostile and drop it whole.
+    raise_suspicion(from, defense_.suspicion_increment);
+    return;
+  }
+
+  if (behavior_ != nullptr && behavior_->digest_liar) {
+    // The liar never pulls: it plants a payload-less record for every id it
+    // hears and re-queues the id for all other neighbors, so it wins
+    // advertisement races while holding nothing it could ever serve.
+    for (const DigestEntry& entry : msg.entries) {
+      remove_from_pending(from, entry.id);
+      auto [it, fresh] = store_.try_emplace(
+          entry.id, Stored{entry.inject_time, now, 0, false, false});
+      (void)it;
+      if (!fresh) continue;
+      for (NodeId peer : rotation_) {
+        if (peer != from) pending_slot(peer).push_back(entry.id);
+      }
+    }
+    return;
+  }
+
   for (const DigestEntry& entry : msg.entries) {
+    if (defense_.digest_sanity) {
+      if (entry.inject_time > now + 1e-9) {
+        // Injection times are sender-reported; one from the future is a
+        // fabrication by construction.
+        raise_suspicion(from, defense_.suspicion_increment);
+        continue;
+      }
+      if (entry.id.origin == self_ && entry.id.seq >= next_seq_) {
+        // An id in our own namespace that we never assigned: forged.
+        raise_suspicion(from, defense_.suspicion_increment);
+        continue;
+      }
+    }
+
     // The peer evidently knows this message: never gossip it back.
     remove_from_pending(from, entry.id);
 
     if (store_.count(entry.id) > 0) continue;
-    if (pull_pending_.count(entry.id) > 0) continue;  // pull in flight
-    pull_pending_[entry.id] = PullState{from, now, 0};
+    if (pull_pending_.count(entry.id) > 0) {
+      // Pull already in flight; remember the alternate source so a retry
+      // can escalate away from a non-answering target.
+      if (defense_.escalate_pulls) note_advertiser(entry.id, from);
+      continue;
+    }
+    pull_pending_[entry.id] = PullState{from, now, 0, {}};
 
     // Pull-delay threshold f: give the tree a head start before pulling.
     SimTime age = now - entry.inject_time;
@@ -249,25 +362,61 @@ void DisseminationT<RT>::issue_pull(NodeId target, MsgId id) {
 template <runtime::Context RT>
 void DisseminationT<RT>::schedule_pull_retry(MsgId id) {
   // Self-driven retries: a lost pull request or a lost response must not
-  // orphan the message (each neighbor advertises an ID only once).
-  rt_.schedule_after(params_.pull_retry_timeout, [this, id] {
-    auto it = pull_pending_.find(id);
-    if (it == pull_pending_.end()) return;  // satisfied
-    if (store_.count(id) > 0 || !rt_.alive(self_)) {
-      pull_pending_.erase(it);
-      return;
-    }
-    if (++it->second.attempts >= params_.pull_max_attempts) {
-      pull_pending_.erase(it);  // give up; a future digest may re-trigger
-      return;
-    }
-    issue_pull(it->second.target, id);
-  });
+  // orphan the message (each neighbor advertises an ID only once). Each
+  // retry waits exponentially longer, with uniform multiplicative jitter so
+  // a burst loss does not re-synchronize every recovering node. The jitter
+  // draws come from a dedicated stream: enabling or exhausting retries never
+  // perturbs the piggyback-sampling sequence.
+  auto it = pull_pending_.find(id);
+  if (it == pull_pending_.end()) return;
+  SimTime delay = params_.pull_retry_timeout *
+                  std::pow(params_.pull_retry_backoff, it->second.attempts);
+  if (params_.pull_retry_jitter > 0.0) {
+    delay *= 1.0 + params_.pull_retry_jitter * retry_rng_.next_unit();
+  }
+  rt_.schedule_after(delay, [this, id] { on_pull_retry_timeout(id); });
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::on_pull_retry_timeout(MsgId id) {
+  auto it = pull_pending_.find(id);
+  if (it == pull_pending_.end()) return;  // satisfied
+  if (store_.count(id) > 0 || !rt_.alive(self_)) {
+    pull_pending_.erase(it);
+    return;
+  }
+  // The target was asked and produced nothing within the timeout — the one
+  // observable every pull-serving adversary (digest liar, mute forwarder,
+  // crashed peer) has in common.
+  if (defense_.suspicion_enabled()) {
+    raise_suspicion(it->second.target, defense_.suspicion_increment);
+  }
+
+  if (++it->second.attempts >= params_.pull_max_attempts) {
+    // Budget burned; a future digest may re-trigger the recovery.
+    ++pull_retries_exhausted_;
+    pull_pending_.erase(it);
+    return;
+  }
+  NodeId target = it->second.target;
+  if (defense_.escalate_pulls) {
+    target = pick_escalation_target(it->second.advertisers, target);
+    it->second.target = target;
+  }
+  issue_pull(target, id);
 }
 
 template <runtime::Context RT>
 void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg) {
+  // Mute forwarders relay nothing they did not originate; digest liars
+  // advertised payloads they never held. Either way the requester's pull
+  // times out — except for the adversary's own multicasts, which the
+  // free-rider model still wants delivered.
+  const bool adversarial =
+      behavior_ != nullptr &&
+      (behavior_->mute_forwarder || behavior_->digest_liar);
   for (MsgId id : msg.ids) {
+    if (adversarial && id.origin != self_) continue;
     auto it = store_.find(id);
     if (it == store_.end() || !it->second.payload_present) continue;
     rt_.send(self_, from,
@@ -276,6 +425,151 @@ void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg)
                                         /*via_tree=*/false,
                                         overlay_.my_degrees()));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Suspicion (DESIGN.md §9)
+// ---------------------------------------------------------------------------
+
+template <runtime::Context RT>
+void DisseminationT<RT>::raise_suspicion(NodeId peer, double increment) {
+  SimTime now = rt_.now();
+  auto& st = suspicion_[peer];
+  if (st.score > 0.0 && now > st.updated) {
+    st.score *= std::exp2(-(now - st.updated) / defense_.suspicion_decay_halflife);
+  }
+  st.score += increment;
+  st.updated = now;
+
+  if (defense_.evict_suspects && st.score >= defense_.suspicion_threshold) {
+    // Reset before evicting: the eviction answers the accumulated evidence,
+    // and the blacklist keeps the peer away while the slate is clean.
+    st.score = 0.0;
+    if (overlay_.evict_neighbor(peer, defense_.blacklist_duration)) {
+      evictions_.push_back(Eviction{peer, now});
+      GOCAST_DEBUG("node " << self_ << " evicted suspect " << peer << " at "
+                           << now);
+    }
+  }
+}
+
+template <runtime::Context RT>
+double DisseminationT<RT>::suspicion_score(NodeId peer) const {
+  auto it = suspicion_.find(peer);
+  if (it == suspicion_.end()) return 0.0;
+  SimTime now = rt_.now();
+  double score = it->second.score;
+  if (score > 0.0 && now > it->second.updated) {
+    score *= std::exp2(-(now - it->second.updated) /
+                       defense_.suspicion_decay_halflife);
+  }
+  return score;
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::check_parent_silence() {
+  // A tree parent is obligated to push every message down, so a parent that
+  // stays data-silent while deliveries keep arriving by other paths is the
+  // other observable signature of a mute forwarder (its empty digests look
+  // legitimate to us, because tree children also send us empty digests).
+  // Changing parents resets the clock: a fresh link gets a full window of
+  // grace before silence counts.
+  NodeId parent = tree_->parent();
+  SimTime now = rt_.now();
+  if (parent != watched_parent_) {
+    watched_parent_ = parent;
+    last_parent_data_ = now;
+    return;
+  }
+  if (parent == kInvalidNode || parent == self_) return;
+  if (now - last_parent_data_ > defense_.silence_window) {
+    raise_suspicion(parent, defense_.suspicion_increment);
+    last_parent_data_ = now;  // one offense per silent window
+  }
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::maybe_challenge(NodeId target) {
+  // Every audit_every-th gossip to a neighbor doubles as a spot-check: pull
+  // a message old enough that every honest live node must still hold it
+  // (older than audit_min_age, younger than the payload-retention bound
+  // audit_max_age). An honest neighbor answers and the duplicate transfer
+  // aborts after the header; mute forwarders and digest liars refuse pulls
+  // for foreign ids, time out, and take a heavier suspicion hit than a
+  // routine offense.
+  SimTime now = rt_.now();
+  while (recent_head_ < recent_ids_.size() &&
+         now - recent_ids_[recent_head_].first > defense_.audit_max_age) {
+    ++recent_head_;
+  }
+  if (recent_head_ > 1024) {
+    // Compact the consumed prefix so the ring does not grow unboundedly.
+    recent_ids_.erase(recent_ids_.begin(),
+                      recent_ids_.begin() +
+                          static_cast<std::ptrdiff_t>(recent_head_));
+    recent_head_ = 0;
+  }
+  if (recent_head_ >= recent_ids_.size()) return;
+  const auto& [received_at, id] = recent_ids_[recent_head_];
+  if (now - received_at < defense_.audit_min_age) return;  // nothing old enough
+
+  auto [cd, fresh] = audit_countdown_.try_emplace(
+      target, static_cast<std::uint32_t>(defense_.audit_every));
+  if (cd->second > 1) {
+    --cd->second;
+    return;
+  }
+  cd->second = static_cast<std::uint32_t>(defense_.audit_every);
+  const std::uint64_t epoch = ++audit_epoch_;
+  auto [pending, inserted] = audit_pending_.try_emplace(id, AuditProbe{target, epoch});
+  (void)pending;
+  if (!inserted) return;  // this id is already probing another neighbor
+  ++audits_sent_;
+  rt_.send(self_, target,
+           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees()));
+  rt_.schedule_after(params_.pull_retry_timeout, [this, target, id, epoch] {
+    auto it = audit_pending_.find(id);
+    // The epoch check pins the timeout to ITS challenge: after the original
+    // probe was answered, a later probe may reuse the same (id, target) pair
+    // and must not be failed by this stale timer.
+    if (it == audit_pending_.end() || it->second.target != target ||
+        it->second.epoch != epoch) {
+      return;
+    }
+    audit_pending_.erase(it);
+    if (!rt_.alive(self_)) return;
+    raise_suspicion(target, defense_.audit_increment);
+  });
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::note_advertiser(MsgId id, NodeId peer) {
+  auto it = pull_pending_.find(id);
+  if (it == pull_pending_.end()) return;
+  if (peer == it->second.target) return;
+  auto& advertisers = it->second.advertisers;
+  if (std::find(advertisers.begin(), advertisers.end(), peer) ==
+      advertisers.end()) {
+    advertisers.push_back(peer);
+  }
+}
+
+template <runtime::Context RT>
+NodeId DisseminationT<RT>::pick_escalation_target(
+    const std::vector<NodeId>& advertisers, NodeId current) const {
+  // Lowest suspicion wins; strict less-than keeps the earliest-recorded
+  // advertiser on ties, so the choice is deterministic.
+  NodeId best = kInvalidNode;
+  double best_score = 0.0;
+  for (NodeId candidate : advertisers) {
+    if (candidate == current) continue;
+    double score = suspicion_score(candidate);
+    if (best == kInvalidNode || score < best_score) {
+      best = candidate;
+      best_score = score;
+    }
+  }
+  return best == kInvalidNode ? current : best;
 }
 
 template <runtime::Context RT>
@@ -381,6 +675,7 @@ void DisseminationT<RT>::on_neighbor_removed(NodeId peer) {
     rotation_.erase(it);
     if (rotation_idx_ > idx) --rotation_idx_;
   }
+  audit_countdown_.erase(peer);
   auto pit = pending_.find(peer);
   if (pit != pending_.end()) {
     // Swap-and-clear: park the vector's capacity for the next neighbor

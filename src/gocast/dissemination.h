@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "common/fault_behavior.h"
 #include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -45,7 +47,14 @@ class DisseminationT final : public overlay::OverlayListener {
   DisseminationT(NodeId self, RT rt, membership::PartialView& view,
                  overlay::OverlayManagerT<RT>& overlay,
                  tree::TreeManagerT<RT>* tree, DisseminationParams params,
-                 Rng rng);
+                 DefenseParams defense, Rng rng);
+
+  DisseminationT(NodeId self, RT rt, membership::PartialView& view,
+                 overlay::OverlayManagerT<RT>& overlay,
+                 tree::TreeManagerT<RT>* tree, DisseminationParams params,
+                 Rng rng)
+      : DisseminationT(self, rt, view, overlay, tree, params, DefenseParams{},
+                       std::move(rng)) {}
 
   void start(SimTime stagger);
   void stop();
@@ -54,6 +63,9 @@ class DisseminationT final : public overlay::OverlayListener {
   void set_own_landmarks(const membership::LandmarkVector& landmarks) {
     own_landmarks_ = landmarks;
   }
+  /// Shares the owning node's fault behavior (adversarial models). May be
+  /// null (tests constructing the layer directly stay honest).
+  void set_behavior(const FaultBehavior* behavior) { behavior_ = behavior; }
 
   /// Starts a multicast from this node. Returns the assigned message id.
   MsgId multicast(std::size_t payload_bytes);
@@ -95,7 +107,31 @@ class DisseminationT final : public overlay::OverlayListener {
   [[nodiscard]] std::uint64_t readvertised_ids() const {
     return readvertised_ids_;
   }
+  /// Pulls that burned their whole retry budget without an answer.
+  [[nodiscard]] std::uint64_t pull_retries_exhausted() const {
+    return pull_retries_exhausted_;
+  }
+  /// Spot-check pulls issued by the audit defense.
+  [[nodiscard]] std::uint64_t audits_sent() const { return audits_sent_; }
+  /// Pull recoveries currently in flight (empty once every pull either
+  /// succeeded, exhausted its budget, or aged past the waiting period b).
+  [[nodiscard]] std::size_t pull_pending_size() const {
+    return pull_pending_.size();
+  }
+  /// Current (decay-adjusted) suspicion score for a peer; 0 when unknown or
+  /// suspicion tracking is disabled.
+  [[nodiscard]] double suspicion_score(NodeId peer) const;
+  /// Suspicion-threshold evictions this node performed, with timestamps
+  /// (time-to-evict analysis in bench/ext_byzantine).
+  struct Eviction {
+    NodeId peer;
+    SimTime at;
+  };
+  [[nodiscard]] const std::vector<Eviction>& evictions() const {
+    return evictions_;
+  }
   [[nodiscard]] const DisseminationParams& params() const { return params_; }
+  [[nodiscard]] const DefenseParams& defense() const { return defense_; }
 
  private:
   struct Stored {
@@ -103,6 +139,9 @@ class DisseminationT final : public overlay::OverlayListener {
     SimTime received_at;
     std::size_t payload_bytes;
     bool payload_present;
+    /// False only for the payload-less records a digest liar plants: a real
+    /// arrival for such a record must still count as the first delivery.
+    bool delivered = true;
   };
 
   /// First receipt of a message from any path: store, deliver, push along
@@ -116,7 +155,28 @@ class DisseminationT final : public overlay::OverlayListener {
   void gc_sweep();
   void issue_pull(NodeId target, MsgId id);
   void schedule_pull_retry(MsgId id);
+  void on_pull_retry_timeout(MsgId id);
   void remove_from_pending(NodeId neighbor, MsgId id);
+  /// Adds `increment` to a peer's decayed suspicion score; evicts it from
+  /// the overlay once the threshold is crossed (when that defense is on).
+  void raise_suspicion(NodeId peer, double increment);
+  /// Data-silence watch on the tree parent (suspect_silent signal (b)):
+  /// called on every delivery; raises suspicion when the current parent has
+  /// pushed nothing for a whole silence window while traffic kept arriving.
+  void check_parent_silence();
+  /// Challenge pulls (DefenseParams::audit_pulls): every audit_every-th
+  /// gossip to `target` also spot-checks it with a pull for a message old
+  /// enough that every honest live node must hold it.
+  void maybe_challenge(NodeId target);
+  /// Records that a digest from `peer` carried payload ids (silence
+  /// tracking) — and, while a pull for one of them is in flight, remembers
+  /// the peer as an alternate source for escalation.
+  void note_advertiser(MsgId id, NodeId peer);
+  /// Escalation: the best alternate advertiser for a timed-out pull
+  /// (lowest suspicion, earliest-recorded tie-break), or `current` when no
+  /// alternate is known.
+  [[nodiscard]] NodeId pick_escalation_target(
+      const std::vector<NodeId>& advertisers, NodeId current) const;
   /// The pending-ids vector for `peer`, creating it (from the recycle bin
   /// when possible) on first use.
   std::vector<MsgId>& pending_slot(NodeId peer);
@@ -131,7 +191,12 @@ class DisseminationT final : public overlay::OverlayListener {
   overlay::OverlayManagerT<RT>& overlay_;
   tree::TreeManagerT<RT>* tree_;
   DisseminationParams params_;
+  DefenseParams defense_;
+  const FaultBehavior* behavior_ = nullptr;
   Rng rng_;
+  /// Separate stream for retry jitter so the backoff draws never perturb
+  /// the piggyback-sampling stream.
+  Rng retry_rng_;
 
   common::FlatMap<MsgId, Stored> store_;
   common::FlatMap<NodeId, std::vector<MsgId>> pending_;
@@ -144,8 +209,38 @@ class DisseminationT final : public overlay::OverlayListener {
     NodeId target = kInvalidNode;
     SimTime started = 0.0;
     int attempts = 0;
+    /// Other neighbors that advertised the id while the pull was in flight
+    /// (escalation candidates; only filled while escalate_pulls is on).
+    std::vector<NodeId> advertisers;
   };
   common::FlatMap<MsgId, PullState> pull_pending_;
+
+  struct SuspicionState {
+    double score = 0.0;
+    SimTime updated = 0.0;
+  };
+  common::FlatMap<NodeId, SuspicionState> suspicion_;
+  /// Parent data-silence watch: the tree parent under observation, and the
+  /// last time it pushed any DataMsg (duplicates count — a parent pushing
+  /// redundant copies is demonstrably forwarding).
+  NodeId watched_parent_ = kInvalidNode;
+  SimTime last_parent_data_ = 0.0;
+  /// Challenge pulls: per-neighbor gossip countdown until the next
+  /// spot-check, the challenges currently awaiting an answer, and a ring of
+  /// recent deliveries (time-ordered) that candidate challenge ids are
+  /// drawn from. Each probe carries an epoch so a stale timeout (whose own
+  /// challenge was already answered) cannot fail a newer in-flight probe
+  /// for the same (id, target) pair.
+  struct AuditProbe {
+    NodeId target = kInvalidNode;
+    std::uint64_t epoch = 0;
+  };
+  common::FlatMap<NodeId, std::uint32_t> audit_countdown_;
+  common::FlatMap<MsgId, AuditProbe> audit_pending_;
+  std::uint64_t audit_epoch_ = 0;
+  std::vector<std::pair<SimTime, MsgId>> recent_ids_;
+  std::size_t recent_head_ = 0;
+  std::vector<Eviction> evictions_;
   std::uint32_t next_seq_ = 0;
   std::vector<membership::MemberEntry> piggyback_buf_;
   std::vector<DigestEntry> digest_buf_;
@@ -163,6 +258,8 @@ class DisseminationT final : public overlay::OverlayListener {
   std::uint64_t gossips_sent_ = 0;
   std::uint64_t digest_entries_sent_ = 0;
   std::uint64_t readvertised_ids_ = 0;
+  std::uint64_t pull_retries_exhausted_ = 0;
+  std::uint64_t audits_sent_ = 0;
 };
 
 /// The simulation-backed dissemination layer used throughout the simulator.

@@ -26,10 +26,13 @@ GoCastNodeT<RT>::GoCastNodeT(NodeId id, RT rt, GoCastConfig config, Rng rng)
       tree_(id, rt_, overlay_, config_.tree),
       dissemination_(id, rt_, view_, overlay_,
                      config_.tree.enabled ? &tree_ : nullptr,
-                     config_.dissemination, rng.fork("dissemination")),
+                     config_.dissemination, config_.defense,
+                     rng.fork("dissemination")),
       own_landmarks_(membership::empty_landmarks()) {
   overlay_.add_listener(&tree_);
   overlay_.add_listener(&dissemination_);
+  overlay_.set_behavior(&behavior_);
+  dissemination_.set_behavior(&behavior_);
   if (config_.readvertise_on_heal) {
     tree_.set_root_change_hook([this](NodeId old_root, NodeId new_root) {
       (void)old_root;
@@ -126,6 +129,21 @@ void GoCastNodeT<RT>::measure_landmarks() {
 
 template <runtime::Context RT>
 void GoCastNodeT<RT>::handle_message(NodeId from, const net::MessagePtr& msg) {
+  if (behavior_.processing_delay > 0.0) {
+    // Slow node: a CPU-bound receive path pays the processing delay before
+    // any protocol logic runs. (Capture fits the engine's inline budget:
+    // this + from + one MessagePtr.)
+    rt_.schedule_after(behavior_.processing_delay, [this, from, msg] {
+      if (!rt_.alive(id_)) return;
+      dispatch_message(from, msg);
+    });
+    return;
+  }
+  dispatch_message(from, msg);
+}
+
+template <runtime::Context RT>
+void GoCastNodeT<RT>::dispatch_message(NodeId from, const net::MessagePtr& msg) {
   if (const net::PeerDegrees* degrees = msg->peer_degrees()) {
     overlay_.note_peer_degrees(from, *degrees);
   }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <span>
 
+#include "common/fault_behavior.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "gocast/dissemination.h"
@@ -47,6 +48,16 @@ class GoCastNodeT final : public net::Endpoint {
 
   /// Crashes the node: marks it dead on the runtime and stops all timers.
   void kill();
+
+  /// Installs (or, with a default-constructed value, cures) an adversarial
+  /// or slow-node behavior (fault injection). Subsystems observe the change
+  /// immediately; the node itself stays alive.
+  void set_fault_behavior(const FaultBehavior& behavior) {
+    behavior_ = behavior;
+  }
+  [[nodiscard]] const FaultBehavior& fault_behavior() const {
+    return behavior_;
+  }
 
   /// Joins an existing overlay through a known bootstrap node: requests its
   /// member list; the maintenance protocols then establish links.
@@ -100,12 +111,16 @@ class GoCastNodeT final : public net::Endpoint {
 
  private:
   void measure_landmarks();
+  void dispatch_message(NodeId from, const net::MessagePtr& msg);
   void on_join_request(NodeId from);
   void on_join_reply(const overlay::JoinReplyMsg& msg);
 
   NodeId id_;
   RT rt_;
   GoCastConfig config_;
+  /// Stable storage for the fault behavior; overlay and dissemination hold a
+  /// const pointer to it, so a runtime flip is visible everywhere at once.
+  FaultBehavior behavior_;
   membership::PartialView view_;
   overlay::OverlayManagerT<RT> overlay_;
   tree::TreeManagerT<RT> tree_;

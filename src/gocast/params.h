@@ -61,8 +61,85 @@ struct DisseminationParams {
   /// lost response would otherwise orphan the message: each neighbor
   /// advertises an ID only once).
   SimTime pull_retry_timeout = 2.0;
-  /// Retries per pull before giving up and waiting for a fresh digest.
+  /// Retries per pull before giving up and waiting for a fresh digest
+  /// (exhaustions are counted — see DisseminationT::pull_retries_exhausted).
   int pull_max_attempts = 5;
+  /// Each retry waits pull_retry_timeout * pull_retry_backoff^attempts, so a
+  /// capped budget of retries covers an exponentially growing window instead
+  /// of hammering a fixed period.
+  double pull_retry_backoff = 1.5;
+  /// Uniform multiplicative jitter on every retry timeout (a fraction of the
+  /// backed-off timeout), de-synchronizing retry storms after a burst loss.
+  double pull_retry_jitter = 0.25;
+};
+
+/// Protocol-level defenses against misbehaving neighbors (DESIGN.md §9).
+/// Every defense is individually gated and off by default: with all flags
+/// off the honest path is byte-identical to the undefended protocol.
+struct DefenseParams {
+  /// Maintain per-neighbor suspicion scores (raised by pull-retry timeouts
+  /// and — see suspect_silent — by sustained digest silence; decayed
+  /// exponentially). Implied by any of the consumers below.
+  bool track_suspicion = false;
+
+  /// On a pull-retry timeout, escalate to an alternate neighbor that also
+  /// advertised the id (lowest-suspicion first) instead of re-asking the
+  /// same peer.
+  bool escalate_pulls = false;
+
+  /// Round-robin gossip targeting skips neighbors above the suspicion
+  /// threshold while an unsuspected neighbor is available.
+  bool deprioritize_suspects = false;
+
+  /// Crossing the suspicion threshold evicts the neighbor from the overlay
+  /// (reusing the drop/replace machinery) and blacklists it as a candidate
+  /// for blacklist_duration.
+  bool evict_suspects = false;
+
+  /// Sanity-check inbound digests: cap the entries processed per digest,
+  /// reject entries with future inject times, and reject advertisements of
+  /// our own unsent ids — each offense raises the sender's suspicion.
+  bool digest_sanity = false;
+
+  /// Data-silence watch on the tree parent: a parent is obligated to push
+  /// every message down, so one that pushes nothing for a whole
+  /// silence_window while deliveries keep arriving by other paths carries
+  /// the observable signature of a mute forwarder. (Digest emptiness is NOT
+  /// used as evidence: a neighbor that legitimately learns everything from
+  /// us — e.g. a tree child — sends empty digests forever.)
+  bool suspect_silent = false;
+
+  /// Challenge pulls: every audit_every-th gossip to a neighbor also sends
+  /// a spot-check pull for a message old enough (audit_min_age) that every
+  /// honest live node must hold it, yet young enough (audit_max_age) that
+  /// its payload is still retained. Honest peers answer at the cost of one
+  /// aborted duplicate transfer; mute forwarders and digest liars refuse
+  /// all pulls for foreign ids, time out, and take audit_increment of
+  /// suspicion (heavier than a routine offense). This makes both behaviors
+  /// observable from every neighbor's vantage point, not only from nodes
+  /// that happen to pull from them. Note: fresh joiners / recently healed
+  /// partitions legitimately lack old messages, so deployments with heavy
+  /// churn should keep this off or raise the eviction threshold.
+  bool audit_pulls = false;
+
+  double suspicion_increment = 1.0;      ///< added per offense
+  double suspicion_decay_halflife = 30.0;  ///< seconds for a score to halve
+  double suspicion_threshold = 2.5;      ///< deprioritize / evict above this
+  SimTime blacklist_duration = 600.0;    ///< candidate ban after eviction
+  std::size_t max_digest_entries = 128;  ///< digest_sanity per-message cap
+  /// suspect_silent: the parent is "silent" once it has pushed nothing for
+  /// this long while deliveries kept arriving along other paths.
+  SimTime silence_window = 2.0;
+  /// audit_pulls tunables (see the flag above).
+  std::size_t audit_every = 4;
+  SimTime audit_min_age = 5.0;
+  SimTime audit_max_age = 30.0;
+  double audit_increment = 1.25;
+
+  [[nodiscard]] bool suspicion_enabled() const {
+    return track_suspicion || escalate_pulls || deprioritize_suspects ||
+           evict_suspects || digest_sanity || suspect_silent || audit_pulls;
+  }
 };
 
 /// Everything one GoCast node needs.
@@ -85,6 +162,10 @@ struct GoCastConfig {
   /// links happening to carry later digests. Off by default: it adds digest
   /// traffic after root changes and is not part of the paper's protocol.
   bool readvertise_on_heal = false;
+
+  /// Defenses against adversarial neighbors (all off by default; see
+  /// DefenseParams and DESIGN.md §9).
+  DefenseParams defense;
 
   /// Global landmark node ids used for triangulation estimates.
   std::vector<NodeId> landmarks;

@@ -64,12 +64,13 @@ void append_summary_csv(const std::string& path, const std::string& label,
   GOCAST_ASSERT_MSG(out.good(), "cannot write " << path);
   if (fresh) {
     out << "protocol,nodes,fail_fraction,mean_delay,p50,p90,p99,max_delay,"
-           "delivered_fraction,redundancy\n";
+           "delivered_fraction,redundancy,pull_retries_exhausted\n";
   }
   const auto& r = result.report;
   out << label << "," << nodes << "," << fail_fraction << "," << r.delay.mean()
       << "," << r.p50 << "," << r.p90 << "," << r.p99 << "," << r.max_delay
-      << "," << r.delivered_fraction << "," << result.redundancy() << "\n";
+      << "," << r.delivered_fraction << "," << result.redundancy() << ","
+      << result.pull_retries_exhausted << "\n";
 }
 
 }  // namespace gocast::harness

@@ -24,7 +24,8 @@ void write_curves_csv(const std::string& path,
                       std::size_t points = 64);
 
 /// Appends a scenario's summary as one CSV row (writing a header first when
-/// the file is new): protocol,nodes,failures,mean,p50,p90,p99,max,delivered.
+/// the file is new): protocol,nodes,failures,mean,p50,p90,p99,max,delivered,
+/// redundancy,pull_retries_exhausted.
 void append_summary_csv(const std::string& path, const std::string& label,
                         std::size_t nodes, double fail_fraction,
                         const ScenarioResult& result);

@@ -1,5 +1,6 @@
 #include "harness/scenario.h"
 
+#include <algorithm>
 #include <optional>
 #include <sstream>
 #include <vector>
@@ -29,11 +30,18 @@ namespace {
 
 constexpr std::size_t kCurvePoints = 41;
 
-/// Drives the shared run phases against either system facade.
+/// Drives the shared run phases against either system facade. When
+/// `excluded_sources` is non-null, traffic injection re-rolls sources that
+/// appear in that (sorted) list — it may fill in mid-run, so membership is
+/// checked at each injection's fire time.
 template <typename SystemT>
 ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
-                     analysis::DeliveryTracker& tracker) {
+                     analysis::DeliveryTracker& tracker,
+                     const std::vector<NodeId>* excluded_sources = nullptr) {
   system.set_delivery_hook(tracker.hook());
+  if (config.loss_probability > 0.0) {
+    system.network().set_loss_probability(config.loss_probability);
+  }
   system.start();
   system.run_for(config.warmup);
 
@@ -58,8 +66,18 @@ ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
   inject.reserve(config.message_count);
   for (std::size_t i = 0; i < config.message_count; ++i) {
     SimTime at = inject_start + static_cast<double>(i) / config.message_rate;
-    inject.push_back({at, [&system, &config] {
+    inject.push_back({at, [&system, &config, excluded_sources] {
                         NodeId source = system.random_alive_node();
+                        if (excluded_sources != nullptr) {
+                          for (int guard = 0;
+                               guard < 128 &&
+                               std::binary_search(excluded_sources->begin(),
+                                                  excluded_sources->end(),
+                                                  source);
+                               ++guard) {
+                            source = system.random_alive_node();
+                          }
+                        }
                         system.node(source).multicast(config.payload_bytes);
                       }});
   }
@@ -78,6 +96,16 @@ ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
   for (NodeId id : alive) {
     result.deliveries += system.node(id).deliveries_count();
     result.duplicates += system.node(id).duplicates_count();
+    if constexpr (requires(SystemT& s) { s.node(NodeId{0}).dissemination(); }) {
+      const auto& diss = system.node(id).dissemination();
+      result.pulls_sent += diss.pulls_sent();
+      result.pull_retries_exhausted += diss.pull_retries_exhausted();
+      result.audits_sent += diss.audits_sent();
+      result.suspects_evicted += diss.evictions().size();
+      for (const auto& eviction : diss.evictions()) {
+        result.eviction_times.push_back(eviction.at);
+      }
+    }
   }
   return result;
 }
@@ -92,6 +120,7 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
   core::GoCastConfig& node = sys.node;
   node.dissemination.payload_bytes = config.payload_bytes;
   node.dissemination.pull_delay_threshold = config.pull_delay_threshold;
+  node.defense = config.defense;
 
   switch (config.protocol) {
     case Protocol::kGoCast:
@@ -133,14 +162,82 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
     injector->arm();
   }
 
+  // Eviction coverage: how many honest nodes have no active adversary left
+  // in their neighbor set — sampled mid-run at coverage_probe_at when set,
+  // otherwise at the end of the run.
+  auto coverage_now = [&]() -> double {
+    const std::vector<NodeId>& adversaries = injector->adversaries();
+    auto is_adversary = [&adversaries](NodeId id) {
+      return std::binary_search(adversaries.begin(), adversaries.end(), id);
+    };
+    std::size_t honest = 0;
+    std::size_t clean = 0;
+    for (NodeId id : system.alive_nodes()) {
+      if (is_adversary(id)) continue;
+      ++honest;
+      bool has_adversary_neighbor = false;
+      for (NodeId peer : system.node(id).overlay().neighbor_ids()) {
+        if (is_adversary(peer)) {
+          has_adversary_neighbor = true;
+          break;
+        }
+      }
+      if (!has_adversary_neighbor) ++clean;
+    }
+    return honest == 0
+               ? 1.0
+               : static_cast<double>(clean) / static_cast<double>(honest);
+  };
+  std::optional<double> probed_coverage;
+  if (config.coverage_probe_at > 0.0 && injector.has_value()) {
+    system.engine().schedule_at(config.coverage_probe_at, [&] {
+      if (!injector->adversaries().empty()) probed_coverage = coverage_now();
+    });
+  }
+
   analysis::DeliveryTracker tracker(config.node_count);
-  ScenarioResult result = drive(system, config, tracker);
+  const std::vector<NodeId>* excluded_sources =
+      config.exclude_adversaries && injector.has_value()
+          ? &injector->adversaries()
+          : nullptr;
+  ScenarioResult result = drive(system, config, tracker, excluded_sources);
+  if (config.exclude_adversaries && injector.has_value() &&
+      !injector->adversaries().empty()) {
+    // Honest-participant report: drop adversaries from the receiver set too.
+    const std::vector<NodeId>& adversaries = injector->adversaries();
+    std::vector<NodeId> honest_alive;
+    for (NodeId id : system.alive_nodes()) {
+      if (!std::binary_search(adversaries.begin(), adversaries.end(), id)) {
+        honest_alive.push_back(id);
+      }
+    }
+    result.report = tracker.report(honest_alive);
+    result.curve = tracker.pair_delay_curve(honest_alive, kCurvePoints);
+  }
   if (injector.has_value()) result.fault_log = injector->log();
   if (checker.has_value()) {
     for (const fault::InvariantViolation& v : checker->violations()) {
       std::ostringstream line;
       line << "t=" << v.at << " " << v.what;
       result.invariant_violations.push_back(line.str());
+    }
+    for (const fault::InvariantViolation& v : checker->expected_violations()) {
+      std::ostringstream line;
+      line << "t=" << v.at << " " << v.what;
+      result.expected_violations.push_back(line.str());
+    }
+  }
+  if (injector.has_value() && !injector->adversaries().empty()) {
+    result.adversary_free_fraction =
+        probed_coverage.has_value() ? *probed_coverage : coverage_now();
+    const std::vector<NodeId>& adversaries = injector->adversaries();
+    for (NodeId id : system.alive_nodes()) {
+      for (const auto& eviction : system.node(id).dissemination().evictions()) {
+        if (std::binary_search(adversaries.begin(), adversaries.end(),
+                               eviction.peer)) {
+          ++result.adversary_evictions;
+        }
+      }
     }
   }
   return result;

@@ -9,6 +9,7 @@
 
 #include "analysis/delivery_tracker.h"
 #include "common/types.h"
+#include "gocast/params.h"
 #include "net/latency_model.h"
 #include "net/traffic_stats.h"
 
@@ -77,6 +78,28 @@ struct ScenarioConfig {
   /// Run the fault::InvariantChecker alongside the scenario and report its
   /// violations in the result. GoCast-family protocols only.
   bool check_invariants = false;
+
+  /// Protocol-level defenses against adversarial neighbors (DESIGN.md §9).
+  /// All off by default; GoCast-family protocols only.
+  core::DefenseParams defense;
+
+  /// Global per-message loss probability active for the whole run (0 = no
+  /// loss). Unlike a `loss` fault event this applies from t=0.
+  double loss_probability = 0.0;
+
+  /// Byzantine runs: source traffic at honest nodes only and compute the
+  /// delivery report over honest nodes only. The service guarantee under
+  /// attack concerns honest participants — an ostracized adversary that can
+  /// neither multicast nor receive is the defense working, not a delivery
+  /// failure. No effect unless the fault spec creates adversaries.
+  bool exclude_adversaries = false;
+
+  /// When > 0: sample adversary_free_fraction at this absolute sim time
+  /// (typically the end of the traffic window) instead of at the end of the
+  /// run. Eviction coverage is only meaningful while traffic flows — during
+  /// a silent drain there is no evidence against a re-connecting adversary,
+  /// so an end-of-run snapshot understates what the defenses achieved.
+  SimTime coverage_probe_at = 0.0;
 };
 
 struct ScenarioResult {
@@ -90,8 +113,29 @@ struct ScenarioResult {
 
   /// Fault-injection results (empty unless fault_spec / check_invariants
   /// were set): the injector's deterministic log and the checker's findings.
+  /// `expected_violations` are those the checker attributed to active
+  /// adversarial victims — attack damage, not protocol failures.
   std::vector<std::string> fault_log;
   std::vector<std::string> invariant_violations;
+  std::vector<std::string> expected_violations;
+
+  /// Pull-recovery accounting (GoCast-family): total pulls issued, pulls
+  /// that burned their whole retry budget without an answer, and spot-check
+  /// pulls issued by the audit defense.
+  std::uint64_t pulls_sent = 0;
+  std::uint64_t pull_retries_exhausted = 0;
+  std::uint64_t audits_sent = 0;
+
+  /// Suspicion-defense outcomes (zero unless defenses were on): eviction
+  /// count, per-eviction sim times (time-to-evict analysis), and the
+  /// fraction of alive honest nodes whose neighbor set holds no active
+  /// adversary at the end of the run (1.0 when no adversaries exist).
+  std::uint64_t suspects_evicted = 0;
+  /// Of those, evictions whose target really was an adversary (the rest are
+  /// false positives — honest neighbors caught by noise).
+  std::uint64_t adversary_evictions = 0;
+  std::vector<SimTime> eviction_times;
+  double adversary_free_fraction = 1.0;
 
   /// Mean receptions of a message per delivery: 1.0 is perfect (TXT6).
   [[nodiscard]] double redundancy() const {

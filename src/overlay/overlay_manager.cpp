@@ -72,6 +72,14 @@ void OverlayManagerT<RT>::set_own_landmarks(
 template <runtime::Context RT>
 net::PeerDegrees OverlayManagerT<RT>::my_degrees() const {
   net::PeerDegrees d;
+  if (behavior_ != nullptr && behavior_->degree_liar) {
+    // The lie rides on every outgoing message: peers cache these degrees
+    // and feed them into the C1/C4 victim checks and transfer decisions.
+    d.rand_degree = behavior_->fake_rand_degree;
+    d.near_degree = behavior_->fake_near_degree;
+    d.max_nearby_rtt = static_cast<float>(table_.max_nearby_rtt());
+    return d;
+  }
   d.rand_degree = static_cast<std::uint16_t>(table_.rand_degree());
   d.near_degree = static_cast<std::uint16_t>(table_.near_degree());
   d.max_nearby_rtt = static_cast<float>(table_.max_nearby_rtt());
@@ -140,6 +148,13 @@ void OverlayManagerT<RT>::prune_pending() {
   for (auto it = pending_pings_.begin(); it != pending_pings_.end();) {
     if (now - it->second.sent > params_.pending_timeout) {
       it = pending_pings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = blacklist_.begin(); it != blacklist_.end();) {
+    if (now >= it->second) {
+      it = blacklist_.erase(it);
     } else {
       ++it;
     }
@@ -315,7 +330,23 @@ void OverlayManagerT<RT>::build_initial_measure_queue() {
 template <runtime::Context RT>
 bool OverlayManagerT<RT>::eligible_candidate(NodeId id) const {
   return id != self_ && id != kInvalidNode && !table_.has(id) &&
-         pending_adds_.count(id) == 0;
+         pending_adds_.count(id) == 0 && !is_blacklisted(id);
+}
+
+template <runtime::Context RT>
+bool OverlayManagerT<RT>::is_blacklisted(NodeId id) const {
+  auto it = blacklist_.find(id);
+  return it != blacklist_.end() && rt_.now() < it->second;
+}
+
+template <runtime::Context RT>
+bool OverlayManagerT<RT>::evict_neighbor(NodeId peer, SimTime blacklist_for) {
+  if (blacklist_for > 0.0) {
+    blacklist_[peer] = rt_.now() + blacklist_for;
+  }
+  if (!table_.has(peer)) return false;
+  drop_link(peer, /*notify_peer=*/true);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -367,6 +398,12 @@ void OverlayManagerT<RT>::on_neighbor_request(NodeId from,
     // Duplicate (e.g. retry after a lost accept): re-accept idempotently.
     rt_.send(self_, from, rt_.template make<NeighborAcceptMsg>(
                               msg.link, msg.measured_rtt, my_degrees()));
+    return;
+  }
+  if (is_blacklisted(from)) {
+    // An evicted suspect trying to re-link before its ban expires.
+    rt_.send(self_, from,
+             rt_.template make<NeighborRejectMsg>(msg.link, my_degrees()));
     return;
   }
 

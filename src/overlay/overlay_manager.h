@@ -26,6 +26,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/fault_behavior.h"
 #include "common/flat_map.h"
 #include "common/rng.h"
 #include "common/types.h"
@@ -141,6 +142,16 @@ class OverlayManagerT {
   /// TCP-reset analogue or gossip-layer failure evidence: `peer` is dead.
   void on_peer_failure(NodeId peer);
 
+  /// Suspicion-driven eviction (DESIGN.md §9): drops the link to `peer`
+  /// through the normal drop machinery and blacklists it as a candidate
+  /// until now + blacklist_for. Inbound requests from a blacklisted peer are
+  /// rejected. No-op when `peer` is not a neighbor. Returns true on drop.
+  bool evict_neighbor(NodeId peer, SimTime blacklist_for);
+  [[nodiscard]] bool is_blacklisted(NodeId id) const;
+
+  /// Shares the owning node's fault behavior (degree lies). May be null.
+  void set_behavior(const FaultBehavior* behavior) { behavior_ = behavior; }
+
   // -- queries --
   [[nodiscard]] const NeighborTable& table() const { return table_; }
   [[nodiscard]] std::vector<NodeId> neighbor_ids() const { return table_.ids(); }
@@ -208,6 +219,10 @@ class OverlayManagerT {
 
   common::FlatMap<std::uint32_t, PendingPing> pending_pings_;
   std::uint32_t next_nonce_ = 1;
+
+  /// Evicted suspects barred from candidacy: peer -> ban expiry time.
+  common::FlatMap<NodeId, SimTime> blacklist_;
+  const FaultBehavior* behavior_ = nullptr;
 
   std::deque<NodeId> measure_queue_;
   bool initial_queue_built_ = false;

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "fault/invariant_checker.h"
 #include "fault/link_policy.h"
 #include "gocast/system.h"
+#include "harness/runner.h"
 
 namespace gocast::fault {
 namespace {
@@ -66,6 +68,37 @@ TEST(FaultPlan, SpecRoundTripsEveryKind) {
   EXPECT_EQ(reparsed, plan);
   // And the spec itself is a fixed point.
   EXPECT_EQ(reparsed.to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, SpecRoundTripsAdversarialKinds) {
+  FaultPlan plan;
+  plan.mute_forwarder_fraction(10.0, 0.1)
+      .mute_forwarder_node(11.0, 3)
+      .digest_liar_fraction(12.0, 0.05)
+      .digest_liar_node(13.0, 7)
+      .degree_liar_fraction(14.0, 0.1)
+      .degree_liar_fraction(14.5, 0.1, 2, 3)
+      .slow_fraction(15.0, 0.2, 0.05)
+      .slow_node(16.0, 9, 0.01)
+      .cure_node(17.0, 3)
+      .cure_all(18.0);
+  FaultPlan reparsed = FaultPlan::parse(plan.to_spec());
+  EXPECT_EQ(reparsed, plan);
+  EXPECT_EQ(reparsed.to_spec(), plan.to_spec());
+}
+
+TEST(FaultPlan, RejectsMalformedAdversarialSpecs) {
+  // slow requires a positive delay=.
+  EXPECT_THROW(FaultPlan::parse("10:slow:frac=0.1"), AssertionError);
+  EXPECT_THROW(FaultPlan::parse("10:slow:delay=0,frac=0.1"), AssertionError);
+  // Behavior kinds need victims.
+  EXPECT_THROW(FaultPlan::parse("10:mute_forwarder"), AssertionError);
+  EXPECT_THROW(FaultPlan::parse("10:degree_liar:rand=2"), AssertionError);
+  // cure takes at most node=.
+  EXPECT_THROW(FaultPlan::parse("10:cure:frac=0.5"), AssertionError);
+  // Keys of other kinds are rejected, not ignored.
+  EXPECT_THROW(FaultPlan::parse("10:digest_liar:node=1,delay=0.1"),
+               AssertionError);
 }
 
 TEST(FaultPlan, RejectsMalformedSpecs) {
@@ -205,6 +238,99 @@ TEST(FaultInjector, PartitionSplitsAndHealRejoinsThePolicy) {
   EXPECT_TRUE(injector.policy().partition_active());
   system.run_until(12.0);
   EXPECT_FALSE(injector.policy().partition_active());
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector: adversarial behaviors
+// ---------------------------------------------------------------------------
+
+FaultPlan behavior_plan() {
+  FaultPlan plan;
+  plan.mute_forwarder_fraction(10.0, 0.15)
+      .digest_liar_fraction(10.0, 0.1)
+      .degree_liar_fraction(12.0, 0.1, 1, 1)
+      .slow_fraction(14.0, 0.1, 0.02);
+  return plan;
+}
+
+/// Runs the behavior plan against a fresh system and returns the victim set.
+std::vector<NodeId> behavior_victims(std::uint64_t seed) {
+  core::SystemConfig config;
+  config.node_count = 48;
+  config.seed = seed;
+  core::System system(config);
+  FaultInjector injector(system, behavior_plan(), Rng(seed).fork("faults"));
+  injector.arm();
+  system.start();
+  system.run_until(20.0);
+  EXPECT_EQ(injector.events_applied(), behavior_plan().size());
+  return injector.adversaries();
+}
+
+TEST(FaultInjector, SameSeedSameAdversarySet) {
+  std::vector<NodeId> first = behavior_victims(21);
+  ASSERT_FALSE(first.empty());
+  EXPECT_TRUE(std::is_sorted(first.begin(), first.end()));
+  EXPECT_EQ(first, behavior_victims(21));
+  EXPECT_NE(first, behavior_victims(22));
+}
+
+TEST(FaultInjector, AdversarySelectionIsThreadCountInvariant) {
+  // Victim selection is a pure function of the job's own seed, so running
+  // replications through the Runner must give the same victim sets at any
+  // worker count (the bench's byte-identical-CSV contract).
+  auto job = [](std::size_t i) {
+    return behavior_victims(21 + static_cast<std::uint64_t>(i));
+  };
+  harness::Runner serial(1);
+  harness::Runner pooled(4);
+  std::vector<std::vector<NodeId>> a =
+      serial.run<std::vector<NodeId>>(4, job);
+  std::vector<std::vector<NodeId>> b =
+      pooled.run<std::vector<NodeId>>(4, job);
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjector, BehaviorsFlipNodesAdversarialAndCureRevokes) {
+  core::SystemConfig config;
+  config.node_count = 32;
+  config.seed = 6;
+  core::System system(config);
+  FaultPlan plan;
+  plan.mute_forwarder_fraction(10.0, 0.2).slow_node(10.0, 4, 0.05).cure_all(
+      20.0);
+  FaultInjector injector(system, plan, Rng(6).fork("faults"));
+  injector.arm();
+  system.start();
+  system.run_until(15.0);
+  std::vector<NodeId> victims = injector.adversaries();
+  ASSERT_FALSE(victims.empty());
+  EXPECT_TRUE(std::binary_search(victims.begin(), victims.end(), NodeId{4}));
+  for (NodeId id : victims) {
+    EXPECT_FALSE(system.node(id).fault_behavior().honest()) << "node " << id;
+  }
+  EXPECT_DOUBLE_EQ(system.node(4).fault_behavior().processing_delay, 0.05);
+  system.run_until(25.0);
+  EXPECT_TRUE(injector.adversaries().empty());
+  for (NodeId id : victims) {
+    EXPECT_TRUE(system.node(id).fault_behavior().honest()) << "node " << id;
+  }
+}
+
+TEST(FaultInjector, CureNodeLeavesOtherVictimsActive) {
+  core::SystemConfig config;
+  config.node_count = 16;
+  config.seed = 2;
+  core::System system(config);
+  FaultPlan plan;
+  plan.digest_liar_node(5.0, 3).digest_liar_node(5.0, 9).cure_node(10.0, 3);
+  FaultInjector injector(system, plan, Rng(2).fork("faults"));
+  injector.arm();
+  system.start();
+  system.run_until(12.0);
+  EXPECT_TRUE(system.node(3).fault_behavior().honest());
+  EXPECT_TRUE(system.node(9).fault_behavior().digest_liar);
+  EXPECT_EQ(injector.adversaries(), std::vector<NodeId>{NodeId{9}});
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@
 #   tools/check.sh [extra ctest args...]
 #   tools/check.sh bench-smoke     # quick perf-tooling sanity run only
 #   tools/check.sh tsan            # TSan: runner tests + 2-thread mini-sweep
+#   tools/check.sh byzantine-smoke # adversarial-defense gate (ext_byzantine)
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -36,6 +37,20 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
   cmake --build "${root}/build" -j "${jobs}" --target gocastd
   "${root}/build/tools/gocastd" --nodes 8 --messages 4 --warmup 1.5
   echo "=== bench-smoke passed ==="
+  exit 0
+fi
+
+# byzantine-smoke: the adversarial-defense gate — one mixed
+# mute-forwarder+digest-liar cell of bench/ext_byzantine, defenses off vs on
+# vs an equal-sized crash baseline. The bench's exit status carries the
+# verdict (defended delivery strictly above undefended, >= 90% eviction
+# coverage, and at least the honest-crash baseline).
+if [[ "${1:-}" == "byzantine-smoke" ]]; then
+  cmake -B "${root}/build" -S "${root}"
+  cmake --build "${root}/build" -j "${jobs}" --target ext_byzantine
+  echo "=== byzantine-smoke: ext_byzantine --smoke ==="
+  "${root}/build/bench/ext_byzantine" --smoke
+  echo "=== byzantine-smoke passed ==="
   exit 0
 fi
 

@@ -35,8 +35,10 @@ void usage() {
       "  --drain     seconds to run after the last injection         [30]\n"
       "  --faults    scripted fault plan (GoCast-family), e.g.\n"
       "              \"330:crash:frac=0.2; 400:partition:frac=0.3; 460:heal\"\n"
+      "              or \"130:mute_forwarder:frac=0.1; 300:cure\"\n"
       "              kinds: crash recover crash_site partition heal degrade\n"
-      "              restore loss — see docs/PROTOCOL.md for the grammar\n"
+      "              restore loss mute_forwarder digest_liar degree_liar\n"
+      "              slow cure — see docs/PROTOCOL.md for the grammar\n"
       "  --invariants  run the protocol invariant checker (true/false) [false]\n"
       "  --csv       append a summary row to this file\n"
       "  --curve     write the delay CDF to this file\n"
@@ -138,6 +140,16 @@ int main(int argc, char** argv) {
       std::cout << "\ninvariant violations ("
                 << result.invariant_violations.size() << "):\n";
       for (const std::string& line : result.invariant_violations) {
+        std::cout << "  " << line << "\n";
+      }
+    }
+    if (!result.expected_violations.empty()) {
+      // Attack damage, reported separately: violations the checker
+      // attributed to active adversarial victims are expected while the
+      // behavior lasts and are not protocol failures.
+      std::cout << "expected violations from adversarial victims ("
+                << result.expected_violations.size() << "):\n";
+      for (const std::string& line : result.expected_violations) {
         std::cout << "  " << line << "\n";
       }
     }
