@@ -5,6 +5,7 @@
 #include "common/assert.h"
 #include "gocast/system.h"  // default_latency_model
 #include "runtime/realtime_runtime.h"
+#include "runtime/udp_runtime.h"
 
 namespace gocast::baselines {
 
@@ -211,6 +212,7 @@ void PushGossipNodeT<RT>::handle_message(NodeId from,
 
 template class PushGossipNodeT<runtime::SimRuntime>;
 template class PushGossipNodeT<runtime::RealtimeContext>;
+template class PushGossipNodeT<runtime::UdpContext>;
 
 // ---------------------------------------------------------------------------
 // System facade

@@ -8,6 +8,7 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "runtime/realtime_runtime.h"
+#include "runtime/udp_runtime.h"
 
 namespace gocast::core {
 
@@ -688,5 +689,6 @@ void DisseminationT<RT>::on_neighbor_removed(NodeId peer) {
 
 template class DisseminationT<runtime::SimRuntime>;
 template class DisseminationT<runtime::RealtimeContext>;
+template class DisseminationT<runtime::UdpContext>;
 
 }  // namespace gocast::core

@@ -36,8 +36,10 @@ struct DataMsg final : net::Message {
   bool via_tree;  ///< pushed along a tree link (vs. sent as a pull response)
   net::PeerDegrees degrees;
 
+  /// Frame + {id 8, age f64 8, payload_len 4, via_tree 1, degrees 8} + payload.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 32 + payload_bytes + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 21 + net::PeerDegrees::wire_size() +
+           payload_bytes;
   }
   [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
     return &degrees;
@@ -74,16 +76,27 @@ struct GossipDigestMsg final : net::Message {
                   net::PeerDegrees degrees)
       : GossipDigestMsg(nullptr, entries_in, members_in, degrees) {}
 
+  /// Wire-codec construction: empty pooled payloads, filled in place by
+  /// wire::decode while parsing the frame.
+  GossipDigestMsg(net::WireDecodeTag,
+                  const std::shared_ptr<net::MessageArena>& arena,
+                  net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kGossipDigest, kPktGossipDigest),
+        entries(net::PayloadAllocator<DigestEntry>(arena)),
+        members(net::PayloadAllocator<membership::MemberEntry>(arena)),
+        degrees(degrees) {}
+
   // Arena-backed payloads: iterate in place or COPY out (copies detach to the
   // global allocator via PayloadAllocator); never move a PoolVec out.
   net::PoolVec<DigestEntry> entries;
   net::PoolVec<membership::MemberEntry> members;
   net::PeerDegrees degrees;
 
+  /// Frame + {n_entries 4, n_members 4, degrees 8} + payload tables.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + entries.size() * DigestEntry::wire_size() +
-           members.size() * membership::MemberEntry::wire_size() +
-           net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 8 + net::PeerDegrees::wire_size() +
+           entries.size() * DigestEntry::wire_size() +
+           members.size() * membership::MemberEntry::wire_size();
   }
   [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
     return &degrees;
@@ -106,12 +119,22 @@ struct PullRequestMsg final : net::Message {
         ids(ids_in.begin(), ids_in.end(), net::PayloadAllocator<MsgId>()),
         degrees(degrees) {}
 
+  /// Wire-codec construction: empty pooled id list, filled in place.
+  PullRequestMsg(net::WireDecodeTag,
+                 const std::shared_ptr<net::MessageArena>& arena,
+                 net::PeerDegrees degrees)
+      : net::Message(net::MsgKind::kPullRequest, kPktPullRequest),
+        ids(net::PayloadAllocator<MsgId>(arena)),
+        degrees(degrees) {}
+
   // Arena-backed payload: iterate in place or COPY out; never move it out.
   net::PoolVec<MsgId> ids;
   net::PeerDegrees degrees;
 
+  /// Frame + {n_ids 4, degrees 8} + 8 bytes per id.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + ids.size() * 8 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 4 + net::PeerDegrees::wire_size() +
+           ids.size() * 8;
   }
   [[nodiscard]] const net::PeerDegrees* peer_degrees() const override {
     return &degrees;

@@ -4,6 +4,7 @@
 #include "common/logging.h"
 #include "overlay/messages.h"
 #include "runtime/realtime_runtime.h"
+#include "runtime/udp_runtime.h"
 #include "tree/messages.h"
 
 namespace gocast::core {
@@ -232,5 +233,6 @@ void GoCastNodeT<RT>::on_join_reply(const overlay::JoinReplyMsg& msg) {
 
 template class GoCastNodeT<runtime::SimRuntime>;
 template class GoCastNodeT<runtime::RealtimeContext>;
+template class GoCastNodeT<runtime::UdpContext>;
 
 }  // namespace gocast::core

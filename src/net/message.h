@@ -24,6 +24,18 @@ enum class MsgKind : std::uint8_t {
   kCount,  // sentinel
 };
 
+/// Size of the wire codec's frame header in bytes (magic, version, flags,
+/// packet type, body length, src/dst endpoint ids — see wire/codec.h, which
+/// static_asserts this constant against the real layout). Every message's
+/// wire_size() is kFrameOverheadBytes plus its encoded body, so traffic and
+/// link-stress accounting match the bytes the UDP backend actually sends.
+inline constexpr std::size_t kFrameOverheadBytes = 20;
+
+/// Tag for the wire codec's construction path: build the message with empty
+/// pooled payload containers, then fill them in place while parsing (no
+/// intermediate vectors between the frame bytes and the pooled message).
+struct WireDecodeTag {};
+
 [[nodiscard]] constexpr const char* msg_kind_name(MsgKind kind) {
   switch (kind) {
     case MsgKind::kData: return "data";

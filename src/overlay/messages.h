@@ -51,8 +51,9 @@ struct NeighborRequestMsg final : OverlayMessage {
   SimTime measured_rtt;
   bool is_transfer;  ///< part of a degree-rebalancing transfer (§2.2.2 op 1)
 
+  /// Frame + {link 1, is_transfer 1, measured_rtt f64 8, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 10 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -65,8 +66,9 @@ struct NeighborAcceptMsg final : OverlayMessage {
   LinkKind link;
   SimTime rtt_echo;  ///< the RTT from the request, echoed back
 
+  /// Frame + {link 1, rtt_echo f64 8, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 12 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 9 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -76,8 +78,9 @@ struct NeighborRejectMsg final : OverlayMessage {
 
   LinkKind link;
 
+  /// Frame + {link 1, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 1 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -85,8 +88,9 @@ struct NeighborDropMsg final : OverlayMessage {
   NeighborDropMsg(net::PeerDegrees degrees)
       : OverlayMessage(kPktNeighborDrop, degrees) {}
 
+  /// Frame + {degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + net::PeerDegrees::wire_size();
   }
 };
 
@@ -99,8 +103,9 @@ struct LinkTransferMsg final : OverlayMessage {
 
   NodeId target;
 
+  /// Frame + {target 4, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 12 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 4 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -111,7 +116,10 @@ struct PingMsg final : net::Message {
 
   std::uint32_t nonce;
 
-  [[nodiscard]] std::size_t wire_size() const override { return 12; }
+  /// Frame + {nonce 4}.
+  [[nodiscard]] std::size_t wire_size() const override {
+    return net::kFrameOverheadBytes + 4;
+  }
 };
 
 struct PongMsg final : OverlayMessage {
@@ -120,8 +128,9 @@ struct PongMsg final : OverlayMessage {
 
   std::uint32_t nonce;
 
+  /// Frame + {nonce 4, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 12 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 4 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -129,7 +138,10 @@ struct PongMsg final : OverlayMessage {
 struct JoinRequestMsg final : net::Message {
   JoinRequestMsg() : net::Message(net::MsgKind::kMembership, kPktJoinRequest) {}
 
-  [[nodiscard]] std::size_t wire_size() const override { return 8; }
+  /// Frame only (empty body).
+  [[nodiscard]] std::size_t wire_size() const override {
+    return net::kFrameOverheadBytes;
+  }
 };
 
 /// P → N: P's member list (entries carry landmark vectors).
@@ -140,8 +152,10 @@ struct JoinReplyMsg final : net::Message {
 
   std::vector<membership::MemberEntry> members;
 
+  /// Frame + {n_members 4} + member table.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + members.size() * membership::MemberEntry::wire_size();
+    return net::kFrameOverheadBytes + 4 +
+           members.size() * membership::MemberEntry::wire_size();
   }
 };
 

@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "coord/triangulation.h"
 #include "runtime/realtime_runtime.h"
+#include "runtime/udp_runtime.h"
 
 namespace gocast::overlay {
 
@@ -567,5 +568,6 @@ void OverlayManagerT<RT>::record_link_change() {
 
 template class OverlayManagerT<runtime::SimRuntime>;
 template class OverlayManagerT<runtime::RealtimeContext>;
+template class OverlayManagerT<runtime::UdpContext>;
 
 }  // namespace gocast::overlay

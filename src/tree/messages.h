@@ -57,8 +57,9 @@ struct HeartbeatMsg final : TreeMessage {
   std::uint32_t seq;
   SimTime cum_latency;  ///< latency from the root to the sender
 
+  /// Frame + {term 4, root 4, seq 4, cum_latency f64 8, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 24 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 20 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -68,8 +69,9 @@ struct ChildJoinMsg final : TreeMessage {
 
   Epoch epoch;
 
+  /// Frame + {term 4, root 4, degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 16 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 8 + net::PeerDegrees::wire_size();
   }
 };
 
@@ -77,8 +79,9 @@ struct ChildLeaveMsg final : TreeMessage {
   ChildLeaveMsg(net::PeerDegrees degrees)
       : TreeMessage(kPktChildLeave, degrees) {}
 
+  /// Frame + {degrees 8}.
   [[nodiscard]] std::size_t wire_size() const override {
-    return 8 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + net::PeerDegrees::wire_size();
   }
 };
 

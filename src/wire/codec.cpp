@@ -1,0 +1,585 @@
+#include "wire/codec.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/assert.h"
+#include "gocast/messages.h"
+#include "membership/member_entry.h"
+#include "overlay/messages.h"
+#include "tree/messages.h"
+
+namespace gocast::wire {
+namespace {
+
+using membership::MemberEntry;
+using overlay::LinkKind;
+
+// Body sizes excluding the frame header. Variable-length types add their
+// payload tables on top.
+constexpr std::size_t kDegreesBytes = 8;
+constexpr std::size_t kMemberBytes = 38;  // id 4 + 8 landmarks f32 + age u16
+constexpr std::size_t kDigestEntryBytes = 12;  // id 8 + age f32
+static_assert(kDegreesBytes == net::PeerDegrees::wire_size());
+static_assert(kMemberBytes == MemberEntry::wire_size());
+static_assert(kDigestEntryBytes == core::DigestEntry::wire_size());
+
+// ---- raw little-endian writer ------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::uint8_t* p) : p_(p) {}
+
+  void u8(std::uint8_t v) { *p_++ = v; }
+  void u16(std::uint16_t v) {
+    *p_++ = static_cast<std::uint8_t>(v);
+    *p_++ = static_cast<std::uint8_t>(v >> 8);
+  }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) *p_++ = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) *p_++ = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void zeros(std::size_t n) {
+    std::memset(p_, 0, n);
+    p_ += n;
+  }
+
+  [[nodiscard]] std::uint8_t* pos() const { return p_; }
+
+ private:
+  std::uint8_t* p_;
+};
+
+// ---- bounds-checked little-endian reader -------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, const std::uint8_t* end) : p_(p), end_(end) {}
+
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return *p_++;
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(p_[0] | (p_[1] << 8));
+    p_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return v;
+  }
+  float f32() { return std::bit_cast<float>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  void skip(std::size_t n) {
+    if (need(n)) p_ += n;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+  /// True when every byte was consumed and no read ran out of bounds.
+  [[nodiscard]] bool exhausted() const { return ok_ && p_ == end_; }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok_ || static_cast<std::size_t>(end_ - p_) < n) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  bool ok_ = true;
+};
+
+// ---- shared field codecs -----------------------------------------------
+
+/// Instants on the sender's clock travel as non-negative ages.
+[[nodiscard]] double age_of(SimTime instant, SimTime now) {
+  double age = now - instant;
+  return age > 0.0 ? age : 0.0;
+}
+
+void put_degrees(Writer& w, const net::PeerDegrees& d) {
+  w.u16(d.rand_degree);
+  w.u16(d.near_degree);
+  w.f32(d.max_nearby_rtt);
+}
+
+bool get_degrees(Reader& r, net::PeerDegrees& d) {
+  d.rand_degree = r.u16();
+  d.near_degree = r.u16();
+  d.max_nearby_rtt = r.f32();
+  // 0 means "no nearby neighbor"; anything non-finite or negative is junk.
+  return r.ok() && std::isfinite(d.max_nearby_rtt) && d.max_nearby_rtt >= 0.0f;
+}
+
+void put_member(Writer& w, const MemberEntry& m, SimTime now) {
+  w.u32(m.id);
+  for (float rtt : m.landmark_rtt) w.f32(rtt);
+  // Age in 0.1 s units, saturating at ~109 minutes (the paper piggybacks a
+  // 2-byte age for exactly this reason).
+  double ds = age_of(m.heard_at, now) * 10.0;
+  w.u16(ds >= 65535.0 ? 65535
+                      : static_cast<std::uint16_t>(std::lround(ds)));
+}
+
+bool get_member(Reader& r, MemberEntry& m, SimTime now) {
+  m.id = r.u32();
+  for (float& rtt : m.landmark_rtt) {
+    rtt = r.f32();
+    // NaN marks unmeasured slots; measured slots must be sane durations.
+    if (!std::isnan(rtt) && (!std::isfinite(rtt) || rtt < 0.0f)) return false;
+  }
+  double age = static_cast<double>(r.u16()) * 0.1;
+  SimTime heard = now - age;
+  m.heard_at = heard > 0.0 ? heard : 0.0;
+  return r.ok();
+}
+
+void put_digest_entry(Writer& w, const core::DigestEntry& e, SimTime now) {
+  w.u32(e.id.origin);
+  w.u32(e.id.seq);
+  w.f32(static_cast<float>(age_of(e.inject_time, now)));
+}
+
+bool get_digest_entry(Reader& r, core::DigestEntry& e, SimTime now) {
+  e.id.origin = r.u32();
+  e.id.seq = r.u32();
+  float age = r.f32();
+  if (!std::isfinite(age) || age < 0.0f) return false;
+  e.inject_time = now - static_cast<double>(age);
+  return r.ok();
+}
+
+/// Durations (RTT estimates, cumulative latencies): non-negative, with +inf
+/// allowed as the kNever sentinel.
+bool valid_duration(double v) { return !std::isnan(v) && v >= 0.0; }
+
+bool get_bool(Reader& r, bool& out) {
+  std::uint8_t v = r.u8();
+  if (v > 1) return false;
+  out = (v == 1);
+  return true;
+}
+
+bool get_link_kind(Reader& r, LinkKind& out) {
+  std::uint8_t v = r.u8();
+  if (v > 1) return false;
+  out = (v == 0) ? LinkKind::kRandom : LinkKind::kNearby;
+  return true;
+}
+
+// ---- per-type body sizes -----------------------------------------------
+
+/// Body length for a message, or SIZE_MAX for types outside the grammar.
+std::size_t body_size(const net::Message& msg) {
+  switch (msg.packet_type()) {
+    case overlay::kPktNeighborRequest: return 10 + kDegreesBytes;
+    case overlay::kPktNeighborAccept: return 9 + kDegreesBytes;
+    case overlay::kPktNeighborReject: return 1 + kDegreesBytes;
+    case overlay::kPktNeighborDrop: return kDegreesBytes;
+    case overlay::kPktLinkTransfer: return 4 + kDegreesBytes;
+    case overlay::kPktPing: return 4;
+    case overlay::kPktPong: return 4 + kDegreesBytes;
+    case overlay::kPktJoinRequest: return 0;
+    case overlay::kPktJoinReply: {
+      const auto& m = static_cast<const overlay::JoinReplyMsg&>(msg);
+      return 4 + m.members.size() * kMemberBytes;
+    }
+    case tree::kPktHeartbeat: return 20 + kDegreesBytes;
+    case tree::kPktChildJoin: return 8 + kDegreesBytes;
+    case tree::kPktChildLeave: return kDegreesBytes;
+    case core::kPktData: {
+      const auto& m = static_cast<const core::DataMsg&>(msg);
+      return 21 + kDegreesBytes + m.payload_bytes;
+    }
+    case core::kPktGossipDigest: {
+      const auto& m = static_cast<const core::GossipDigestMsg&>(msg);
+      return 8 + kDegreesBytes + m.entries.size() * kDigestEntryBytes +
+             m.members.size() * kMemberBytes;
+    }
+    case core::kPktPullRequest: {
+      const auto& m = static_cast<const core::PullRequestMsg&>(msg);
+      return 4 + kDegreesBytes + m.ids.size() * 8;
+    }
+    default: return static_cast<std::size_t>(-1);
+  }
+}
+
+void encode_body(Writer& w, const net::Message& msg, SimTime now) {
+  switch (msg.packet_type()) {
+    case overlay::kPktNeighborRequest: {
+      const auto& m = static_cast<const overlay::NeighborRequestMsg&>(msg);
+      w.u8(m.link == LinkKind::kRandom ? 0 : 1);
+      w.u8(m.is_transfer ? 1 : 0);
+      w.f64(m.measured_rtt);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case overlay::kPktNeighborAccept: {
+      const auto& m = static_cast<const overlay::NeighborAcceptMsg&>(msg);
+      w.u8(m.link == LinkKind::kRandom ? 0 : 1);
+      w.f64(m.rtt_echo);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case overlay::kPktNeighborReject: {
+      const auto& m = static_cast<const overlay::NeighborRejectMsg&>(msg);
+      w.u8(m.link == LinkKind::kRandom ? 0 : 1);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case overlay::kPktNeighborDrop: {
+      put_degrees(w, *msg.peer_degrees());
+      return;
+    }
+    case overlay::kPktLinkTransfer: {
+      const auto& m = static_cast<const overlay::LinkTransferMsg&>(msg);
+      w.u32(m.target);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case overlay::kPktPing: {
+      w.u32(static_cast<const overlay::PingMsg&>(msg).nonce);
+      return;
+    }
+    case overlay::kPktPong: {
+      const auto& m = static_cast<const overlay::PongMsg&>(msg);
+      w.u32(m.nonce);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case overlay::kPktJoinRequest: return;
+    case overlay::kPktJoinReply: {
+      const auto& m = static_cast<const overlay::JoinReplyMsg&>(msg);
+      w.u32(static_cast<std::uint32_t>(m.members.size()));
+      for (const auto& member : m.members) put_member(w, member, now);
+      return;
+    }
+    case tree::kPktHeartbeat: {
+      const auto& m = static_cast<const tree::HeartbeatMsg&>(msg);
+      w.u32(m.epoch.term);
+      w.u32(m.epoch.root);
+      w.u32(m.seq);
+      w.f64(m.cum_latency);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case tree::kPktChildJoin: {
+      const auto& m = static_cast<const tree::ChildJoinMsg&>(msg);
+      w.u32(m.epoch.term);
+      w.u32(m.epoch.root);
+      put_degrees(w, *m.peer_degrees());
+      return;
+    }
+    case tree::kPktChildLeave: {
+      put_degrees(w, *msg.peer_degrees());
+      return;
+    }
+    case core::kPktData: {
+      const auto& m = static_cast<const core::DataMsg&>(msg);
+      w.u32(m.id.origin);
+      w.u32(m.id.seq);
+      w.f64(age_of(m.inject_time, now));
+      w.u32(static_cast<std::uint32_t>(m.payload_bytes));
+      w.u8(m.via_tree ? 1 : 0);
+      put_degrees(w, m.degrees);
+      // The simulator models payloads by size only; the wire carries the
+      // honest byte count as zeros.
+      w.zeros(m.payload_bytes);
+      return;
+    }
+    case core::kPktGossipDigest: {
+      const auto& m = static_cast<const core::GossipDigestMsg&>(msg);
+      w.u32(static_cast<std::uint32_t>(m.entries.size()));
+      w.u32(static_cast<std::uint32_t>(m.members.size()));
+      put_degrees(w, m.degrees);
+      for (const auto& e : m.entries) put_digest_entry(w, e, now);
+      for (const auto& member : m.members) put_member(w, member, now);
+      return;
+    }
+    case core::kPktPullRequest: {
+      const auto& m = static_cast<const core::PullRequestMsg&>(msg);
+      w.u32(static_cast<std::uint32_t>(m.ids.size()));
+      put_degrees(w, m.degrees);
+      for (const auto& id : m.ids) {
+        w.u32(id.origin);
+        w.u32(id.seq);
+      }
+      return;
+    }
+    default: GOCAST_ASSERT_MSG(false, "unencodable type " << msg.packet_type());
+  }
+}
+
+// ---- pooled construction helpers ---------------------------------------
+
+/// Mutable pooled construction: the codec fills payload containers in place
+/// before releasing the message as shared_ptr<const Message>.
+template <class M, class... Args>
+std::shared_ptr<M> make_mutable(const std::shared_ptr<net::MessageArena>& arena,
+                                Args&&... args) {
+  return std::allocate_shared<M>(net::ArenaAllocator<M>(arena),
+                                 std::forward<Args>(args)...);
+}
+
+/// Validates that a claimed element count fits exactly in the bytes left
+/// after the fixed fields, before anything is reserved.
+bool counts_fit(std::size_t remaining, std::size_t count_a, std::size_t size_a,
+                std::size_t count_b = 0, std::size_t size_b = 0) {
+  // 32-bit counts and small element sizes: no overflow in 64-bit math.
+  return count_a * size_a + count_b * size_b == remaining;
+}
+
+DecodeStatus decode_body(int type, Reader& r,
+                         const std::shared_ptr<net::MessageArena>& arena,
+                         SimTime now, net::MessagePtr& out) {
+  net::PeerDegrees degrees;
+  switch (type) {
+    case overlay::kPktNeighborRequest: {
+      LinkKind link;
+      bool is_transfer = false;
+      if (!get_link_kind(r, link) || !get_bool(r, is_transfer)) {
+        return DecodeStatus::kMalformed;
+      }
+      double rtt = r.f64();
+      if (!valid_duration(rtt) || !get_degrees(r, degrees)) {
+        return DecodeStatus::kMalformed;
+      }
+      out = net::make_pooled<overlay::NeighborRequestMsg>(arena, link, rtt,
+                                                          is_transfer, degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktNeighborAccept: {
+      LinkKind link;
+      if (!get_link_kind(r, link)) return DecodeStatus::kMalformed;
+      double echo = r.f64();
+      if (!valid_duration(echo) || !get_degrees(r, degrees)) {
+        return DecodeStatus::kMalformed;
+      }
+      out = net::make_pooled<overlay::NeighborAcceptMsg>(arena, link, echo,
+                                                         degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktNeighborReject: {
+      LinkKind link;
+      if (!get_link_kind(r, link) || !get_degrees(r, degrees)) {
+        return DecodeStatus::kMalformed;
+      }
+      out = net::make_pooled<overlay::NeighborRejectMsg>(arena, link, degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktNeighborDrop: {
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      out = net::make_pooled<overlay::NeighborDropMsg>(arena, degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktLinkTransfer: {
+      NodeId target = r.u32();
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      out = net::make_pooled<overlay::LinkTransferMsg>(arena, target, degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktPing: {
+      std::uint32_t nonce = r.u32();
+      if (!r.ok()) return DecodeStatus::kMalformed;
+      out = net::make_pooled<overlay::PingMsg>(arena, nonce);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktPong: {
+      std::uint32_t nonce = r.u32();
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      out = net::make_pooled<overlay::PongMsg>(arena, nonce, degrees);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktJoinRequest: {
+      out = net::make_pooled<overlay::JoinRequestMsg>(arena);
+      return DecodeStatus::kOk;
+    }
+    case overlay::kPktJoinReply: {
+      std::size_t count = r.u32();
+      if (!r.ok() || !counts_fit(r.remaining(), count, kMemberBytes)) {
+        return DecodeStatus::kMalformed;
+      }
+      auto msg = make_mutable<overlay::JoinReplyMsg>(
+          arena, std::vector<MemberEntry>{});
+      msg->members.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        MemberEntry m;
+        if (!get_member(r, m, now)) return DecodeStatus::kMalformed;
+        msg->members.push_back(m);
+      }
+      out = std::move(msg);
+      return DecodeStatus::kOk;
+    }
+    case tree::kPktHeartbeat: {
+      tree::Epoch epoch{r.u32(), r.u32()};
+      std::uint32_t seq = r.u32();
+      double cum = r.f64();
+      if (!valid_duration(cum) || !get_degrees(r, degrees)) {
+        return DecodeStatus::kMalformed;
+      }
+      out = net::make_pooled<tree::HeartbeatMsg>(arena, epoch, seq, cum,
+                                                 degrees);
+      return DecodeStatus::kOk;
+    }
+    case tree::kPktChildJoin: {
+      tree::Epoch epoch{r.u32(), r.u32()};
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      out = net::make_pooled<tree::ChildJoinMsg>(arena, epoch, degrees);
+      return DecodeStatus::kOk;
+    }
+    case tree::kPktChildLeave: {
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      out = net::make_pooled<tree::ChildLeaveMsg>(arena, degrees);
+      return DecodeStatus::kOk;
+    }
+    case core::kPktData: {
+      MsgId id{r.u32(), r.u32()};
+      double age = r.f64();
+      if (!r.ok() || !std::isfinite(age) || age < 0.0) {
+        return DecodeStatus::kMalformed;
+      }
+      std::size_t payload = r.u32();
+      bool via_tree = false;
+      if (!get_bool(r, via_tree) || !get_degrees(r, degrees)) {
+        return DecodeStatus::kMalformed;
+      }
+      if (r.remaining() != payload) return DecodeStatus::kMalformed;
+      r.skip(payload);
+      out = net::make_pooled<core::DataMsg>(arena, id, now - age, payload,
+                                            via_tree, degrees);
+      return DecodeStatus::kOk;
+    }
+    case core::kPktGossipDigest: {
+      std::size_t n_entries = r.u32();
+      std::size_t n_members = r.u32();
+      if (!get_degrees(r, degrees) ||
+          !counts_fit(r.remaining(), n_entries, kDigestEntryBytes, n_members,
+                      kMemberBytes)) {
+        return DecodeStatus::kMalformed;
+      }
+      auto msg = make_mutable<core::GossipDigestMsg>(
+          arena, net::WireDecodeTag{}, arena, degrees);
+      msg->entries.reserve(n_entries);
+      for (std::size_t i = 0; i < n_entries; ++i) {
+        core::DigestEntry e;
+        if (!get_digest_entry(r, e, now)) return DecodeStatus::kMalformed;
+        msg->entries.push_back(e);
+      }
+      msg->members.reserve(n_members);
+      for (std::size_t i = 0; i < n_members; ++i) {
+        MemberEntry m;
+        if (!get_member(r, m, now)) return DecodeStatus::kMalformed;
+        msg->members.push_back(m);
+      }
+      out = std::move(msg);
+      return DecodeStatus::kOk;
+    }
+    case core::kPktPullRequest: {
+      std::size_t count = r.u32();
+      if (!get_degrees(r, degrees) || !counts_fit(r.remaining(), count, 8)) {
+        return DecodeStatus::kMalformed;
+      }
+      auto msg = make_mutable<core::PullRequestMsg>(
+          arena, net::WireDecodeTag{}, arena, degrees);
+      msg->ids.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        msg->ids.push_back(MsgId{r.u32(), r.u32()});
+      }
+      if (!r.ok()) return DecodeStatus::kMalformed;
+      out = std::move(msg);
+      return DecodeStatus::kOk;
+    }
+    default: return DecodeStatus::kBadType;
+  }
+}
+
+}  // namespace
+
+std::size_t encoded_size(const net::Message& msg) {
+  std::size_t body = body_size(msg);
+  if (body == static_cast<std::size_t>(-1)) return 0;
+  return kHeaderBytes + body;
+}
+
+std::size_t encode(const net::Message& msg, NodeId src, NodeId dst,
+                   SimTime now, FrameBuffer& out) {
+  std::size_t total = encoded_size(msg);
+  if (total == 0 || total > kMaxFrameBytes) return 0;
+
+  std::size_t base = out.size();
+  out.resize(base + total);
+  Writer w(out.data() + base);
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(0);  // flags
+  w.u16(static_cast<std::uint16_t>(msg.packet_type()));
+  w.u16(0);  // reserved
+  w.u32(static_cast<std::uint32_t>(total - kHeaderBytes));
+  w.u32(src);
+  w.u32(dst);
+  encode_body(w, msg, now);
+  GOCAST_ASSERT_MSG(w.pos() == out.data() + base + total,
+                    "encoder wrote " << (w.pos() - (out.data() + base))
+                                     << " bytes, expected " << total);
+  return total;
+}
+
+DecodeStatus decode(const std::uint8_t* data, std::size_t len,
+                    const std::shared_ptr<net::MessageArena>& arena,
+                    SimTime now, Decoded& out) {
+  GOCAST_ASSERT(arena != nullptr);
+  out.msg = nullptr;
+  if (len > kMaxFrameBytes) return DecodeStatus::kOversized;
+  if (len < kHeaderBytes) return DecodeStatus::kTruncated;
+
+  Reader header(data, data + kHeaderBytes);
+  if (header.u16() != kMagic) return DecodeStatus::kBadMagic;
+  if (header.u8() != kVersion) return DecodeStatus::kBadVersion;
+  if (header.u8() != 0) return DecodeStatus::kMalformed;  // flags
+  std::uint16_t type = header.u16();
+  if (header.u16() != 0) return DecodeStatus::kMalformed;  // reserved
+  std::size_t body_len = header.u32();
+  NodeId src = header.u32();
+  NodeId dst = header.u32();
+
+  if (kHeaderBytes + body_len > len) return DecodeStatus::kTruncated;
+  if (kHeaderBytes + body_len != len) return DecodeStatus::kLengthMismatch;
+
+  Reader body(data + kHeaderBytes, data + len);
+  net::MessagePtr msg;
+  DecodeStatus status = decode_body(type, body, arena, now, msg);
+  if (status != DecodeStatus::kOk) return status;
+  // A body that parsed but left unread bytes is a length lie.
+  if (!body.exhausted()) return DecodeStatus::kMalformed;
+
+  out.msg = std::move(msg);
+  out.src = src;
+  out.dst = dst;
+  return DecodeStatus::kOk;
+}
+
+}  // namespace gocast::wire

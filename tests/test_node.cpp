@@ -110,8 +110,9 @@ TEST(WireSizes, AllMessageTypesReportPlausibleSizes) {
             8u);
   EXPECT_GT(overlay::NeighborDropMsg(degrees).wire_size(), 8u);
   EXPECT_GT(overlay::LinkTransferMsg(3, degrees).wire_size(), 8u);
-  EXPECT_EQ(overlay::PingMsg(1).wire_size(), 12u);
-  EXPECT_GT(overlay::PongMsg(1, degrees).wire_size(), 12u);
+  EXPECT_EQ(overlay::PingMsg(1).wire_size(), net::kFrameOverheadBytes + 4);
+  EXPECT_GT(overlay::PongMsg(1, degrees).wire_size(),
+            overlay::PingMsg(1).wire_size());
   EXPECT_GT(tree::HeartbeatMsg(tree::Epoch{1, 0}, 1, 0.0, degrees).wire_size(),
             16u);
   EXPECT_GT(tree::ChildJoinMsg(tree::Epoch{1, 0}, degrees).wire_size(), 8u);
@@ -134,7 +135,7 @@ TEST(WireSizes, AllMessageTypesReportPlausibleSizes) {
   EXPECT_LT(pull.wire_size(), 64u);
 
   overlay::JoinRequestMsg join_req;
-  EXPECT_EQ(join_req.wire_size(), 8u);
+  EXPECT_EQ(join_req.wire_size(), net::kFrameOverheadBytes);
   overlay::JoinReplyMsg join_reply(members);
   EXPECT_GT(join_reply.wire_size(), 3 * membership::MemberEntry::wire_size());
 }

@@ -1,0 +1,392 @@
+// Wire codec coverage: round-trip fixpoint for every message type in the
+// grammar, wire_size() consistency against real encoded bytes, header
+// rejection, age re-anchoring, and seeded corruption fuzz (bit flips,
+// truncations, length lies) asserting decode rejects without crashing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "gocast/messages.h"
+#include "membership/member_entry.h"
+#include "net/message_pool.h"
+#include "overlay/messages.h"
+#include "tree/messages.h"
+#include "wire/codec.h"
+
+namespace gocast {
+namespace {
+
+using core::DataMsg;
+using core::DigestEntry;
+using core::GossipDigestMsg;
+using core::PullRequestMsg;
+using membership::MemberEntry;
+using overlay::LinkKind;
+
+constexpr SimTime kNow = 100.0;
+constexpr NodeId kSrc = 7;
+constexpr NodeId kDst = 42;
+
+net::PeerDegrees sample_degrees() {
+  net::PeerDegrees d;
+  d.rand_degree = 5;
+  d.near_degree = 2;
+  d.max_nearby_rtt = 0.034f;
+  return d;
+}
+
+std::vector<MemberEntry> sample_members() {
+  std::vector<MemberEntry> members;
+  for (NodeId id = 1; id <= 3; ++id) {
+    MemberEntry m;
+    m.id = id;
+    m.landmark_rtt = membership::empty_landmarks();
+    m.landmark_rtt[0] = 0.01f * static_cast<float>(id);
+    m.landmark_rtt[3] = 0.2f;
+    m.heard_at = kNow - 1.5 * static_cast<double>(id);
+    members.push_back(m);
+  }
+  return members;
+}
+
+/// One instance of every type in the wire grammar, with realistic fields.
+std::vector<net::MessagePtr> all_messages() {
+  net::PeerDegrees degrees = sample_degrees();
+  auto members = sample_members();
+  std::vector<DigestEntry> entries{{MsgId{3, 9}, kNow - 0.25},
+                                   {MsgId{5, 1}, kNow - 2.0}};
+  std::vector<net::MessagePtr> msgs;
+  msgs.push_back(std::make_shared<overlay::NeighborRequestMsg>(
+      LinkKind::kNearby, 0.05, true, degrees));
+  msgs.push_back(std::make_shared<overlay::NeighborAcceptMsg>(
+      LinkKind::kRandom, 0.07, degrees));
+  msgs.push_back(
+      std::make_shared<overlay::NeighborRejectMsg>(LinkKind::kNearby, degrees));
+  msgs.push_back(std::make_shared<overlay::NeighborDropMsg>(degrees));
+  msgs.push_back(std::make_shared<overlay::LinkTransferMsg>(19, degrees));
+  msgs.push_back(std::make_shared<overlay::PingMsg>(0xDEADBEEF));
+  msgs.push_back(std::make_shared<overlay::PongMsg>(0xDEADBEEF, degrees));
+  msgs.push_back(std::make_shared<overlay::JoinRequestMsg>());
+  msgs.push_back(std::make_shared<overlay::JoinReplyMsg>(members));
+  msgs.push_back(std::make_shared<tree::HeartbeatMsg>(tree::Epoch{4, 0}, 77,
+                                                      0.012, degrees));
+  msgs.push_back(
+      std::make_shared<tree::ChildJoinMsg>(tree::Epoch{4, 0}, degrees));
+  msgs.push_back(std::make_shared<tree::ChildLeaveMsg>(degrees));
+  msgs.push_back(std::make_shared<DataMsg>(MsgId{kSrc, 12}, kNow - 0.003, 1200,
+                                           true, degrees));
+  msgs.push_back(std::make_shared<GossipDigestMsg>(entries, members, degrees));
+  msgs.push_back(std::make_shared<PullRequestMsg>(
+      std::vector<MsgId>{{3, 9}, {5, 1}}, degrees));
+  return msgs;
+}
+
+class WireCodecTest : public ::testing::Test {
+ protected:
+  wire::FrameBuffer encode_frame(const net::Message& msg, SimTime now = kNow) {
+    wire::FrameBuffer buf{net::PayloadAllocator<std::uint8_t>(arena_)};
+    std::size_t n = wire::encode(msg, kSrc, kDst, now, buf);
+    EXPECT_EQ(n, buf.size());
+    return buf;
+  }
+
+  wire::DecodeStatus decode_frame(const wire::FrameBuffer& buf,
+                                  wire::Decoded& out, SimTime now = kNow) {
+    return wire::decode(buf.data(), buf.size(), arena_, now, out);
+  }
+
+  std::shared_ptr<net::MessageArena> arena_ =
+      std::make_shared<net::MessageArena>();
+};
+
+// ---- wire_size() consistency (satellite: audit every override) ----------
+
+TEST_F(WireCodecTest, EncodedSizeMatchesWireSizeForEveryType) {
+  for (const auto& msg : all_messages()) {
+    wire::FrameBuffer buf = encode_frame(*msg);
+    EXPECT_EQ(buf.size(), msg->wire_size())
+        << "type " << net::msg_kind_name(msg->kind()) << " packet "
+        << msg->packet_type();
+    EXPECT_EQ(wire::encoded_size(*msg), msg->wire_size());
+  }
+}
+
+TEST_F(WireCodecTest, EncodeAppendsWithoutClobbering) {
+  auto msgs = all_messages();
+  wire::FrameBuffer buf{net::PayloadAllocator<std::uint8_t>(arena_)};
+  std::size_t a = wire::encode(*msgs[5], kSrc, kDst, kNow, buf);
+  std::size_t b = wire::encode(*msgs[6], kSrc, kDst, kNow, buf);
+  ASSERT_EQ(buf.size(), a + b);
+  // First frame intact: magic still at offset 0 and its type field intact.
+  EXPECT_EQ(buf[0], 0x47);  // 'G'
+  EXPECT_EQ(buf[1], 0x43);  // 'C'
+  wire::Decoded out;
+  EXPECT_EQ(wire::decode(buf.data(), a, arena_, kNow, out),
+            wire::DecodeStatus::kOk);
+  EXPECT_EQ(out.msg->packet_type(), msgs[5]->packet_type());
+}
+
+// ---- round-trip fixpoint -------------------------------------------------
+
+TEST_F(WireCodecTest, RoundTripIsAFixpointForEveryType) {
+  for (const auto& msg : all_messages()) {
+    wire::FrameBuffer first = encode_frame(*msg);
+    wire::Decoded out;
+    ASSERT_EQ(decode_frame(first, out), wire::DecodeStatus::kOk)
+        << "packet " << msg->packet_type();
+    ASSERT_NE(out.msg, nullptr);
+    EXPECT_EQ(out.src, kSrc);
+    EXPECT_EQ(out.dst, kDst);
+    EXPECT_EQ(out.msg->packet_type(), msg->packet_type());
+    EXPECT_EQ(out.msg->kind(), msg->kind());
+    EXPECT_EQ(out.msg->wire_size(), msg->wire_size());
+
+    // Re-encoding the decoded message at the same local time must
+    // reproduce the frame byte for byte.
+    wire::FrameBuffer second = encode_frame(*out.msg);
+    ASSERT_EQ(second.size(), first.size()) << "packet " << msg->packet_type();
+    EXPECT_EQ(std::memcmp(first.data(), second.data(), first.size()), 0)
+        << "re-encode differs for packet " << msg->packet_type();
+  }
+}
+
+TEST_F(WireCodecTest, FieldsSurviveTheRoundTrip) {
+  net::PeerDegrees degrees = sample_degrees();
+  overlay::NeighborRequestMsg req(LinkKind::kNearby, 0.05, true, degrees);
+  wire::Decoded out;
+  ASSERT_EQ(decode_frame(encode_frame(req), out), wire::DecodeStatus::kOk);
+  const auto& r = static_cast<const overlay::NeighborRequestMsg&>(*out.msg);
+  EXPECT_EQ(r.link, LinkKind::kNearby);
+  EXPECT_TRUE(r.is_transfer);
+  EXPECT_DOUBLE_EQ(r.measured_rtt, 0.05);
+  ASSERT_NE(r.peer_degrees(), nullptr);
+  EXPECT_EQ(r.peer_degrees()->rand_degree, degrees.rand_degree);
+  EXPECT_EQ(r.peer_degrees()->near_degree, degrees.near_degree);
+  EXPECT_FLOAT_EQ(r.peer_degrees()->max_nearby_rtt, degrees.max_nearby_rtt);
+
+  tree::HeartbeatMsg hb(tree::Epoch{9, 3}, 1234, 0.078, degrees);
+  ASSERT_EQ(decode_frame(encode_frame(hb), out), wire::DecodeStatus::kOk);
+  const auto& h = static_cast<const tree::HeartbeatMsg&>(*out.msg);
+  EXPECT_EQ(h.epoch.term, 9u);
+  EXPECT_EQ(h.epoch.root, 3u);
+  EXPECT_EQ(h.seq, 1234u);
+  EXPECT_DOUBLE_EQ(h.cum_latency, 0.078);
+
+  PullRequestMsg pull(std::vector<MsgId>{{3, 9}, {5, 1}}, degrees);
+  ASSERT_EQ(decode_frame(encode_frame(pull), out), wire::DecodeStatus::kOk);
+  const auto& p = static_cast<const PullRequestMsg&>(*out.msg);
+  ASSERT_EQ(p.ids.size(), 2u);
+  EXPECT_EQ(p.ids[0], (MsgId{3, 9}));
+  EXPECT_EQ(p.ids[1], (MsgId{5, 1}));
+}
+
+// ---- age re-anchoring ----------------------------------------------------
+
+TEST_F(WireCodecTest, InstantsReanchorToTheReceiverClock) {
+  net::PeerDegrees degrees = sample_degrees();
+  // Sender clock reads 100.0, message injected 3 s ago; receiver clock
+  // reads 250.0 → the decoded inject time must be 3 s before *its* now.
+  DataMsg data(MsgId{1, 1}, kNow - 3.0, 64, false, degrees);
+  wire::FrameBuffer frame = encode_frame(data, /*now=*/kNow);
+  wire::Decoded out;
+  ASSERT_EQ(decode_frame(frame, out, /*now=*/250.0), wire::DecodeStatus::kOk);
+  const auto& d = static_cast<const DataMsg&>(*out.msg);
+  EXPECT_NEAR(d.inject_time, 250.0 - 3.0, 1e-9);
+  EXPECT_EQ(d.payload_bytes, 64u);
+  EXPECT_FALSE(d.via_tree);
+
+  std::vector<DigestEntry> entries{{MsgId{1, 1}, kNow - 0.5}};
+  GossipDigestMsg digest(entries, sample_members(), degrees);
+  frame = encode_frame(digest, kNow);
+  ASSERT_EQ(decode_frame(frame, out, 250.0), wire::DecodeStatus::kOk);
+  const auto& g = static_cast<const GossipDigestMsg&>(*out.msg);
+  ASSERT_EQ(g.entries.size(), 1u);
+  EXPECT_NEAR(g.entries[0].inject_time, 250.0 - 0.5, 1e-3);  // f32 age
+  ASSERT_EQ(g.members.size(), 3u);
+  // Member ages travel in deciseconds.
+  EXPECT_NEAR(g.members[0].heard_at, 250.0 - 1.5, 0.051);
+  // Never in the receiver's future.
+  for (const auto& m : g.members) EXPECT_LE(m.heard_at, 250.0);
+  for (const auto& e : g.entries) EXPECT_LE(e.inject_time, 250.0);
+}
+
+// ---- header rejection ----------------------------------------------------
+
+TEST_F(WireCodecTest, RejectsBadHeaders) {
+  overlay::PingMsg ping(1);
+  wire::FrameBuffer good = encode_frame(ping);
+  wire::Decoded out;
+
+  auto corrupted = [&](std::size_t offset, std::uint8_t value) {
+    wire::FrameBuffer f = good;
+    f[offset] = value;
+    return wire::decode(f.data(), f.size(), arena_, kNow, out);
+  };
+
+  EXPECT_EQ(corrupted(0, 0x00), wire::DecodeStatus::kBadMagic);
+  EXPECT_EQ(corrupted(2, wire::kVersion + 1), wire::DecodeStatus::kBadVersion);
+  EXPECT_EQ(corrupted(3, 0x80), wire::DecodeStatus::kMalformed);  // flags
+  EXPECT_EQ(corrupted(4, 0xFF), wire::DecodeStatus::kBadType);
+  EXPECT_EQ(corrupted(6, 0x01), wire::DecodeStatus::kMalformed);  // reserved
+  EXPECT_EQ(out.msg, nullptr);
+
+  // Claimed body longer than the datagram → truncated.
+  EXPECT_EQ(corrupted(8, 0xFF), wire::DecodeStatus::kTruncated);
+  // Claimed body shorter than the datagram → length mismatch.
+  EXPECT_EQ(corrupted(8, 0x00), wire::DecodeStatus::kLengthMismatch);
+
+  // Oversized datagrams are rejected before any parsing.
+  std::vector<std::uint8_t> huge(wire::kMaxFrameBytes + 1, 0);
+  EXPECT_EQ(wire::decode(huge.data(), huge.size(), arena_, kNow, out),
+            wire::DecodeStatus::kOversized);
+}
+
+TEST_F(WireCodecTest, EveryTruncationOfEveryTypeIsRejected) {
+  for (const auto& msg : all_messages()) {
+    wire::FrameBuffer frame = encode_frame(*msg);
+    for (std::size_t len = 0; len < frame.size(); ++len) {
+      wire::Decoded out;
+      wire::DecodeStatus status =
+          wire::decode(frame.data(), len, arena_, kNow, out);
+      EXPECT_NE(status, wire::DecodeStatus::kOk)
+          << "packet " << msg->packet_type() << " truncated to " << len;
+      EXPECT_EQ(out.msg, nullptr);
+    }
+  }
+}
+
+TEST_F(WireCodecTest, RejectsMalformedBodies) {
+  net::PeerDegrees degrees = sample_degrees();
+  wire::Decoded out;
+
+  // NaN where a duration belongs (measured_rtt at body offset 2).
+  overlay::NeighborRequestMsg req(LinkKind::kRandom, 0.05, false, degrees);
+  wire::FrameBuffer f = encode_frame(req);
+  double nan = std::nan("");
+  std::memcpy(f.data() + wire::kHeaderBytes + 2, &nan, sizeof nan);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Out-of-range enum byte for LinkKind.
+  f = encode_frame(req);
+  f[wire::kHeaderBytes] = 2;
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Boolean byte other than 0/1.
+  f = encode_frame(req);
+  f[wire::kHeaderBytes + 1] = 7;
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Member-count lie in a JoinReply (claims one more than the bytes hold).
+  overlay::JoinReplyMsg reply(sample_members());
+  f = encode_frame(reply);
+  f[wire::kHeaderBytes] = static_cast<std::uint8_t>(sample_members().size() + 1);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Payload-length lie inside a DataMsg (byte count disagrees with body).
+  DataMsg data(MsgId{1, 1}, kNow, 32, true, degrees);
+  f = encode_frame(data);
+  f[wire::kHeaderBytes + 16] = 33;  // payload_bytes field
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Negative max_nearby_rtt in the piggybacked degrees.
+  overlay::PongMsg pong(1, degrees);
+  f = encode_frame(pong);
+  float neg = -1.0f;
+  std::memcpy(f.data() + wire::kHeaderBytes + 8, &neg, sizeof neg);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+}
+
+TEST_F(WireCodecTest, EncodeRefusesOversizedAndForeignMessages) {
+  net::PeerDegrees degrees = sample_degrees();
+  // A payload that cannot fit one UDP datagram.
+  DataMsg big(MsgId{1, 1}, kNow, 70000, false, degrees);
+  wire::FrameBuffer buf{net::PayloadAllocator<std::uint8_t>(arena_)};
+  EXPECT_EQ(wire::encode(big, kSrc, kDst, kNow, buf), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(wire::encoded_size(big), big.wire_size());  // size math still honest
+
+  // A message type outside the wire grammar.
+  struct ForeignMsg : net::Message {
+    ForeignMsg() : net::Message(net::MsgKind::kOther, 999) {}
+    std::size_t wire_size() const override { return 8; }
+  } foreign;
+  EXPECT_EQ(wire::encode(foreign, kSrc, kDst, kNow, buf), 0u);
+  EXPECT_EQ(wire::encoded_size(foreign), 0u);
+}
+
+// ---- deterministic corruption fuzz --------------------------------------
+
+TEST_F(WireCodecTest, SeededBitFlipFuzzNeverCrashesTheDecoder) {
+  std::mt19937 rng(20260809);
+  auto msgs = all_messages();
+  int accepted = 0, rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const auto& msg = *msgs[rng() % msgs.size()];
+    wire::FrameBuffer frame = encode_frame(msg);
+    int flips = 1 + static_cast<int>(rng() % 8);
+    for (int i = 0; i < flips; ++i) {
+      std::size_t bit = rng() % (frame.size() * 8);
+      frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+    wire::Decoded out;
+    wire::DecodeStatus status = decode_frame(frame, out);
+    ASSERT_LT(static_cast<std::size_t>(status), wire::kDecodeStatusCount);
+    if (status == wire::DecodeStatus::kOk) {
+      // Flips can land in don't-care bytes (payload zeros, nonce bits) and
+      // still parse — but then the message must be fully formed.
+      ASSERT_NE(out.msg, nullptr);
+      EXPECT_EQ(out.msg->wire_size(), frame.size());
+      ++accepted;
+    } else {
+      EXPECT_EQ(out.msg, nullptr);
+      ++rejected;
+    }
+  }
+  // The grammar is dense in places (nonces, ids), so some flips survive;
+  // most must not.
+  EXPECT_GT(rejected, accepted);
+}
+
+TEST_F(WireCodecTest, SeededLengthLieFuzzNeverCrashesTheDecoder) {
+  std::mt19937 rng(42);
+  auto msgs = all_messages();
+  for (int round = 0; round < 2000; ++round) {
+    const auto& msg = *msgs[rng() % msgs.size()];
+    wire::FrameBuffer frame = encode_frame(msg);
+    // Lie in the body-length field, and independently truncate/extend the
+    // datagram itself.
+    std::uint32_t lie = rng() % (2 * frame.size() + 4);
+    std::memcpy(frame.data() + 8, &lie, sizeof lie);
+    std::size_t len = rng() % (frame.size() + 8);
+    frame.resize(std::max(frame.size(), len), 0);
+    wire::Decoded out;
+    wire::DecodeStatus status =
+        wire::decode(frame.data(), len, arena_, kNow, out);
+    ASSERT_LT(static_cast<std::size_t>(status), wire::kDecodeStatusCount);
+    if (status != wire::DecodeStatus::kOk) EXPECT_EQ(out.msg, nullptr);
+  }
+}
+
+TEST_F(WireCodecTest, RandomGarbageIsRejected) {
+  std::mt19937 rng(7);
+  for (int round = 0; round < 2000; ++round) {
+    std::vector<std::uint8_t> junk(rng() % 512);
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    wire::Decoded out;
+    wire::DecodeStatus status =
+        wire::decode(junk.data(), junk.size(), arena_, kNow, out);
+    // Random bytes essentially never spell a valid frame (magic + version +
+    // zero flags + exact length), and must never crash.
+    if (status == wire::DecodeStatus::kOk) {
+      ASSERT_NE(out.msg, nullptr);
+    } else {
+      EXPECT_EQ(out.msg, nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gocast

@@ -5,6 +5,8 @@
 #   tools/check.sh bench-smoke     # quick perf-tooling sanity run only
 #   tools/check.sh tsan            # TSan: runner tests + 2-thread mini-sweep
 #   tools/check.sh byzantine-smoke # adversarial-defense gate (ext_byzantine)
+#   tools/check.sh udp-smoke       # 8 gocastd processes over loopback UDP,
+#                                  # clean run + kill -9 chaos run
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -51,6 +53,69 @@ if [[ "${1:-}" == "byzantine-smoke" ]]; then
   echo "=== byzantine-smoke: ext_byzantine --smoke ==="
   "${root}/build/bench/ext_byzantine" --smoke
   echo "=== byzantine-smoke passed ==="
+  exit 0
+fi
+
+# udp-smoke: the wire codec + UDP reactor end to end — 8 gocastd processes
+# on loopback form one overlay and a multicast injected at a non-root node
+# must reach every process (each exits 0 only on full local delivery).
+# Phase 2 repeats the run and kill -9s a non-root, non-injector forwarder
+# mid-multicast: the ICMP-unreachable/suspicion path must carry the
+# remaining 7 processes to 100% delivery anyway.
+if [[ "${1:-}" == "udp-smoke" ]]; then
+  cmake -B "${root}/build" -S "${root}"
+  cmake --build "${root}/build" -j "${jobs}" --target gocastd
+  bin="${root}/build/tools/gocastd"
+  n=8
+  logdir="$(mktemp -d)"
+
+  launch_swarm() { # $1 = phase name, $2 = port base; sets pids[]
+    local phase="$1" base="$2" peers="" i
+    for ((i = 0; i < n; ++i)); do
+      peers+="${peers:+,}${i}@127.0.0.1:$((base + i))"
+    done
+    local epoch
+    epoch="$(date +%s)"
+    pids=()
+    for ((i = 0; i < n; ++i)); do
+      "${bin}" --node-id "${i}" --listen "127.0.0.1:$((base + i))" \
+        --peers "${peers}" --inject-at 1 --messages 4 --payload 512 \
+        --warmup 2.0 --timeout 25 --drain 1.5 --epoch "${epoch}" --seed 7 \
+        >"${logdir}/${phase}-${i}.log" 2>&1 &
+      pids+=("$!")
+    done
+  }
+
+  reap_swarm() { # $1 = phase name, $2 = node id to skip ("" for none)
+    local phase="$1" skip="${2:-}" status=0 i rc
+    for ((i = 0; i < n; ++i)); do
+      [[ "${i}" == "${skip}" ]] && continue
+      rc=0
+      wait "${pids[i]}" || rc=$?
+      if [[ "${rc}" != 0 ]]; then
+        status=1
+        echo "--- ${phase}: node ${i} exited ${rc}"
+        tail -4 "${logdir}/${phase}-${i}.log"
+      fi
+    done
+    return "${status}"
+  }
+
+  echo "=== udp-smoke: 8 processes, clean full delivery ==="
+  launch_swarm clean "$((20000 + RANDOM % 20000))"
+  reap_swarm clean
+  grep -h "^OK:" "${logdir}"/clean-*.log
+
+  echo "=== udp-smoke: chaos — kill -9 node 2 mid-multicast ==="
+  launch_swarm chaos "$((41000 + RANDOM % 20000))"
+  # Injection starts right after the 2 s warmup; the kill lands inside the
+  # multicast burst. Node 2 is neither root (0) nor injector (1).
+  sleep 2.1
+  kill -9 "${pids[2]}" 2>/dev/null || true
+  wait "${pids[2]}" 2>/dev/null || true
+  reap_swarm chaos 2
+  grep -h "^OK:" "${logdir}"/chaos-*.log
+  echo "=== udp-smoke passed ==="
   exit 0
 fi
 

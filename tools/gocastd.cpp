@@ -1,44 +1,286 @@
-// gocastd — a live GoCast deployment in one process.
+// gocastd — a live GoCast node (or a whole deployment) in one process.
 //
-// Instantiates GoCastNodeT<runtime::RealtimeContext> (the same protocol code
-// the simulator runs, bound to the real-time backend) for N nodes over the
-// in-process loopback transport: timers sleep on the steady clock, sends are
-// delivered after an injected per-hop latency. After a short warmup that lets
-// the overlay and tree form, a burst of multicasts is injected at non-root
-// nodes and the run reports whether every live node delivered every message.
+// Two modes run the same protocol templates the simulator runs:
+//
+//   Loopback (default): GoCastNodeT<runtime::RealtimeContext> for N nodes
+//   over the in-process loopback transport — timers sleep on the steady
+//   clock, sends are delivered after an injected per-hop latency.
+//
+//   UDP (--node-id / --listen / --peers): GoCastNodeT<runtime::UdpContext>
+//   for ONE node behind a real non-blocking UDP socket. Launch N processes
+//   with the same --peers list, same --seed, and a shared --epoch and they
+//   form one overlay: every process derives the same deterministic
+//   bootstrap link set from the seed and installs the links incident to
+//   itself, the lowest node id becomes the initial tree root, and
+//   --inject-at names the (non-root) node that multicasts. Each process
+//   exits 0 once it has delivered every expected multicast (after a short
+//   --drain so laggards can still pull from it), 2 on timeout, 3 on
+//   bind/config errors. SIGTERM/SIGINT interrupt the reactor, drain
+//   briefly, and exit with the delivery status so far.
 //
 // Exit status is 0 only when delivery was complete — the quickstart doubles
-// as a smoke test (tools/check.sh and CI run it).
+// as a smoke test (tools/check.sh and CI run both modes).
 //
-// Flags: --nodes N --messages K --payload BYTES --warmup SECS --latency-us U
-//        --jitter-us U --seed S
+// Loopback flags: --nodes N --messages K --payload BYTES --warmup SECS
+//                 --latency-us U --jitter-us U --seed S
+// UDP flags:      --node-id I --listen HOST:PORT --peers ID@HOST:PORT,...
+//                 --inject-at I --messages K --payload BYTES --warmup SECS
+//                 --timeout SECS --drain SECS --epoch UNIX_SECS --seed S
+#include <algorithm>
+#include <csignal>
 #include <cstdint>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gocast/node.h"
 #include "harness/args.h"
 #include "harness/table.h"
 #include "runtime/realtime_runtime.h"
+#include "runtime/udp_runtime.h"
 
-int main(int argc, char** argv) {
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: epoll_wait must see EINTR promptly
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+/// Parses "HOST:PORT"; returns false on malformed input.
+bool parse_hostport(const std::string& s, std::string& host,
+                    std::uint16_t& port) {
+  std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return false;
+  }
+  host = s.substr(0, colon);
+  long p = 0;
+  try {
+    p = std::stol(s.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  if (p < 1 || p > 65535) return false;
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+/// Parses "ID@HOST:PORT,ID@HOST:PORT,..." into peer specs.
+bool parse_peers(const std::string& s,
+                 std::vector<gocast::runtime::UdpPeerSpec>& out) {
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t comma = s.find(',', pos);
+    std::string item =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    pos = comma == std::string::npos ? s.size() : comma + 1;
+    if (item.empty()) continue;
+    std::size_t at = item.find('@');
+    if (at == std::string::npos || at == 0) return false;
+    gocast::runtime::UdpPeerSpec spec;
+    try {
+      spec.id = static_cast<gocast::NodeId>(std::stoul(item.substr(0, at)));
+    } catch (...) {
+      return false;
+    }
+    if (!parse_hostport(item.substr(at + 1), spec.host, spec.port)) {
+      return false;
+    }
+    out.push_back(std::move(spec));
+  }
+  return !out.empty();
+}
+
+/// The deterministic bootstrap link set every process derives from the
+/// shared seed: two random links per node over the sorted id list, exactly
+/// the wiring the loopback mode performs imperatively. Each process then
+/// installs only the links incident to itself.
+std::set<std::pair<gocast::NodeId, gocast::NodeId>> bootstrap_links(
+    const std::vector<gocast::NodeId>& ids, gocast::Rng& init_rng) {
+  std::set<std::pair<gocast::NodeId, gocast::NodeId>> links;
+  // Attempts are capped: a small deployment can saturate (2 nodes have only
+  // one possible pair), and every process must run the identical number of
+  // RNG draws to stay in lockstep.
+  const std::size_t max_attempts = 16 * ids.size() + 64;
+  for (gocast::NodeId id : ids) {
+    std::size_t made = 0;
+    for (std::size_t attempt = 0; made < 2 && attempt < max_attempts;
+         ++attempt) {
+      gocast::NodeId other = ids[init_rng.next_below(ids.size())];
+      auto key = std::minmax(id, other);
+      if (other == id || links.count({key.first, key.second})) continue;
+      links.insert({key.first, key.second});
+      ++made;
+    }
+  }
+  return links;
+}
+
+int run_udp_mode(const gocast::harness::Args& args) {
   using namespace gocast;
 
-  harness::Args args(argc, argv,
-                     {"nodes", "messages", "payload", "warmup", "latency-us",
-                      "jitter-us", "seed", "help"});
-  if (args.get_bool("help", false)) {
-    std::cout
-        << "gocastd — run N live GoCast nodes over the real-time loopback\n"
-           "flags: --nodes N [8] --messages K [4] --payload BYTES [512]\n"
-           "       --warmup SECS [2.0] --latency-us U [200] --jitter-us U "
-           "[50]\n"
-           "       --seed S [1]\n";
-    return 0;
+  runtime::UdpConfig rt_config;
+  rt_config.self = static_cast<NodeId>(args.get_int("node-id", 0));
+  rt_config.epoch_unix = args.get_double("epoch", 0.0);
+  rt_config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::string listen = args.get("listen", "127.0.0.1:0");
+  if (!parse_hostport(listen, rt_config.listen_host, rt_config.listen_port)) {
+    std::cerr << "gocastd: bad --listen '" << listen << "'\n";
+    return 3;
   }
+  if (!parse_peers(args.get("peers", ""), rt_config.peers)) {
+    std::cerr << "gocastd: UDP mode needs --peers ID@HOST:PORT,...\n";
+    return 3;
+  }
+
+  // The full deployment id list: every process receives the same --peers
+  // (including its own entry) so the bootstrap derivation agrees.
+  std::vector<NodeId> ids;
+  for (const auto& p : rt_config.peers) ids.push_back(p.id);
+  ids.push_back(rt_config.self);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() < 2) {
+    std::cerr << "gocastd: need at least 2 nodes\n";
+    return 3;
+  }
+  const NodeId self = rt_config.self;
+  const NodeId root = ids.front();
+  const NodeId inject_at = static_cast<NodeId>(
+      args.get_int("inject-at", static_cast<long>(ids[1])));
+  if (inject_at == root) {
+    std::cerr << "gocastd: --inject-at must name a non-root node (root is "
+              << root << ")\n";
+    return 3;
+  }
+  const std::size_t messages =
+      static_cast<std::size_t>(args.get_int("messages", 4));
+  const std::size_t payload =
+      static_cast<std::size_t>(args.get_int("payload", 512));
+  const double warmup = args.get_double("warmup", 2.0);
+  const double timeout = args.get_double("timeout", 20.0);
+  const double drain = args.get_double("drain", 1.0);
+
+  std::unique_ptr<runtime::UdpRuntime> rt;
+  try {
+    rt = std::make_unique<runtime::UdpRuntime>(rt_config);
+  } catch (const runtime::UdpSetupError& e) {
+    std::cerr << "gocastd: " << e.what() << "\n";
+    return 3;
+  }
+  install_signal_handlers();
+  rt->watch_stop_flag(&g_stop);
+
+  core::GoCastConfig config;
+  config.tree.heartbeat_period = 0.25;
+  config.dissemination.gossip_period = 0.1;
+  for (std::size_t lm = 0; lm < std::min<std::size_t>(ids.size(), 4); ++lm) {
+    config.landmarks.push_back(ids[lm]);
+  }
+
+  using LiveNode = core::GoCastNodeT<runtime::UdpContext>;
+  Rng rng(rt_config.seed);
+  // Fork per id exactly as the loopback mode does, so every process draws
+  // the same per-node stream regardless of which node it hosts.
+  Rng node_rng(0);
+  for (NodeId id : ids) {
+    Rng forked = rng.fork(static_cast<std::uint64_t>(id));
+    if (id == self) node_rng = forked;
+  }
+  LiveNode node(self, *rt, config, node_rng);
+
+  std::vector<membership::MemberEntry> others;
+  for (NodeId id : ids) {
+    if (id == self) {
+      continue;
+    }
+    membership::MemberEntry entry;
+    entry.id = id;
+    others.push_back(entry);
+  }
+  node.seed_view(others);
+
+  Rng init_rng = rng.fork("init");
+  for (const auto& [a, b] : bootstrap_links(ids, init_rng)) {
+    if (a == self) node.bootstrap_link(b, overlay::LinkKind::kRandom);
+    if (b == self) node.bootstrap_link(a, overlay::LinkKind::kRandom);
+  }
+  if (self == root) node.become_root();
+
+  std::map<MsgId, std::size_t> delivered;
+  node.set_delivery_hook(
+      [&delivered](const core::DeliveryEvent& e) { ++delivered[e.id]; });
+
+  node.start(init_rng.next_range(0.0, 0.1));
+  std::cout << "gocastd: node " << self << " on " << rt_config.listen_host
+            << ":" << rt->port() << ", " << ids.size()
+            << "-node deployment, root " << root << ", warming up " << warmup
+            << " s...\n";
+  rt->run_for(warmup);
+
+  if (self == inject_at && !g_stop) {
+    for (std::size_t k = 0; k < messages; ++k) {
+      rt->schedule_after(0.05 * static_cast<double>(k), [&node, &rt, payload] {
+        MsgId id = node.multicast(payload);
+        std::cout << "  t=" << rt->now() << " s: multicast " << id.origin
+                  << ":" << id.seq << "\n";
+      });
+    }
+  }
+
+  // Count multicasts from the injector that reached this node; every
+  // process (the injector included, via its own delivery hook) must see
+  // all of them.
+  auto delivered_all = [&] {
+    std::size_t seen = 0;
+    for (const auto& [id, count] : delivered) {
+      if (id.origin == inject_at && count > 0) ++seen;
+    }
+    return seen >= messages;
+  };
+
+  const SimTime deadline = rt->now() + timeout;
+  while (!g_stop && !delivered_all() && rt->now() < deadline) {
+    rt->run_for(0.1);
+  }
+  const bool complete = delivered_all();
+
+  // Keep forwarding briefly so nodes still catching up can pull from us —
+  // a process that exits the instant it finishes starves the tail of the
+  // swarm.
+  if (!g_stop && drain > 0.0) rt->run_for(drain);
+
+  const auto& stats = rt->stats();
+  std::cout << "gocastd: node " << self << (g_stop ? " (interrupted)" : "")
+            << ": delivered " << node.deliveries_count() << ", duplicates "
+            << node.duplicates_count() << ", degree "
+            << node.overlay().degree() << "  (udp: " << stats.datagrams_sent
+            << " sent, " << stats.datagrams_received << " received, "
+            << stats.rejected_frames << " rejected, " << stats.send_failures
+            << " send failures)\n";
+  if (!complete) {
+    std::cout << "FAILED: incomplete delivery\n";
+    return 2;
+  }
+  std::cout << "OK: node " << self << " delivered every multicast\n";
+  return 0;
+}
+
+int run_loopback_mode(const gocast::harness::Args& args) {
+  using namespace gocast;
 
   const std::size_t n = static_cast<std::size_t>(args.get_int("nodes", 8));
   const std::size_t messages =
@@ -46,10 +288,11 @@ int main(int argc, char** argv) {
   const std::size_t payload =
       static_cast<std::size_t>(args.get_int("payload", 512));
   const double warmup = args.get_double("warmup", 2.0);
-  const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 1));
   if (n < 2) {
     std::cerr << "gocastd: need at least 2 nodes\n";
-    return 2;
+    return 3;
   }
 
   runtime::RealtimeConfig rt_config;
@@ -58,6 +301,7 @@ int main(int argc, char** argv) {
   rt_config.seed = seed;
   runtime::RealtimeRuntime rt(rt_config);
   for (std::size_t i = 0; i < n; ++i) rt.add_node();
+  install_signal_handlers();
 
   // Protocol periods scaled for an interactive demo: the defaults target
   // long simulated runs (15 s heartbeats), which would make a human wait.
@@ -113,8 +357,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "gocastd: " << n << " live nodes, one-way latency "
-            << rt_config.one_way_latency * 1e6 << " us, warming up "
-            << warmup << " s...\n";
+            << rt_config.one_way_latency * 1e6 << " us, warming up " << warmup
+            << " s...\n";
   rt.run_for(warmup);
 
   // Inject every multicast at a non-root node; the first tree hop is then a
@@ -151,12 +395,45 @@ int main(int argc, char** argv) {
   const auto& stats = rt.stats();
   std::cout << "\nmessages fully delivered: " << complete << "/" << messages
             << "  (network: " << stats.messages_sent << " sends, "
-            << stats.messages_delivered << " deliveries, "
-            << stats.bytes_sent << " bytes)\n";
+            << stats.messages_delivered << " deliveries, " << stats.bytes_sent
+            << " bytes)\n";
   if (complete != messages) {
     std::cout << "FAILED: incomplete delivery\n";
-    return 1;
+    return 2;
   }
   std::cout << "OK: every node delivered every multicast\n";
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gocast;
+
+  harness::Args args(argc, argv,
+                     {"nodes", "messages", "payload", "warmup", "latency-us",
+                      "jitter-us", "seed", "node-id", "listen", "peers",
+                      "inject-at", "timeout", "drain", "epoch", "help"});
+  if (args.get_bool("help", false)) {
+    std::cout
+        << "gocastd — run live GoCast nodes (loopback or UDP mode)\n"
+           "loopback: --nodes N [8] --messages K [4] --payload BYTES [512]\n"
+           "          --warmup SECS [2.0] --latency-us U [200] --jitter-us U "
+           "[50]\n"
+           "          --seed S [1]\n"
+           "udp:      --node-id I --listen HOST:PORT --peers "
+           "ID@HOST:PORT,...\n"
+           "          --inject-at I --messages K [4] --payload BYTES [512]\n"
+           "          --warmup SECS [2.0] --timeout SECS [20] --drain SECS "
+           "[1.0]\n"
+           "          --epoch UNIX_SECS --seed S [1]\n"
+           "exit: 0 full delivery, 2 timeout/incomplete, 3 bind/config "
+           "error\n";
+    return 0;
+  }
+
+  if (args.has("node-id") || args.has("listen") || args.has("peers")) {
+    return run_udp_mode(args);
+  }
+  return run_loopback_mode(args);
 }
