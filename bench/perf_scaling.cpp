@@ -6,7 +6,9 @@
 // changes are visible in review instead of anecdotal.
 //
 //   perf_scaling [--nodes N] [--seconds S] [--messages M] [--seed X]
+//                [--mem-report]
 //   perf_scaling --sweep [--threads T] [--reps R] [--nodes N] [--seed X]
+//   perf_scaling --curve [--seed X] [--curve-points N1,N2,...]
 //
 // --sweep runs R independent replications of a small scenario through
 // harness::Runner and reports wall clock, replications/hour, and a
@@ -14,14 +16,28 @@
 // identical at every thread count, which tools/bench.sh asserts when it
 // records the sweep_parallel section of BENCH_core.json.
 //
+// --mem-report appends a per-subsystem byte breakdown (engine slots,
+// membership views, message pool, digest store, overlay/tree trackers) to
+// the JSON, from System::memory_report().
+//
+// --curve runs one single-run point per node count (default 8k/32k/128k/512k,
+// sim horizon scaled down as the deployment grows) and emits a JSON array of
+// the per-point reports. Each point re-executes this binary (/proc/self/exe)
+// so its peak RSS is a clean per-process measurement instead of the max over
+// all smaller points; each point's JSON carries its own nodes/seed/horizon
+// metadata and a memory breakdown.
+//
 // The run is deterministic per seed; timing obviously is not.
 #include <sys/resource.h>
+#include <unistd.h>
 
 #include <chrono>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "gocast/system.h"
 #include "harness/runner.h"
@@ -108,6 +124,77 @@ int run_sweep_mode(std::size_t threads, std::size_t reps, std::size_t nodes,
   return 0;
 }
 
+/// One --curve point: sim horizon and injected message count shrink as the
+/// deployment grows so every point finishes in minutes on one core while
+/// still exercising maintenance + dissemination + GC.
+struct CurvePoint {
+  std::size_t nodes;
+  double sim_seconds;
+  std::size_t messages;
+};
+
+CurvePoint curve_point_for(std::size_t nodes) {
+  if (nodes <= 8192) return {nodes, 60.0, 50};
+  if (nodes <= 32768) return {nodes, 20.0, 20};
+  if (nodes <= 131072) return {nodes, 8.0, 8};
+  return {nodes, 3.0, 2};
+}
+
+int run_curve_mode(const std::vector<std::size_t>& point_nodes,
+                   std::uint64_t seed) {
+  // Resolve our own binary path up front: popen's child is a shell, so a
+  // literal /proc/self/exe in the command would resolve to the shell, not
+  // to this benchmark.
+  char exe[PATH_MAX];
+  const ssize_t exe_len = readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  if (exe_len <= 0) {
+    std::perror("readlink /proc/self/exe");
+    return 1;
+  }
+  exe[exe_len] = '\0';
+
+  std::printf("[\n");
+  bool first = true;
+  for (std::size_t nodes : point_nodes) {
+    const CurvePoint p = curve_point_for(nodes);
+    // Fresh process per point: peak RSS is per-point truth, and a crashed
+    // giant point (OOM) fails that point instead of the whole curve.
+    char cmd[PATH_MAX + 128];
+    std::snprintf(cmd, sizeof(cmd),
+                  "\"%s\" --nodes %zu --seconds %.1f --messages %zu "
+                  "--seed %llu --mem-report",
+                  exe, p.nodes, p.sim_seconds, p.messages,
+                  static_cast<unsigned long long>(seed));
+    std::fprintf(stderr, "curve point: %s\n", cmd);
+    FILE* child = popen(cmd, "r");
+    if (child == nullptr) {
+      std::fprintf(stderr, "popen failed for %zu nodes\n", nodes);
+      return 1;
+    }
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), child)) > 0) out.append(buf, n);
+    const int status = pclose(child);
+    if (status != 0) {
+      std::fprintf(stderr, "curve point %zu nodes exited with status %d\n",
+                   nodes, status);
+      return 1;
+    }
+    if (!first) std::printf(",\n");
+    first = false;
+    // Child output is a complete JSON object; trim the trailing newline so
+    // the array renders cleanly.
+    while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+      out.pop_back();
+    }
+    std::printf("%s", out.c_str());
+    std::fflush(stdout);
+  }
+  std::printf("\n]\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,6 +206,9 @@ int main(int argc, char** argv) {
   std::size_t threads = 0;
   std::size_t reps = 8;
   bool nodes_set = false;
+  bool mem_report = false;
+  bool curve = false;
+  std::vector<std::size_t> curve_points{8192, 32768, 131072, 524288};
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -143,14 +233,29 @@ int main(int argc, char** argv) {
       threads = static_cast<std::size_t>(std::strtoull(need_value("--threads"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--reps") == 0) {
       reps = static_cast<std::size_t>(std::strtoull(need_value("--reps"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--mem-report") == 0) {
+      mem_report = true;
+    } else if (std::strcmp(argv[i], "--curve") == 0) {
+      curve = true;
+    } else if (std::strcmp(argv[i], "--curve-points") == 0) {
+      curve_points.clear();
+      for (const char* s = need_value("--curve-points"); *s != '\0';) {
+        char* end = nullptr;
+        curve_points.push_back(
+            static_cast<std::size_t>(std::strtoull(s, &end, 10)));
+        s = (*end == ',') ? end + 1 : end;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes N] [--seconds S] [--messages M] "
-                   "[--seed X] [--sweep [--threads T] [--reps R]]\n",
+                   "[--seed X] [--mem-report] [--sweep [--threads T] "
+                   "[--reps R]] [--curve [--curve-points N1,N2,...]]\n",
                    argv[0]);
       return 2;
     }
   }
+
+  if (curve) return run_curve_mode(curve_points, seed);
 
   if (sweep) {
     // The sweep replications are deliberately small so serial-vs-parallel
@@ -187,6 +292,7 @@ int main(int argc, char** argv) {
 
   const std::uint64_t events = system.engine().processed();
   const auto& pool = system.network().pool();
+  const double rss = peak_rss_mib();
   std::printf(
       "{\n"
       "  \"build_type\": \"%s\",\n"
@@ -200,16 +306,39 @@ int main(int argc, char** argv) {
       "  \"events_per_second\": %.0f,\n"
       "  \"events_pending_at_end\": %zu,\n"
       "  \"peak_rss_mib\": %.1f,\n"
+      "  \"bytes_per_node\": %.0f,\n"
       "  \"pool\": {\"reused\": %llu, \"fresh\": %llu, \"oversized\": %llu, "
-      "\"chunks\": %zu}\n"
-      "}\n",
+      "\"chunks\": %zu}",
       build_type(), nodes, sim_seconds, messages,
       static_cast<unsigned long long>(seed), setup_wall, run_wall,
       static_cast<unsigned long long>(events),
       run_wall > 0.0 ? static_cast<double>(events) / run_wall : 0.0,
-      system.engine().pending(), peak_rss_mib(),
+      system.engine().pending(), rss,
+      rss * 1024.0 * 1024.0 / static_cast<double>(nodes),
       static_cast<unsigned long long>(pool.reused()),
       static_cast<unsigned long long>(pool.fresh()),
       static_cast<unsigned long long>(pool.oversized()), pool.chunks());
+  if (mem_report) {
+    const auto mem = system.memory_report();
+    std::printf(
+        ",\n"
+        "  \"memory\": {\n"
+        "    \"engine_bytes\": %zu,\n"
+        "    \"network_bytes\": %zu,\n"
+        "    \"node_object_bytes\": %zu,\n"
+        "    \"view_bytes\": %zu,\n"
+        "    \"landmark_store_bytes\": %zu,\n"
+        "    \"landmark_unique\": %zu,\n"
+        "    \"dissemination_bytes\": %zu,\n"
+        "    \"overlay_bytes\": %zu,\n"
+        "    \"tree_bytes\": %zu,\n"
+        "    \"accounted_total_bytes\": %zu\n"
+        "  }",
+        mem.engine_bytes, mem.network_bytes, mem.node_object_bytes,
+        mem.view_bytes, mem.landmark_store_bytes, mem.landmark_unique,
+        mem.dissemination_bytes, mem.overlay_bytes, mem.tree_bytes,
+        mem.total_bytes());
+  }
+  std::printf("\n}\n");
   return 0;
 }

@@ -64,6 +64,22 @@ class DeliveryTracker {
   [[nodiscard]] std::vector<CurvePoint> pair_delay_curve(
       const std::vector<NodeId>& live_nodes, std::size_t points) const;
 
+  /// Approximate heap bytes held by the tracker (per-node delay logs
+  /// dominate; the node-based message index is estimated at one bucket
+  /// pointer plus one ~48-byte node per message).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = msg_index_.bucket_count() * sizeof(void*) +
+                        msg_index_.size() * 48 +
+                        inject_times_.capacity() * sizeof(SimTime) +
+                        per_message_deliveries_.capacity() *
+                            sizeof(std::uint32_t) +
+                        per_node_.capacity() * sizeof(PerNode);
+    for (const PerNode& n : per_node_) {
+      bytes += n.delays.capacity() * sizeof(float);
+    }
+    return bytes;
+  }
+
  private:
   struct PerNode {
     std::uint32_t delivered = 0;

@@ -121,6 +121,15 @@ class FlatMap {
   /// Current slot-array capacity (diagnostics; 0 before first insert).
   [[nodiscard]] size_type capacity() const { return states_.size(); }
 
+  /// Heap bytes owned by the table, including the scratch buffers retained
+  /// across rehashes (memory accounting for --mem-report).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return (slots_.capacity() + scratch_slots_.capacity()) *
+               sizeof(value_type) +
+           (states_.capacity() + scratch_states_.capacity()) * sizeof(State) +
+           full_bits_.capacity() * sizeof(std::uint64_t);
+  }
+
   [[nodiscard]] iterator begin() {
     iterator it = iterator_at(0);
     it.skip_to_full();
@@ -298,6 +307,15 @@ class FlatMap {
     --size_;
   }
 
+  /// Scratch buffers above this footprint are freed after a rehash instead
+  /// of retained. Retention only pays at steady-state same-capacity rehashes
+  /// (growth rehashes resize the scratch anyway), where the rehash's own
+  /// O(capacity) rebuild dwarfs one malloc/free pair — so for big tables the
+  /// retained buffers are pure resident memory. Small hot-path tables (the
+  /// common case: a few dozen entries, rehashing every O(capacity) erases)
+  /// keep the allocation-free behavior.
+  static constexpr std::size_t kScratchRetainBytes = 1024;
+
   void rehash(size_type new_capacity) {
     GOCAST_ASSERT((new_capacity & (new_capacity - 1)) == 0);
     // Swap with retained scratch buffers instead of allocating fresh ones:
@@ -320,6 +338,10 @@ class FlatMap {
       slots_[idx] = std::move(scratch_slots_[i]);
       states_[idx] = State::kFull;
       set_bit(idx);
+    }
+    if (scratch_slots_.capacity() * sizeof(value_type) > kScratchRetainBytes) {
+      scratch_slots_ = {};
+      scratch_states_ = {};
     }
   }
 

@@ -40,12 +40,15 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
   GOCAST_ASSERT(params_.pull_retry_jitter >= 0.0);
   GOCAST_ASSERT(defense_.suspicion_decay_halflife > 0.0);
   GOCAST_ASSERT(defense_.suspicion_threshold > 0.0);
-  // Flat tables, sized once: the store holds messages for gc_record_after
-  // seconds, pending_ one slot per overlay neighbor, pull_pending_ the ids
-  // currently being recovered. Steady state should never rehash.
-  store_.reserve(256);
-  pending_.reserve(32);
-  pull_pending_.reserve(64);
+  // Flat tables sized for the common case, not the worst: pending_ holds one
+  // slot per overlay neighbor (degree target ~6), pull_pending_ a handful of
+  // in-flight recoveries, and the store grows deterministically toward the
+  // record-retention window when a run actually sustains traffic. Large
+  // deployments pay for what they use instead of 30+ KiB of empty table per
+  // node up front.
+  store_.reserve(32);
+  pending_.reserve(8);
+  pull_pending_.reserve(16);
   piggyback_buf_.reserve(params_.piggyback_members + 1);
 }
 
@@ -77,12 +80,13 @@ template <runtime::Context RT>
 void DisseminationT<RT>::accept_message(MsgId id, SimTime inject_time,
                                         std::size_t payload_bytes,
                                         NodeId learned_from, DeliveryPath path) {
-  auto [it, inserted] = store_.try_emplace(
-      id, Stored{inject_time, rt_.now(), payload_bytes, true, true});
+  const auto bytes = static_cast<std::uint32_t>(payload_bytes);
+  auto [it, inserted] =
+      store_.try_emplace(id, Stored{inject_time, rt_.now(), bytes, true, true});
   if (!inserted) {
     // Only a digest-liar can race its own fake (payload-less) record against
     // a real arrival; promote the record instead of asserting.
-    it->second = Stored{inject_time, rt_.now(), payload_bytes, true, true};
+    it->second = Stored{inject_time, rt_.now(), bytes, true, true};
   }
   ++deliveries_;
   pull_pending_.erase(id);
@@ -266,12 +270,11 @@ DisseminationT<RT>::piggyback_members() {
   self_entry.heard_at = rt_.now();
   members.push_back(self_entry);
 
-  const auto& entries = view_.entries();
-  if (entries.empty()) return members;
+  if (view_.empty()) return members;
   for (std::size_t i = 0; i < params_.piggyback_members; ++i) {
     // With-replacement picks: O(1) per gossip; duplicates are harmless.
-    members.push_back(
-        entries[static_cast<std::size_t>(rng_.next_below(entries.size()))]);
+    members.push_back(view_.entry_at(
+        static_cast<std::size_t>(rng_.next_below(view_.size()))));
   }
   return members;
 }
@@ -595,9 +598,20 @@ std::size_t DisseminationT<RT>::readvertise_recent() {
   // waiting period b — the ones the other side of a healed partition can
   // still pull. Re-queue each for every current neighbor; dedup against the
   // slot so a neighbor already waiting for the ID is not advertised twice.
-  std::size_t requeued = 0;
+  // The ids are sorted before queuing: flat-map iteration order is a
+  // function of table capacity, and the queue order feeds digest order, so
+  // sorting keeps re-advertisement behavior independent of how the store
+  // happened to grow.
+  std::vector<MsgId> held;
+  held.reserve(store_.size());
   for (const auto& [id, stored] : store_) {
-    if (!stored.payload_present) continue;
+    if (stored.payload_present) held.push_back(id);
+  }
+  std::sort(held.begin(), held.end(), [](MsgId a, MsgId b) {
+    return a.origin != b.origin ? a.origin < b.origin : a.seq < b.seq;
+  });
+  std::size_t requeued = 0;
+  for (MsgId id : held) {
     bool queued = false;
     for (NodeId peer : rotation_) {
       std::vector<MsgId>& slot = pending_slot(peer);
@@ -685,6 +699,29 @@ void DisseminationT<RT>::on_neighbor_removed(NodeId peer) {
     spare_pending_.push_back(std::move(pit->second));
     pending_.erase(pit);
   }
+}
+
+template <runtime::Context RT>
+std::size_t DisseminationT<RT>::memory_bytes() const {
+  std::size_t bytes = store_.memory_bytes() + pending_.memory_bytes() +
+                      pull_pending_.memory_bytes() +
+                      suspicion_.memory_bytes() +
+                      audit_countdown_.memory_bytes() +
+                      audit_pending_.memory_bytes();
+  for (const auto& [peer, ids] : pending_) {
+    bytes += ids.capacity() * sizeof(MsgId);
+  }
+  for (const auto& [id, state] : pull_pending_) {
+    bytes += state.advertisers.capacity() * sizeof(NodeId);
+  }
+  for (const auto& ids : spare_pending_) bytes += ids.capacity() * sizeof(MsgId);
+  bytes += spare_pending_.capacity() * sizeof(std::vector<MsgId>);
+  bytes += rotation_.capacity() * sizeof(NodeId);
+  bytes += recent_ids_.capacity() * sizeof(std::pair<SimTime, MsgId>);
+  bytes += evictions_.capacity() * sizeof(Eviction);
+  bytes += piggyback_buf_.capacity() * sizeof(membership::MemberEntry);
+  bytes += digest_buf_.capacity() * sizeof(DigestEntry);
+  return bytes;
 }
 
 template class DisseminationT<runtime::SimRuntime>;

@@ -133,16 +133,24 @@ class DisseminationT final : public overlay::OverlayListener {
   [[nodiscard]] const DisseminationParams& params() const { return params_; }
   [[nodiscard]] const DefenseParams& defense() const { return defense_; }
 
+  /// Approximate heap bytes owned by the dissemination layer (message
+  /// store, per-neighbor queues, pull/suspicion/audit trackers, scratch).
+  [[nodiscard]] std::size_t memory_bytes() const;
+
  private:
   struct Stored {
     SimTime inject_time;
     SimTime received_at;
-    std::size_t payload_bytes;
+    /// u32, not size_t: halves nothing on its own, but together with the
+    /// packed flags it takes the store slot from 40 to 32 bytes — the digest
+    /// store is the largest per-node table at scale.
+    std::uint32_t payload_bytes;
     bool payload_present;
     /// False only for the payload-less records a digest liar plants: a real
     /// arrival for such a record must still count as the first delivery.
     bool delivered = true;
   };
+  static_assert(sizeof(Stored) == 24);
 
   /// First receipt of a message from any path: store, deliver, push along
   /// tree links (except `learned_from`), and queue its ID for gossiping to

@@ -15,26 +15,46 @@ GoCastConfig normalize(GoCastConfig config) {
   if (!config.dissemination.use_tree) config.tree.enabled = false;
   return config;
 }
+
+std::shared_ptr<const GoCastConfig> normalize_shared(
+    std::shared_ptr<const GoCastConfig> config) {
+  // Copy only when the flags are actually inconsistent; a deployment's
+  // shared config passes through untouched.
+  if (!config->dissemination.use_tree && config->tree.enabled) {
+    return std::make_shared<const GoCastConfig>(normalize(*config));
+  }
+  return config;
+}
 }  // namespace
 
 template <runtime::Context RT>
 GoCastNodeT<RT>::GoCastNodeT(NodeId id, RT rt, GoCastConfig config, Rng rng)
+    : GoCastNodeT(id, rt,
+                  std::make_shared<const GoCastConfig>(
+                      normalize(std::move(config))),
+                  std::move(rng)) {}
+
+template <runtime::Context RT>
+GoCastNodeT<RT>::GoCastNodeT(NodeId id, RT rt,
+                             std::shared_ptr<const GoCastConfig> config,
+                             Rng rng)
     : id_(id),
       rt_(rt),
-      config_(normalize(std::move(config))),
-      view_(id, config_.view_capacity, rng.fork("view")),
-      overlay_(id, rt_, view_, config_.overlay, rng.fork("overlay")),
-      tree_(id, rt_, overlay_, config_.tree),
+      config_(normalize_shared(std::move(config))),
+      view_(id, config_->view_capacity, rng.fork("view"),
+            config_->landmark_store),
+      overlay_(id, rt_, view_, config_->overlay, rng.fork("overlay")),
+      tree_(id, rt_, overlay_, config_->tree),
       dissemination_(id, rt_, view_, overlay_,
-                     config_.tree.enabled ? &tree_ : nullptr,
-                     config_.dissemination, config_.defense,
+                     config_->tree.enabled ? &tree_ : nullptr,
+                     config_->dissemination, config_->defense,
                      rng.fork("dissemination")),
       own_landmarks_(membership::empty_landmarks()) {
   overlay_.add_listener(&tree_);
   overlay_.add_listener(&dissemination_);
   overlay_.set_behavior(&behavior_);
   dissemination_.set_behavior(&behavior_);
-  if (config_.readvertise_on_heal) {
+  if (config_->readvertise_on_heal) {
     tree_.set_root_change_hook([this](NodeId old_root, NodeId new_root) {
       (void)old_root;
       (void)new_root;
@@ -106,7 +126,7 @@ void GoCastNodeT<RT>::set_delivery_hook(DeliveryHook hook) {
 
 template <runtime::Context RT>
 void GoCastNodeT<RT>::measure_landmarks() {
-  const auto& landmarks = config_.landmarks;
+  const auto& landmarks = config_->landmarks;
   for (std::size_t i = 0;
        i < landmarks.size() && i < membership::kLandmarkSlots; ++i) {
     NodeId lm = landmarks[i];

@@ -32,6 +32,13 @@ class GoCastNodeT final : public net::Endpoint {
   /// Registers itself as `id`'s endpoint on the runtime.
   GoCastNodeT(NodeId id, RT rt, GoCastConfig config, Rng rng);
 
+  /// Shared-config variant: nodes of one deployment reference a single
+  /// immutable GoCastConfig instead of each holding a ~400-byte copy (the
+  /// config is normalized on the way in; an already-consistent one is
+  /// shared as-is).
+  GoCastNodeT(NodeId id, RT rt, std::shared_ptr<const GoCastConfig> config,
+              Rng rng);
+
   GoCastNodeT(const GoCastNodeT&) = delete;
   GoCastNodeT& operator=(const GoCastNodeT&) = delete;
 
@@ -75,7 +82,7 @@ class GoCastNodeT final : public net::Endpoint {
 
   /// Starts a multicast from this node.
   MsgId multicast(std::size_t payload_bytes);
-  MsgId multicast() { return multicast(config_.dissemination.payload_bytes); }
+  MsgId multicast() { return multicast(config_->dissemination.payload_bytes); }
 
   void set_delivery_hook(DeliveryHook hook);
 
@@ -100,7 +107,7 @@ class GoCastNodeT final : public net::Endpoint {
   [[nodiscard]] const DisseminationT<RT>& dissemination() const {
     return dissemination_;
   }
-  [[nodiscard]] const GoCastConfig& config() const { return config_; }
+  [[nodiscard]] const GoCastConfig& config() const { return *config_; }
   [[nodiscard]] const membership::LandmarkVector& landmarks() const {
     return own_landmarks_;
   }
@@ -117,7 +124,7 @@ class GoCastNodeT final : public net::Endpoint {
 
   NodeId id_;
   RT rt_;
-  GoCastConfig config_;
+  std::shared_ptr<const GoCastConfig> config_;
   /// Stable storage for the fault behavior; overlay and dissemination hold a
   /// const pointer to it, so a runtime flip is visible everywhere at once.
   FaultBehavior behavior_;

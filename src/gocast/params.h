@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "common/types.h"
+#include "membership/landmark_store.h"
 #include "overlay/overlay_manager.h"
 #include "tree/tree_manager.h"
 
@@ -169,6 +171,11 @@ struct GoCastConfig {
 
   /// Global landmark node ids used for triangulation estimates.
   std::vector<NodeId> landmarks;
+
+  /// Deployment-wide landmark-vector interning store shared by every node's
+  /// partial view (System fills this in; null makes each node intern
+  /// privately, which is correct but saves nothing).
+  std::shared_ptr<membership::LandmarkStore> landmark_store;
 };
 
 }  // namespace gocast::core

@@ -40,6 +40,13 @@ System::System(SystemConfig config)
                                             rng_.fork("network"));
   network_->add_nodes_round_robin(config_.node_count);
 
+  // One landmark-interning store for the whole deployment — sharing across
+  // views is what collapses the duplicated member records (a node known to v
+  // views costs one 32-byte vector instead of v of them). Stored back into
+  // config_ so memory_report() can reach it.
+  if (config_.node.landmark_store == nullptr) {
+    config_.node.landmark_store = std::make_shared<membership::LandmarkStore>();
+  }
   // Landmarks: the first k nodes (the bootstrap set a deployment would use).
   GoCastConfig node_config = config_.node;
   node_config.landmarks.clear();
@@ -52,19 +59,29 @@ System::System(SystemConfig config)
 
   GOCAST_ASSERT(config_.deferred_nodes < config_.node_count - 1);
 
+  // Uniform deployments share one immutable config across all nodes;
+  // capacity-aware ones need a per-node copy for the scaled degree target.
+  std::shared_ptr<const GoCastConfig> shared_config;
+  if (!config_.capacity_of) {
+    shared_config = std::make_shared<const GoCastConfig>(node_config);
+  }
+
   nodes_.reserve(config_.node_count);
   for (NodeId id = 0; id < config_.node_count; ++id) {
-    GoCastConfig this_config = node_config;
+    std::shared_ptr<const GoCastConfig> this_config = shared_config;
     if (config_.capacity_of) {
       // Capacity-aware degrees: scale the nearby target per node.
       double capacity = config_.capacity_of(id);
       GOCAST_ASSERT_MSG(capacity > 0.0, "capacity must be positive");
       int scaled = static_cast<int>(
           std::lround(node_config.overlay.target_near_degree * capacity));
-      this_config.overlay.target_near_degree = std::max(1, scaled);
+      GoCastConfig scaled_config = node_config;
+      scaled_config.overlay.target_near_degree = std::max(1, scaled);
+      this_config = std::make_shared<const GoCastConfig>(scaled_config);
     }
     nodes_.push_back(std::make_unique<GoCastNode>(
-        id, *network_, this_config, rng_.fork(static_cast<std::uint64_t>(id))));
+        id, *network_, std::move(this_config),
+        rng_.fork(static_cast<std::uint64_t>(id))));
   }
 }
 
@@ -78,12 +95,18 @@ void System::start() {
   }
   Rng init_rng = rng_.fork("init");
 
-  // Seed partial views with uniform random subsets.
+  // Seed partial views with uniform random subsets. The scratch containers
+  // are hoisted out of the node loop: clearing keeps their capacity, so the
+  // seeding pass allocates O(view_seed) once instead of O(n) times (the
+  // draws are identical either way).
   std::size_t view_seed = std::min(config_.initial_view_size, n - 1);
+  std::vector<membership::MemberEntry> seed;
+  seed.reserve(view_seed);
+  std::unordered_set<NodeId> chosen;
+  chosen.reserve(view_seed);
   for (NodeId id = 0; id < n; ++id) {
-    std::vector<membership::MemberEntry> seed;
-    seed.reserve(view_seed);
-    std::unordered_set<NodeId> chosen;
+    seed.clear();
+    chosen.clear();
     while (chosen.size() < view_seed) {
       NodeId other = static_cast<NodeId>(init_rng.next_below(n));
       if (other == id || !chosen.insert(other).second) continue;
@@ -193,6 +216,25 @@ NodeId System::spawn_next() {
       rng_.next_range(0.0, config_.node.overlay.maintenance_period));
   GOCAST_INFO("spawned node " << id << " via bootstrap " << bootstrap);
   return id;
+}
+
+System::MemoryReport System::memory_report() const {
+  MemoryReport report;
+  report.engine_bytes = engine_.memory_bytes();
+  report.network_bytes = network_->memory_bytes();
+  report.node_object_bytes = nodes_.size() * sizeof(GoCastNode);
+  for (const auto& node : nodes_) {
+    report.view_bytes += node->view().memory_bytes();
+    report.dissemination_bytes += node->dissemination().memory_bytes();
+    report.overlay_bytes += node->overlay().memory_bytes();
+    report.tree_bytes += node->tree().memory_bytes();
+  }
+  const auto& store = config_.node.landmark_store;
+  if (store != nullptr) {
+    report.landmark_store_bytes = store->memory_bytes();
+    report.landmark_unique = store->unique_count();
+  }
+  return report;
 }
 
 std::vector<NodeId> System::alive_nodes() const {

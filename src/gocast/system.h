@@ -95,6 +95,28 @@ class System {
     return config_.deferred_nodes - spawned_;
   }
 
+  /// Per-subsystem byte breakdown across the whole deployment (--mem-report).
+  /// Approximate: container capacities, not allocator-level truth. Node
+  /// objects count the GoCastNode footprint itself (dominated by the four
+  /// deterministic mt19937_64 streams each node owns).
+  struct MemoryReport {
+    std::size_t engine_bytes = 0;          ///< event heap + slot chunks
+    std::size_t network_bytes = 0;         ///< node records + message pool
+    std::size_t node_object_bytes = 0;     ///< sizeof(GoCastNode) * nodes
+    std::size_t view_bytes = 0;            ///< membership views (all nodes)
+    std::size_t landmark_store_bytes = 0;  ///< shared interning store
+    std::size_t landmark_unique = 0;       ///< distinct vectors interned
+    std::size_t dissemination_bytes = 0;   ///< digest store + trackers
+    std::size_t overlay_bytes = 0;         ///< neighbor/pending tables
+    std::size_t tree_bytes = 0;            ///< children + distance caches
+    [[nodiscard]] std::size_t total_bytes() const {
+      return engine_bytes + network_bytes + node_object_bytes + view_bytes +
+             landmark_store_bytes + dissemination_bytes + overlay_bytes +
+             tree_bytes;
+    }
+  };
+  [[nodiscard]] MemoryReport memory_report() const;
+
  private:
   SystemConfig config_;
   Rng rng_;

@@ -1,0 +1,59 @@
+#include "membership/landmark_store.h"
+
+namespace gocast::membership {
+
+LandmarkStore::LandmarkStore() {
+  // Slot 0 is the all-unmeasured vector, pinned for the store's lifetime so
+  // kEmptyHandle never needs refcounting.
+  Slot empty;
+  empty.value = empty_landmarks();
+  empty.refs = 1;
+  slots_.push_back(empty);
+  index_[key_of(empty.value)] = kEmptyHandle;
+  live_ = 1;
+}
+
+LandmarkStore::Handle LandmarkStore::intern(const LandmarkVector& value) {
+  const Key key = key_of(value);
+  auto [it, fresh] = index_.try_emplace(key, 0);
+  if (!fresh) {
+    const Handle h = it->second;
+    if (h != kEmptyHandle) ++slots_[h].refs;
+    return h;
+  }
+  Handle h;
+  if (free_head_ != kNoFree) {
+    h = free_head_;
+    free_head_ = slots_[h].next_free;
+  } else {
+    h = static_cast<Handle>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[h].value = value;
+  slots_[h].refs = 1;
+  it->second = h;
+  ++live_;
+  return h;
+}
+
+void LandmarkStore::retain(Handle h) {
+  if (h == kEmptyHandle) return;
+  GOCAST_ASSERT(h < slots_.size() && slots_[h].refs > 0);
+  ++slots_[h].refs;
+}
+
+void LandmarkStore::release(Handle h) {
+  if (h == kEmptyHandle) return;
+  GOCAST_ASSERT(h < slots_.size() && slots_[h].refs > 0);
+  if (--slots_[h].refs > 0) return;
+  index_.erase(key_of(slots_[h].value));
+  slots_[h].next_free = free_head_;
+  free_head_ = h;
+  --live_;
+}
+
+std::size_t LandmarkStore::memory_bytes() const {
+  return slots_.capacity() * sizeof(Slot) + index_.memory_bytes();
+}
+
+}  // namespace gocast::membership

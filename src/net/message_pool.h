@@ -77,6 +77,14 @@ class MessageArena {
   [[nodiscard]] std::uint64_t oversized() const { return oversized_; }
   [[nodiscard]] std::size_t chunks() const { return chunks_.size(); }
 
+  /// Heap bytes held by the arena: slab chunks plus free-list arrays.
+  /// (Oversized blocks belong to the global allocator, not counted.)
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = chunks_.size() * kChunkBytes;
+    for (const auto& list : free_) bytes += list.capacity() * sizeof(void*);
+    return bytes;
+  }
+
  private:
   [[nodiscard]] static std::size_t size_class(std::size_t bytes) {
     return (bytes - 1) / kGranularity;

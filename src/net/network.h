@@ -133,6 +133,13 @@ class Network {
     return rng_.fork(salt);
   }
 
+  /// Approximate heap bytes owned by the network (node records, message
+  /// pool slabs, batch scratch). The engine is counted separately.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return nodes_.capacity() * sizeof(NodeRecord) + pool_->memory_bytes() +
+           batch_scratch_.capacity() * sizeof(sim::Engine::BatchEvent);
+  }
+
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const LatencyModel& latency_model() const { return *latency_; }
   [[nodiscard]] TrafficStats& traffic() { return traffic_; }

@@ -146,11 +146,12 @@ void OverlayManagerT<RT>::prune_pending() {
       ++it;
     }
   }
-  for (auto it = pending_pings_.begin(); it != pending_pings_.end();) {
-    if (now - it->second.sent > params_.pending_timeout) {
-      it = pending_pings_.erase(it);
+  for (std::size_t i = 0; i < pending_pings_.size();) {
+    if (now - pending_pings_[i].sent > params_.pending_timeout) {
+      pending_pings_[i] = std::move(pending_pings_.back());
+      pending_pings_.pop_back();
     } else {
-      ++it;
+      ++i;
     }
   }
   for (auto it = blacklist_.begin(); it != blacklist_.end();) {
@@ -298,18 +299,23 @@ template <runtime::Context RT>
 NodeId OverlayManagerT<RT>::next_nearby_candidate() {
   if (!initial_queue_built_ && !view_.empty()) build_initial_measure_queue();
 
-  // Phase 1: probe members in increasing estimated latency.
-  while (!measure_queue_.empty()) {
-    NodeId id = measure_queue_.front();
-    measure_queue_.pop_front();
+  // Phase 1: probe members in increasing estimated latency. The queue is a
+  // consume-once vector walked by index; once drained its storage is freed
+  // for the rest of the node's lifetime.
+  while (measure_head_ < measure_queue_.size()) {
+    NodeId id = measure_queue_[measure_head_++];
     if (eligible_candidate(id) && view_.contains(id)) return id;
+  }
+  if (!measure_queue_.empty()) {
+    measure_queue_ = {};
+    measure_head_ = 0;
   }
 
   // Phase 2: round-robin over the (evolving) member list.
   for (std::size_t i = 0; i < view_.size(); ++i) {
-    const membership::MemberEntry* entry = view_.next_round_robin();
-    if (entry == nullptr) return kInvalidNode;
-    if (eligible_candidate(entry->id)) return entry->id;
+    NodeId id = view_.next_round_robin();
+    if (id == kInvalidNode) return kInvalidNode;
+    if (eligible_candidate(id)) return id;
   }
   return kInvalidNode;
 }
@@ -319,12 +325,13 @@ void OverlayManagerT<RT>::build_initial_measure_queue() {
   initial_queue_built_ = true;
   std::vector<std::pair<SimTime, NodeId>> est;
   est.reserve(view_.size());
-  for (const membership::MemberEntry& entry : view_.entries()) {
+  for (std::size_t i = 0; i < view_.size(); ++i) {
     SimTime estimate =
-        coord::estimate_rtt_or_never(own_landmarks_, entry.landmark_rtt);
-    est.emplace_back(estimate, entry.id);
+        coord::estimate_rtt_or_never(own_landmarks_, view_.landmarks_at(i));
+    est.emplace_back(estimate, view_.id_at(i));
   }
   std::sort(est.begin(), est.end());
+  measure_queue_.reserve(est.size());
   for (const auto& [estimate, id] : est) measure_queue_.push_back(id);
 }
 
@@ -359,7 +366,7 @@ void OverlayManagerT<RT>::measure_rtt(NodeId target,
                                       std::function<void(SimTime)> done) {
   GOCAST_ASSERT(target != self_);
   std::uint32_t nonce = next_nonce_++;
-  pending_pings_[nonce] = PendingPing{target, rt_.now(), std::move(done)};
+  pending_pings_.push_back(PendingPing{nonce, target, rt_.now(), std::move(done)});
   ++pings_sent_;
   rt_.send(self_, target, rt_.template make<PingMsg>(nonce));
 }
@@ -371,12 +378,14 @@ void OverlayManagerT<RT>::on_ping(NodeId from, const PingMsg& msg) {
 
 template <runtime::Context RT>
 void OverlayManagerT<RT>::on_pong(NodeId from, const PongMsg& msg) {
-  auto it = pending_pings_.find(msg.nonce);
+  auto it = std::find_if(pending_pings_.begin(), pending_pings_.end(),
+                         [&](const PendingPing& p) { return p.nonce == msg.nonce; });
   if (it == pending_pings_.end()) return;
-  if (it->second.target != from) return;
-  SimTime rtt = rt_.now() - it->second.sent;
-  auto done = std::move(it->second.done);
-  pending_pings_.erase(it);
+  if (it->target != from) return;
+  SimTime rtt = rt_.now() - it->sent;
+  auto done = std::move(it->done);
+  *it = std::move(pending_pings_.back());
+  pending_pings_.pop_back();
   table_.update_rtt(from, rtt);  // refresh if the peer is a neighbor
   if (done) done(rtt);
 }
@@ -564,6 +573,16 @@ void OverlayManagerT<RT>::record_link_change() {
   if (params_.record_link_changes) {
     link_change_times_.push_back(rt_.now());
   }
+}
+
+template <runtime::Context RT>
+std::size_t OverlayManagerT<RT>::memory_bytes() const {
+  return table_.raw().memory_bytes() + pending_adds_.memory_bytes() +
+         pending_pings_.capacity() * sizeof(PendingPing) +
+         blacklist_.memory_bytes() +
+         measure_queue_.capacity() * sizeof(NodeId) +
+         listeners_.capacity() * sizeof(OverlayListener*) +
+         link_change_times_.capacity() * sizeof(SimTime);
 }
 
 template class OverlayManagerT<runtime::SimRuntime>;

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -167,6 +166,10 @@ class OverlayManagerT {
   [[nodiscard]] const std::vector<SimTime>& link_change_times() const {
     return link_change_times_;
   }
+
+  /// Approximate heap bytes owned by the overlay layer (neighbor table,
+  /// pending handshakes/pings, blacklist, probe queue, change log).
+  [[nodiscard]] std::size_t memory_bytes() const;
   [[nodiscard]] std::uint64_t pings_sent() const { return pings_sent_; }
 
  private:
@@ -176,7 +179,13 @@ class OverlayManagerT {
     NodeId replace_victim = kInvalidNode;  ///< nearby neighbor to drop on success
   };
 
+  // In-flight RTT probes. A flat vector scanned by nonce: the set stays a
+  // few dozen entries at most (bounded by pings issued within one
+  // pending_timeout window), so linear search beats a hash table while the
+  // records pack at 48 bytes with no slot-state overhead — this table
+  // exists once per node, and large runs felt every byte of it.
   struct PendingPing {
+    std::uint32_t nonce;
     NodeId target;
     SimTime sent;
     std::function<void(SimTime)> done;
@@ -217,14 +226,17 @@ class OverlayManagerT {
   int pending_rand_ = 0;
   int pending_near_ = 0;
 
-  common::FlatMap<std::uint32_t, PendingPing> pending_pings_;
+  std::vector<PendingPing> pending_pings_;
   std::uint32_t next_nonce_ = 1;
 
   /// Evicted suspects barred from candidacy: peer -> ban expiry time.
   common::FlatMap<NodeId, SimTime> blacklist_;
   const FaultBehavior* behavior_ = nullptr;
 
-  std::deque<NodeId> measure_queue_;
+  /// Consume-once probe order (vector + head index, freed after the drain —
+  /// a deque would keep a heap block alive per node forever).
+  std::vector<NodeId> measure_queue_;
+  std::size_t measure_head_ = 0;
   bool initial_queue_built_ = false;
   membership::LandmarkVector own_landmarks_ = membership::empty_landmarks();
 

@@ -97,23 +97,24 @@ void Engine::heap_pop() {
     best = h[5] < h[best] ? 5 : best;
     best = h[6] < h[best] ? 6 : best;
     best = h[7] < h[best] ? 7 : best;
-    __builtin_prefetch(&slot_ref(tag_slot(entry_tag(h[best]))));
+    __builtin_prefetch(&meta_ref(tag_slot(entry_tag(h[best]))));
   }
   sift_down(kRootPos, kRootPos);
 }
 
 Engine::~Engine() {
   // Chunks hold raw storage; only slots [0, slot_count_) were ever
-  // placement-constructed (free-listed slots stay constructed).
+  // placement-constructed (free-listed slots stay constructed). SlotMeta is
+  // trivially destructible; only the callbacks need real destruction.
   for (std::uint32_t s = 0; s < slot_count_; ++s) {
-    slot_ref(s).~Slot();
+    callback_ref(s).~Callback();
   }
 }
 
 std::uint32_t Engine::acquire_slot() {
   if (free_head_ != kNoFreeSlot) {
     const std::uint32_t slot = free_head_;
-    free_head_ = slot_ref(slot).next_free;
+    free_head_ = meta_ref(slot).next_free;
     return slot;
   }
   if ((slot_count_ >> kChunkShift) == chunks_.size()) {
@@ -121,10 +122,11 @@ std::uint32_t Engine::acquire_slot() {
 #ifdef __linux__
     madvise(raw, kChunkBytes, MADV_HUGEPAGE);
 #endif
-    chunks_.emplace_back(static_cast<Slot*>(raw));
+    chunks_.emplace_back(static_cast<std::byte*>(raw));
   }
   GOCAST_ASSERT(slot_count_ < (std::uint32_t{1} << kSlotBits));
-  new (&slot_ref(slot_count_)) Slot;
+  new (&meta_ref(slot_count_)) SlotMeta;
+  new (&callback_ref(slot_count_)) Callback;
   return slot_count_++;
 }
 
@@ -136,13 +138,13 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
 
   const std::uint32_t slot = acquire_slot();
   const std::uint64_t tag = (next_seq_++ << kSlotBits) | slot;
-  Slot& s = slot_ref(slot);
-  s.live_tag = tag;
-  s.callback = std::move(cb);
+  SlotMeta& m = meta_ref(slot);
+  m.live_tag = tag;
+  callback_ref(slot) = std::move(cb);
 
   heap_push(make_entry(time_key(t), tag));
   ++live_events_;
-  return EventId{slot, s.generation};
+  return EventId{slot, m.generation};
 }
 
 void Engine::schedule_batch(std::span<BatchEvent> batch) {
@@ -156,9 +158,8 @@ void Engine::schedule_batch(std::span<BatchEvent> batch) {
     GOCAST_ASSERT(next_seq_ < kMaxSeq);
     const std::uint32_t slot = acquire_slot();
     const std::uint64_t tag = (next_seq_++ << kSlotBits) | slot;
-    Slot& s = slot_ref(slot);
-    s.live_tag = tag;
-    s.callback = std::move(ev.cb);
+    meta_ref(slot).live_tag = tag;
+    callback_ref(slot) = std::move(ev.cb);
     heap_.push_back(make_entry(time_key(ev.at), tag));
   }
   live_events_ += batch.size();
@@ -182,12 +183,12 @@ void Engine::schedule_batch(std::span<BatchEvent> batch) {
 
 bool Engine::cancel(EventId id) {
   if (id.slot >= slot_count_) return false;
-  Slot& s = slot_ref(id.slot);
-  if (s.live_tag == kDeadTag || s.generation != id.generation) return false;
-  s.live_tag = kDeadTag;
-  ++s.generation;
-  s.callback.reset();
-  s.next_free = free_head_;
+  SlotMeta& m = meta_ref(id.slot);
+  if (m.live_tag == kDeadTag || m.generation != id.generation) return false;
+  m.live_tag = kDeadTag;
+  ++m.generation;
+  callback_ref(id.slot).reset();
+  m.next_free = free_head_;
   free_head_ = id.slot;
   GOCAST_ASSERT(live_events_ > 0);
   --live_events_;
@@ -238,10 +239,13 @@ bool Engine::prune_dead_top() {
 void Engine::fire_top() {
   const HeapEntry entry = heap_top();
   heap_pop();
-  // The next top's slot line will be needed by the upcoming liveness check;
-  // issuing the prefetch here lets the fill overlap with the callback.
+  // The next top's meta line will be needed by the upcoming liveness check
+  // and its callback line by the likely following fire_top; issuing both
+  // prefetches here lets the fills overlap with this event's callback.
   if (!heap_empty()) {
-    __builtin_prefetch(&slot_ref(tag_slot(entry_tag(heap_top()))));
+    const std::uint32_t next = tag_slot(entry_tag(heap_top()));
+    __builtin_prefetch(&meta_ref(next));
+    __builtin_prefetch(&callback_ref(next));
   }
 
   const SimTime t = key_time(entry_key(entry));
@@ -249,20 +253,21 @@ void Engine::fire_top() {
   now_ = t;
 
   const std::uint32_t slot = tag_slot(entry_tag(entry));
-  Slot& s = slot_ref(slot);
+  SlotMeta& m = meta_ref(slot);
   // Mark the event dead before invoking (so a re-entrant cancel of this id
   // is a no-op) but keep the slot OFF the free list until the callback
   // returns: slots never move when the table grows, so invoking in place is
   // safe as long as a re-entrant schedule_at cannot recycle this slot and
   // overwrite the executing callback.
-  s.live_tag = kDeadTag;
-  ++s.generation;
+  m.live_tag = kDeadTag;
+  ++m.generation;
   --live_events_;
   ++processed_;
 
-  s.callback();
-  s.callback.reset();
-  s.next_free = free_head_;
+  Callback& cb = callback_ref(slot);
+  cb();
+  cb.reset();
+  m.next_free = free_head_;
   free_head_ = slot;
 }
 

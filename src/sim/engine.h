@@ -19,13 +19,19 @@
 //    data-dependent branches, and — thanks to 64-byte-aligned storage with
 //    the root at physical index 3 — every sibling group exactly one cache
 //    line, so each sift level costs a single line fill.
-//  - Slots are cache-line-sized and live in fixed chunks that never
-//    relocate, so slot-table growth never copies callbacks or faults in a
-//    fresh multi-megabyte allocation. Free slots form an intrusive list
-//    threaded through the chunks (no side array to grow).
+//  - Slot state is split structure-of-arrays style within each chunk: the
+//    16-byte liveness records (tag/generation/free-link) the heap walk reads
+//    are packed four per cache line in a region of their own, while the
+//    48-byte callbacks — cold until the moment an event fires — live in a
+//    separate region of the same chunk. Liveness checks and heap compaction
+//    touch 4x fewer lines than the old one-slot-per-line layout. Chunks
+//    never relocate, so growth never copies callbacks or faults in a fresh
+//    multi-megabyte allocation. Free slots form an intrusive list threaded
+//    through the meta records (no side array to grow).
 #pragma once
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -115,41 +121,56 @@ class Engine {
   [[nodiscard]] std::size_t pending() const { return live_events_; }
   [[nodiscard]] std::size_t processed() const { return processed_; }
 
+  /// Heap-owned bytes: the priority-queue array plus every slot chunk.
+  /// (Memory accounting for --mem-report; approximate by design.)
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return heap_.capacity() * sizeof(HeapEntry) +
+           chunks_.size() * kChunkBytes + chunks_.capacity() * sizeof(ChunkPtr);
+  }
+
  private:
   static constexpr std::uint64_t kDeadTag = ~std::uint64_t{0};
   static constexpr unsigned kSlotBits = 24;  // up to 16.7M concurrent events
   static constexpr std::uint64_t kMaxSeq = std::uint64_t{1}
                                            << (64 - kSlotBits);
   static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
-  /// Slots per chunk: 32768 * 64 B = 2 MiB, allocated 2 MiB-aligned and
-  /// (on Linux) advised MADV_HUGEPAGE. A large run walks its slot table in
-  /// a cache-unfriendly stride, so with 4 KiB pages the table thrashes the
-  /// dTLB; one huge page per chunk makes slot lookups TLB-free. Chunks hold
-  /// raw storage — slots are placement-constructed on first acquire — so a
-  /// small engine touches only the pages it uses.
+  /// Slots per chunk: 32768 * (16 B meta + 48 B callback) = 2 MiB, allocated
+  /// 2 MiB-aligned and (on Linux) advised MADV_HUGEPAGE. A large run walks
+  /// its slot table in a cache-unfriendly stride, so with 4 KiB pages the
+  /// table thrashes the dTLB; one huge page per chunk makes slot lookups
+  /// TLB-free. Chunks hold raw storage — slots are placement-constructed on
+  /// first acquire — so a small engine touches only the pages it uses.
   static constexpr std::uint32_t kChunkShift = 15;
   static constexpr std::uint32_t kChunkSlots = 1u << kChunkShift;
 
-  /// Callback plus liveness bookkeeping, padded to one cache line so every
-  /// slot access costs exactly one line fill (an unaligned record would
-  /// straddle two lines for most indices).
-  struct alignas(64) Slot {
-    Callback callback;
+  /// Liveness bookkeeping for one slot — everything the heap walk ever
+  /// reads. 16 bytes packs four records per cache line; the cold Callback
+  /// lives in the chunk's separate callback region (see the layout note on
+  /// kChunkBytes) so liveness probes don't drag capture bytes through cache.
+  struct SlotMeta {
     std::uint64_t live_tag = kDeadTag;  // tag of the pending event, else dead
     std::uint32_t generation = 0;
     std::uint32_t next_free = kNoFreeSlot;  // intrusive free-list link
   };
+  static_assert(sizeof(SlotMeta) == 16);
+  static_assert(sizeof(Callback) == 48);
 
+  /// Chunk layout: [SlotMeta x kChunkSlots | Callback x kChunkSlots]. The
+  /// meta region is 512 KiB (so its tail stays 64-byte aligned for the
+  /// callback region) and the whole chunk is exactly one 2 MiB huge page.
+  static constexpr std::size_t kMetaRegionBytes =
+      std::size_t{kChunkSlots} * sizeof(SlotMeta);
   static constexpr std::size_t kChunkBytes =
-      std::size_t{kChunkSlots} * sizeof(Slot);
+      kMetaRegionBytes + std::size_t{kChunkSlots} * sizeof(Callback);
 
   /// Frees a chunk's raw storage. Slot destruction is the engine's job (only
   /// slots below slot_count_ were ever constructed; see ~Engine).
   struct ChunkFree {
-    void operator()(Slot* p) const noexcept {
+    void operator()(std::byte* p) const noexcept {
       ::operator delete(static_cast<void*>(p), std::align_val_t{kChunkBytes});
     }
   };
+  using ChunkPtr = std::unique_ptr<std::byte[], ChunkFree>;
 
   /// One heap entry packed into a single 128-bit integer: timestamp bits in
   /// the high qword, tag (seq << kSlotBits | slot) in the low qword. Packing
@@ -205,15 +226,21 @@ class Engine {
     return static_cast<std::uint32_t>(tag & ((std::uint64_t{1} << kSlotBits) - 1));
   }
 
-  [[nodiscard]] Slot& slot_ref(std::uint32_t s) {
-    return chunks_[s >> kChunkShift][s & (kChunkSlots - 1)];
+  [[nodiscard]] SlotMeta& meta_ref(std::uint32_t s) {
+    return reinterpret_cast<SlotMeta*>(
+        chunks_[s >> kChunkShift].get())[s & (kChunkSlots - 1)];
   }
-  [[nodiscard]] const Slot& slot_ref(std::uint32_t s) const {
-    return chunks_[s >> kChunkShift][s & (kChunkSlots - 1)];
+  [[nodiscard]] const SlotMeta& meta_ref(std::uint32_t s) const {
+    return reinterpret_cast<const SlotMeta*>(
+        chunks_[s >> kChunkShift].get())[s & (kChunkSlots - 1)];
+  }
+  [[nodiscard]] Callback& callback_ref(std::uint32_t s) {
+    return reinterpret_cast<Callback*>(chunks_[s >> kChunkShift].get() +
+                                       kMetaRegionBytes)[s & (kChunkSlots - 1)];
   }
 
   [[nodiscard]] bool entry_live(HeapEntry e) const {
-    return slot_ref(tag_slot(entry_tag(e))).live_tag == entry_tag(e);
+    return meta_ref(tag_slot(entry_tag(e))).live_tag == entry_tag(e);
   }
 
   /// Pops a slot off the free list, adding a chunk when none is free.
@@ -249,7 +276,7 @@ class Engine {
   std::size_t dead_in_heap_ = 0;
   std::size_t processed_ = 0;
   std::vector<HeapEntry, CacheAligned<HeapEntry>> heap_;
-  std::vector<std::unique_ptr<Slot[], ChunkFree>> chunks_;
+  std::vector<ChunkPtr> chunks_;
   std::uint32_t slot_count_ = 0;
   std::uint32_t free_head_ = kNoFreeSlot;
 };

@@ -89,6 +89,15 @@ class TreeManagerT final : public overlay::OverlayListener {
   /// Latency from the root along the tree, as learned from heartbeats.
   [[nodiscard]] SimTime root_distance() const { return best_dist_; }
 
+  /// Approximate heap bytes owned by the tree layer (children set and
+  /// per-neighbor distance cache; node-based containers are estimated at
+  /// one bucket pointer plus one ~32-byte node per element).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return children_.bucket_count() * sizeof(void*) + children_.size() * 32 +
+           neighbor_dist_.bucket_count() * sizeof(void*) +
+           neighbor_dist_.size() * 40;
+  }
+
  private:
   void flood_heartbeat();
   void watchdog_check();

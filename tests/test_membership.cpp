@@ -20,9 +20,9 @@ TEST(PartialView, InsertAndFind) {
   view.insert(entry(5));
   EXPECT_TRUE(view.contains(5));
   EXPECT_EQ(view.size(), 1u);
-  ASSERT_NE(view.find(5), nullptr);
+  ASSERT_TRUE(view.find(5).has_value());
   EXPECT_EQ(view.find(5)->id, 5u);
-  EXPECT_EQ(view.find(99), nullptr);
+  EXPECT_FALSE(view.find(99).has_value());
 }
 
 TEST(PartialView, IgnoresSelfAndInvalid) {
@@ -135,18 +135,18 @@ TEST(PartialView, RoundRobinVisitsEveryone) {
   for (NodeId id = 1; id <= 7; ++id) view.insert(entry(id));
   std::set<NodeId> seen;
   for (int i = 0; i < 7; ++i) {
-    const MemberEntry* e = view.next_round_robin();
-    ASSERT_NE(e, nullptr);
-    seen.insert(e->id);
+    NodeId id = view.next_round_robin();
+    ASSERT_NE(id, kInvalidNode);
+    seen.insert(id);
   }
   EXPECT_EQ(seen.size(), 7u);
   // Wraps around.
-  EXPECT_NE(view.next_round_robin(), nullptr);
+  EXPECT_NE(view.next_round_robin(), kInvalidNode);
 }
 
-TEST(PartialView, RoundRobinEmptyReturnsNull) {
+TEST(PartialView, RoundRobinEmptyReturnsInvalid) {
   PartialView view(0, 20, Rng(5));
-  EXPECT_EQ(view.next_round_robin(), nullptr);
+  EXPECT_EQ(view.next_round_robin(), kInvalidNode);
 }
 
 TEST(PartialView, RoundRobinSurvivesRemoval) {
@@ -155,9 +155,9 @@ TEST(PartialView, RoundRobinSurvivesRemoval) {
   (void)view.next_round_robin();
   view.remove(3);
   for (int i = 0; i < 10; ++i) {
-    const MemberEntry* e = view.next_round_robin();
-    ASSERT_NE(e, nullptr);
-    EXPECT_NE(e->id, 3u);
+    NodeId id = view.next_round_robin();
+    ASSERT_NE(id, kInvalidNode);
+    EXPECT_NE(id, 3u);
   }
 }
 

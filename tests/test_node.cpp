@@ -87,7 +87,9 @@ TEST(GoCastNode, JoinReplyCarriesMembersAndLandmarks) {
   // Simulate a join against node 0 from node 15 with an emptied view.
   auto& joiner = system.node(15);
   std::vector<NodeId> before;
-  for (const auto& entry : joiner.view().entries()) before.push_back(entry.id);
+  for (std::size_t i = 0; i < joiner.view().size(); ++i) {
+    before.push_back(joiner.view().id_at(i));
+  }
   for (NodeId id : before) joiner.view().remove(id);
   ASSERT_EQ(joiner.view().size(), 0u);
 

@@ -6,9 +6,11 @@
 # everything into BENCH_core.json at the repo root so perf numbers travel
 # with the PR.
 #
-#   tools/bench.sh                 # full run: 5 reps, 8192 nodes x 60s
+#   tools/bench.sh                 # full run: 5 reps, 8192 nodes x 60s + curve
 #   REPS=3 NODES=1024 SECONDS_ARG=20 tools/bench.sh   # lighter variant
 #   SWEEP_REPS=8 SWEEP_THREADS=4 tools/bench.sh       # sweep knobs
+#   CURVE=0 tools/bench.sh                            # skip the scaling curve
+#   CURVE_POINTS=8192,32768 tools/bench.sh            # custom curve points
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -23,6 +25,10 @@ MESSAGES="${MESSAGES:-50}"
 SWEEP_REPS="${SWEEP_REPS:-8}"
 SWEEP_NODES="${SWEEP_NODES:-256}"
 SWEEP_THREADS="${SWEEP_THREADS:-$(nproc)}"
+# Scaling curve: one fresh process per point (per-point peak RSS is honest),
+# horizons shrink with scale so the 512k point stays a minutes-long run.
+CURVE="${CURVE:-1}"
+CURVE_POINTS="${CURVE_POINTS:-8192,32768,131072,524288}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_core perf_scaling -j "$(nproc)" >/dev/null
@@ -31,7 +37,8 @@ MICRO_JSON="$(mktemp)"
 SCALING_JSON="$(mktemp)"
 SWEEP_SERIAL_JSON="$(mktemp)"
 SWEEP_PARALLEL_JSON="$(mktemp)"
-trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON"' EXIT
+CURVE_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON"' EXIT
 
 # Fail loudly if the benchmark binary was not compiled optimized: the
 # distro's libbenchmark reports its *own* build type, so the binary embeds a
@@ -57,16 +64,26 @@ echo "== perf_scaling ($NODES nodes, ${SECONDS_ARG}s sim) =="
   --nodes "$NODES" --seconds "$SECONDS_ARG" --messages "$MESSAGES" \
   | tee "$SCALING_JSON"
 
+if [ "$CURVE" = "1" ]; then
+  echo "== perf_scaling curve ($CURVE_POINTS nodes, fresh process per point) =="
+  "$BUILD_DIR/bench/perf_scaling" --curve --curve-points "$CURVE_POINTS" \
+    >"$CURVE_JSON"
+else
+  echo "== perf_scaling curve skipped (CURVE=$CURVE) =="
+  echo "[]" >"$CURVE_JSON"
+fi
+
 echo "== sweep_parallel ($SWEEP_REPS reps x $SWEEP_NODES nodes: 1 vs $SWEEP_THREADS threads) =="
 "$BUILD_DIR/bench/perf_scaling" --sweep --threads 1 \
   --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_SERIAL_JSON"
 "$BUILD_DIR/bench/perf_scaling" --sweep --threads "$SWEEP_THREADS" \
   --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_PARALLEL_JSON"
 
-python3 - "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$OUT" <<'PY'
+python3 - "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON" "$OUT" <<'PY'
 import json, sys
 
-micro_path, scaling_path, sweep_serial_path, sweep_parallel_path, out_path = sys.argv[1:6]
+(micro_path, scaling_path, sweep_serial_path, sweep_parallel_path,
+ curve_path, out_path) = sys.argv[1:7]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(scaling_path) as f:
@@ -75,6 +92,8 @@ with open(sweep_serial_path) as f:
     sweep_serial = json.load(f)
 with open(sweep_parallel_path) as f:
     sweep_parallel = json.load(f)
+with open(curve_path) as f:
+    curve = json.load(f)
 
 # The merged sweep output must not depend on thread count; a checksum
 # mismatch means a determinism bug, and the numbers must not be recorded.
@@ -101,6 +120,17 @@ result = {
     "context": micro.get("context", {}),
     "micro_min_of_reps": best,
     "perf_scaling": scaling,
+    "perf_scaling_curve": {
+        # Each point carries its own build_type/nodes/sim_seconds/messages/
+        # seed from the child process — the horizon shrinks as the
+        # deployment grows (see curve_point_for in bench/perf_scaling.cpp),
+        # so events_per_second is comparable across points but wall time is
+        # not. One fresh process per point makes peak_rss_mib per-point
+        # truth rather than a high-water mark across the whole curve.
+        "methodology": ("fresh process per point; sim horizon and message "
+                        "count scale down with node count"),
+        "points": curve,
+    },
     "sweep_parallel": {
         "serial": sweep_serial,
         "parallel": sweep_parallel,

@@ -35,6 +35,32 @@ if [[ "${1:-}" == "bench-smoke" ]]; then
     --benchmark_filter='BM_EngineScheduleAndRun/1000$|BM_EngineCancelHeavy|BM_SystemWarmupSecond/128'
   echo "=== bench-smoke: perf_scaling ==="
   "${root}/build/bench/perf_scaling" --nodes 128 --seconds 10 --messages 3
+  echo "=== bench-smoke: 8k peak-RSS ceiling ==="
+  # Memory regression gate: an 8192-node deployment's peak RSS is
+  # construction-dominated, so even this short horizon catches a per-node
+  # footprint regression. Fails when >10% over the recorded BENCH_core.json
+  # baseline (skipped when no baseline is recorded yet).
+  rss_smoke_json="$(mktemp)"
+  "${root}/build/bench/perf_scaling" --nodes 8192 --seconds 2 --messages 2 \
+    >"${rss_smoke_json}"
+  python3 - "${root}/BENCH_core.json" "${rss_smoke_json}" <<'PY'
+import json, sys
+base_path, smoke_path = sys.argv[1:3]
+with open(smoke_path) as f:
+    rss = json.load(f)["peak_rss_mib"]
+try:
+    with open(base_path) as f:
+        recorded = json.load(f)["perf_scaling"]["peak_rss_mib"]
+except (OSError, KeyError, json.JSONDecodeError):
+    print("no recorded 8k peak RSS in BENCH_core.json; ceiling check skipped")
+    sys.exit(0)
+ceiling = recorded * 1.10
+print(f"8k peak RSS {rss:.1f} MiB (recorded {recorded:.1f}, ceiling {ceiling:.1f})")
+if rss > ceiling:
+    sys.exit(f"FATAL: 8k peak RSS {rss:.1f} MiB is >10% over the recorded "
+             f"{recorded:.1f} MiB baseline — memory regression")
+PY
+  rm -f "${rss_smoke_json}"
   echo "=== bench-smoke: gocastd (live runtime) ==="
   cmake --build "${root}/build" -j "${jobs}" --target gocastd
   "${root}/build/tools/gocastd" --nodes 8 --messages 4 --warmup 1.5
