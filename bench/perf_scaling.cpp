@@ -6,7 +6,7 @@
 // changes are visible in review instead of anecdotal.
 //
 //   perf_scaling [--nodes N] [--seconds S] [--messages M] [--seed X]
-//                [--mem-report]
+//                [--mem-report] [--groups G]
 //   perf_scaling --sweep [--threads T] [--reps R] [--nodes N] [--seed X]
 //   perf_scaling --curve [--seed X] [--curve-points N1,N2,...]
 //
@@ -18,7 +18,10 @@
 //
 // --mem-report appends a per-subsystem byte breakdown (engine slots,
 // membership views, message pool, digest store, overlay/tree trackers) to
-// the JSON, from System::memory_report().
+// the JSON, from System::memory_report(). With --groups G > 1 the
+// deployment is multi-group and the breakdown gains a per-group
+// dissemination+tree byte table ("group_bytes"), answering what each extra
+// group costs on top of the shared substrate.
 //
 // --curve runs one single-run point per node count (default 8k/32k/128k/512k,
 // sim horizon scaled down as the deployment grows) and emits a JSON array of
@@ -207,6 +210,7 @@ int main(int argc, char** argv) {
   std::size_t reps = 8;
   bool nodes_set = false;
   bool mem_report = false;
+  std::size_t groups = 1;
   bool curve = false;
   std::vector<std::size_t> curve_points{8192, 32768, 131072, 524288};
 
@@ -235,6 +239,9 @@ int main(int argc, char** argv) {
       reps = static_cast<std::size_t>(std::strtoull(need_value("--reps"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--mem-report") == 0) {
       mem_report = true;
+    } else if (std::strcmp(argv[i], "--groups") == 0) {
+      groups = static_cast<std::size_t>(
+          std::strtoull(need_value("--groups"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--curve") == 0) {
       curve = true;
     } else if (std::strcmp(argv[i], "--curve-points") == 0) {
@@ -270,6 +277,7 @@ int main(int argc, char** argv) {
   config.node_count = nodes;
   config.seed = seed;
   config.latency = core::default_latency_model(seed);
+  config.groups.group_count = groups;
   core::System system(config);
   system.start();
   const double setup_wall = seconds_since(setup_start);
@@ -338,6 +346,19 @@ int main(int argc, char** argv) {
         mem.view_bytes, mem.landmark_store_bytes, mem.landmark_unique,
         mem.dissemination_bytes, mem.overlay_bytes, mem.tree_bytes,
         mem.total_bytes());
+    if (!mem.group_bytes.empty()) {
+      // Per-group dissemination+tree footprint (multi-group deployments):
+      // group 0 is the universal group; extra rows are what each
+      // additional group costs on top of the shared substrate.
+      std::printf(",\n  \"group_bytes\": {");
+      bool first_group = true;
+      for (const auto& [group, bytes] : mem.group_bytes) {
+        std::printf("%s\"%u\": %zu", first_group ? "" : ", ",
+                    static_cast<unsigned>(group), bytes);
+        first_group = false;
+      }
+      std::printf("}");
+    }
   }
   std::printf("\n}\n");
   return 0;

@@ -14,6 +14,18 @@ using NodeId = std::uint32_t;
 /// Sentinel for "no node".
 inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
 
+/// Identifier of a multicast group. Group 0 is the default (universal)
+/// group every node belongs to; single-group deployments only ever see it,
+/// which keeps their wire frames and protocol behavior byte-identical to the
+/// pre-multigroup code.
+using GroupId = std::uint32_t;
+
+/// The implicit group of a single-group deployment.
+inline constexpr GroupId kDefaultGroup = 0;
+
+/// Sentinel for "no group".
+inline constexpr GroupId kInvalidGroup = std::numeric_limits<GroupId>::max();
+
 /// Simulated time in seconds since the start of the run.
 using SimTime = double;
 

@@ -1,0 +1,109 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.h"
+#include "common/rng.h"
+
+namespace gocast::common {
+namespace {
+
+constexpr std::uint64_t kOne = 1ULL << 32;  // 1.0 in Q32.32
+
+[[nodiscard]] std::uint64_t mul_fixed(std::uint64_t a, std::uint64_t b) {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) >> 32);
+}
+
+/// Integer square root of a 128-bit value (bit-by-bit; exact floor).
+[[nodiscard]] std::uint64_t isqrt128(unsigned __int128 n) {
+  unsigned __int128 x = n;
+  unsigned __int128 result = 0;
+  unsigned __int128 bit = static_cast<unsigned __int128>(1) << 126;
+  while (bit > x) bit >>= 2;
+  while (bit != 0) {
+    if (x >= result + bit) {
+      x -= result + bit;
+      result = (result >> 1) + bit;
+    } else {
+      result >>= 1;
+    }
+    bit >>= 2;
+  }
+  return static_cast<std::uint64_t>(result);
+}
+
+/// sqrt of a Q32.32 value, in Q32.32: floor(sqrt(a << 32)).
+[[nodiscard]] std::uint64_t sqrt_fixed(std::uint64_t a) {
+  return isqrt128(static_cast<unsigned __int128>(a) << 32);
+}
+
+}  // namespace
+
+std::uint64_t zipf_exponent_fixed(double s) {
+  GOCAST_ASSERT(s >= 0.0 && s < 64.0);
+  return static_cast<std::uint64_t>(std::llround(s * 4294967296.0));
+}
+
+std::uint64_t zipf_weight_fixed(std::uint32_t rank, std::uint64_t s_fixed) {
+  GOCAST_ASSERT(rank >= 1);
+  if (rank == 1 || s_fixed == 0) return kOne;
+  // rank^-s == (1/rank)^s with base <= 1, so no intermediate overflows.
+  const std::uint64_t inv = kOne / rank;
+  std::uint64_t result = kOne;
+  // Integer part of the exponent: binary exponentiation.
+  std::uint64_t int_part = s_fixed >> 32;
+  std::uint64_t base = inv;
+  while (int_part != 0) {
+    if (int_part & 1) result = mul_fixed(result, base);
+    base = mul_fixed(base, base);
+    int_part >>= 1;
+  }
+  // Fractional part: bit k (of 32) contributes a factor inv^(2^-k), which is
+  // the k-th repeated square root of inv.
+  std::uint64_t frac = s_fixed & 0xffffffffULL;
+  std::uint64_t root = inv;
+  for (unsigned k = 1; k <= 32 && frac != 0; ++k) {
+    root = sqrt_fixed(root);
+    const std::uint64_t bit = 1ULL << (32 - k);
+    if (frac & bit) {
+      result = mul_fixed(result, root);
+      frac &= ~bit;
+    }
+  }
+  return result;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s, std::uint64_t seed)
+    : state_(seed) {
+  GOCAST_ASSERT(n >= 1);
+  const std::uint64_t s_fixed = zipf_exponent_fixed(s);
+  cumulative_.resize(n);
+  std::uint64_t sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Clamp to >= 1 so every rank stays sampleable even when the Q32.32
+    // weight underflows (huge n with a steep exponent).
+    sum += std::max<std::uint64_t>(
+        zipf_weight_fixed(static_cast<std::uint32_t>(k + 1), s_fixed), 1);
+    cumulative_[k] = sum;
+  }
+}
+
+std::uint32_t ZipfSampler::next() {
+  const std::uint64_t draw = splitmix64(state_);
+  // Multiply-shift reduction onto [0, total): exactly defined, unlike
+  // std::uniform_int_distribution.
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(draw) * total_weight()) >> 64);
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  return static_cast<std::uint32_t>(it - cumulative_.begin());
+}
+
+std::uint64_t ZipfSampler::weight(std::uint32_t rank) const {
+  GOCAST_ASSERT(rank < cumulative_.size());
+  return cumulative_[rank] - (rank == 0 ? 0 : cumulative_[rank - 1]);
+}
+
+}  // namespace gocast::common

@@ -1,0 +1,50 @@
+// Seeded, cross-platform-deterministic Zipf sampler for group sizes and
+// popularity. All arithmetic is unsigned fixed-point (Q32.32) plus raw
+// splitmix64 draws, so the weights and every sampled index are identical on
+// any platform/compiler — the same discipline the job-seed derivation uses
+// (never route determinism-critical draws through std::distribution types,
+// whose algorithms are implementation-defined).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gocast::common {
+
+/// Q32.32 fixed-point rank weight `rank^-s` for 1-based `rank`.
+/// `s_fixed` is the exponent in Q32.32 (e.g. exponent 0.8 -> 0.8 * 2^32).
+[[nodiscard]] std::uint64_t zipf_weight_fixed(std::uint32_t rank,
+                                              std::uint64_t s_fixed);
+
+/// Converts a double exponent to the Q32.32 representation used throughout.
+/// The conversion (llround of s * 2^32) is exact for the exponents we use
+/// and deterministic everywhere.
+[[nodiscard]] std::uint64_t zipf_exponent_fixed(double s);
+
+/// Draws 0-based ranks with probability proportional to `(rank+1)^-s`.
+/// Construction precomputes the cumulative weight table (O(n)); each draw is
+/// one splitmix64 step plus a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// `n` ranks (must be >= 1), exponent `s` >= 0, deterministic `seed`.
+  ZipfSampler(std::size_t n, double s, std::uint64_t seed);
+
+  /// Next 0-based rank. Rank 0 is the most popular.
+  [[nodiscard]] std::uint32_t next();
+
+  /// Q32.32 weight of 0-based `rank` (as used in the CDF).
+  [[nodiscard]] std::uint64_t weight(std::uint32_t rank) const;
+
+  [[nodiscard]] std::uint64_t total_weight() const {
+    return cumulative_.empty() ? 0 : cumulative_.back();
+  }
+
+  [[nodiscard]] std::size_t size() const { return cumulative_.size(); }
+
+ private:
+  std::vector<std::uint64_t> cumulative_;  ///< inclusive prefix sums, Q32.32
+  std::uint64_t state_ = 0;                ///< splitmix64 state
+};
+
+}  // namespace gocast::common

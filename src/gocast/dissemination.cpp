@@ -18,7 +18,9 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
                                    overlay::OverlayManagerT<RT>& overlay,
                                    tree::TreeManagerT<RT>* tree,
                                    DisseminationParams params,
-                                   DefenseParams defense, Rng rng)
+                                   DefenseParams defense, Rng rng,
+                                   GroupId group,
+                                   SuspicionLedger* shared_suspicion)
     : self_(self),
       rt_(rt),
       view_(view),
@@ -26,6 +28,9 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
       tree_(tree),
       params_(params),
       defense_(defense),
+      group_(group),
+      suspicion_ledger_(shared_suspicion != nullptr ? shared_suspicion
+                                                    : &own_suspicion_),
       rng_(std::move(rng)),
       retry_rng_(rng_.fork("pull-retry")),
       gossip_timer_(rt_, params.gossip_period, [this] { on_gossip_timer(); }),
@@ -54,7 +59,7 @@ DisseminationT<RT>::DisseminationT(NodeId self, RT rt,
 
 template <runtime::Context RT>
 void DisseminationT<RT>::start(SimTime stagger) {
-  gossip_timer_.start(stagger + params_.gossip_period);
+  if (!external_gossip_) gossip_timer_.start(stagger + params_.gossip_period);
   gc_timer_.start(stagger + params_.gc_sweep_period);
 }
 
@@ -65,7 +70,25 @@ void DisseminationT<RT>::stop() {
 }
 
 template <runtime::Context RT>
+void DisseminationT<RT>::deactivate() {
+  stop();
+  active_ = false;
+  // Drop transient per-run state; the store keeps already-delivered records
+  // so a quick rejoin does not re-deliver old traffic as new.
+  pull_pending_.clear();
+  for (auto& [peer, ids] : pending_) ids.clear();
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::reactivate(SimTime stagger) {
+  if (active_) return;
+  active_ = true;
+  start(stagger);
+}
+
+template <runtime::Context RT>
 MsgId DisseminationT<RT>::multicast(std::size_t payload_bytes) {
+  GOCAST_ASSERT_MSG(active_, "multicast into a deactivated (left) group");
   MsgId id{self_, next_seq_++};
   accept_message(id, rt_.now(), payload_bytes, kInvalidNode,
                  DeliveryPath::kLocal);
@@ -100,7 +123,8 @@ void DisseminationT<RT>::accept_message(MsgId id, SimTime inject_time,
   }
 
   if (delivery_hook_) {
-    delivery_hook_(DeliveryEvent{self_, id, inject_time, rt_.now(), path});
+    delivery_hook_(
+        DeliveryEvent{self_, id, inject_time, rt_.now(), path, group_});
   }
 
   if (defense_.suspect_silent && params_.use_tree && tree_ != nullptr) {
@@ -145,13 +169,14 @@ void DisseminationT<RT>::forward_on_tree(MsgId id, const Stored& stored,
                                          NodeId except) {
   auto msg = rt_.template make<DataMsg>(id, stored.inject_time,
                                         stored.payload_bytes, /*via_tree=*/true,
-                                        overlay_.my_degrees());
+                                        overlay_.my_degrees(), group_);
   const std::vector<NodeId> peers = tree_->tree_neighbors();
   rt_.send_multi(self_, peers.data(), peers.size(), except, std::move(msg));
 }
 
 template <runtime::Context RT>
 void DisseminationT<RT>::on_data(NodeId from, const DataMsg& msg) {
+  if (!active_) return;  // traffic for a group we already left
   if (defense_.suspect_silent && from == watched_parent_) {
     // Any push from the watched parent — fresh or redundant — is proof it
     // still forwards.
@@ -165,8 +190,8 @@ void DisseminationT<RT>::on_data(NodeId from, const DataMsg& msg) {
       // CONSECUTIVE failures — the one pattern an adversary cannot avoid —
       // may accumulate toward the eviction threshold.
       audit_pending_.erase(audit_it);
-      auto sit = suspicion_.find(from);
-      if (sit != suspicion_.end()) sit->second.score = 0.0;
+      auto sit = suspicion_ledger_->scores.find(from);
+      if (sit != suspicion_ledger_->scores.end()) sit->second.score = 0.0;
     }
   }
   auto it = store_.find(msg.id);
@@ -251,9 +276,34 @@ void DisseminationT<RT>::on_gossip_timer() {
   digest_entries_sent_ += digest_buf_.size();
   rt_.send(self_, target,
            rt_.template make<GossipDigestMsg>(
-               digest_buf_, piggyback_members(), overlay_.my_degrees()));
+               digest_buf_, piggyback_members(), overlay_.my_degrees(),
+               group_));
 
   if (defense_.audit_pulls) maybe_challenge(target);
+}
+
+template <runtime::Context RT>
+const std::vector<DigestEntry>& DisseminationT<RT>::collect_digest_for(
+    NodeId target) {
+  // The same backlog drain the private gossip timer performs, minus the
+  // send: the node-level multiplexer packs the result into one grouped
+  // gossip alongside the other co-subscribed groups' sections. Gossip
+  // MESSAGE counts are node-level in mux mode; entry counts stay per-group.
+  const bool advertise_unheld = behavior_ != nullptr && behavior_->digest_liar;
+  digest_buf_.clear();
+  auto pending_it = pending_.find(target);
+  if (pending_it != pending_.end() && !pending_it->second.empty()) {
+    digest_buf_.reserve(pending_it->second.size());
+    for (MsgId id : pending_it->second) {
+      auto it = store_.find(id);
+      if (it == store_.end()) continue;
+      if (!it->second.payload_present && !advertise_unheld) continue;
+      digest_buf_.push_back(DigestEntry{id, it->second.inject_time});
+    }
+    pending_it->second.clear();
+  }
+  digest_entries_sent_ += digest_buf_.size();
+  return digest_buf_;
 }
 
 template <runtime::Context RT>
@@ -283,7 +333,7 @@ template <runtime::Context RT>
 void DisseminationT<RT>::on_gossip_digest(NodeId from,
                                           const GossipDigestMsg& msg) {
   view_.integrate(msg.members);
-  SimTime now = rt_.now();
+  if (!active_) return;
 
   if (defense_.digest_sanity &&
       msg.entries.size() > defense_.max_digest_entries) {
@@ -293,11 +343,33 @@ void DisseminationT<RT>::on_gossip_digest(NodeId from,
     return;
   }
 
+  process_digest_entries(from, msg.entries.data(), msg.entries.size());
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::on_grouped_digest(NodeId from,
+                                           const DigestEntry* entries,
+                                           std::size_t count) {
+  if (!active_) return;
+  if (defense_.digest_sanity && count > defense_.max_digest_entries) {
+    raise_suspicion(from, defense_.suspicion_increment);
+    return;
+  }
+  process_digest_entries(from, entries, count);
+}
+
+template <runtime::Context RT>
+void DisseminationT<RT>::process_digest_entries(NodeId from,
+                                                const DigestEntry* entries,
+                                                std::size_t count) {
+  SimTime now = rt_.now();
+
   if (behavior_ != nullptr && behavior_->digest_liar) {
     // The liar never pulls: it plants a payload-less record for every id it
     // hears and re-queues the id for all other neighbors, so it wins
     // advertisement races while holding nothing it could ever serve.
-    for (const DigestEntry& entry : msg.entries) {
+    for (std::size_t i = 0; i < count; ++i) {
+      const DigestEntry& entry = entries[i];
       remove_from_pending(from, entry.id);
       auto [it, fresh] = store_.try_emplace(
           entry.id, Stored{entry.inject_time, now, 0, false, false});
@@ -310,7 +382,8 @@ void DisseminationT<RT>::on_gossip_digest(NodeId from,
     return;
   }
 
-  for (const DigestEntry& entry : msg.entries) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const DigestEntry& entry = entries[i];
     if (defense_.digest_sanity) {
       if (entry.inject_time > now + 1e-9) {
         // Injection times are sender-reported; one from the future is a
@@ -357,9 +430,11 @@ void DisseminationT<RT>::on_gossip_digest(NodeId from,
 
 template <runtime::Context RT>
 void DisseminationT<RT>::issue_pull(NodeId target, MsgId id) {
+  if (!active_) return;  // a pull-delay callback outlived a group leave
   ++pulls_sent_;
   rt_.send(self_, target,
-           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees()));
+           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees(),
+                                             group_));
   schedule_pull_retry(id);
 }
 
@@ -412,6 +487,7 @@ void DisseminationT<RT>::on_pull_retry_timeout(MsgId id) {
 
 template <runtime::Context RT>
 void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg) {
+  if (!active_) return;
   // Mute forwarders relay nothing they did not originate; digest liars
   // advertised payloads they never held. Either way the requester's pull
   // times out — except for the adversary's own multicasts, which the
@@ -427,7 +503,7 @@ void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg)
              rt_.template make<DataMsg>(id, it->second.inject_time,
                                         it->second.payload_bytes,
                                         /*via_tree=*/false,
-                                        overlay_.my_degrees()));
+                                        overlay_.my_degrees(), group_));
   }
 }
 
@@ -438,7 +514,7 @@ void DisseminationT<RT>::on_pull_request(NodeId from, const PullRequestMsg& msg)
 template <runtime::Context RT>
 void DisseminationT<RT>::raise_suspicion(NodeId peer, double increment) {
   SimTime now = rt_.now();
-  auto& st = suspicion_[peer];
+  auto& st = suspicion_ledger_->scores[peer];
   if (st.score > 0.0 && now > st.updated) {
     st.score *= std::exp2(-(now - st.updated) / defense_.suspicion_decay_halflife);
   }
@@ -450,7 +526,7 @@ void DisseminationT<RT>::raise_suspicion(NodeId peer, double increment) {
     // and the blacklist keeps the peer away while the slate is clean.
     st.score = 0.0;
     if (overlay_.evict_neighbor(peer, defense_.blacklist_duration)) {
-      evictions_.push_back(Eviction{peer, now});
+      suspicion_ledger_->evictions.push_back(Eviction{peer, now});
       GOCAST_DEBUG("node " << self_ << " evicted suspect " << peer << " at "
                            << now);
     }
@@ -459,8 +535,8 @@ void DisseminationT<RT>::raise_suspicion(NodeId peer, double increment) {
 
 template <runtime::Context RT>
 double DisseminationT<RT>::suspicion_score(NodeId peer) const {
-  auto it = suspicion_.find(peer);
-  if (it == suspicion_.end()) return 0.0;
+  auto it = suspicion_ledger_->scores.find(peer);
+  if (it == suspicion_ledger_->scores.end()) return 0.0;
   SimTime now = rt_.now();
   double score = it->second.score;
   if (score > 0.0 && now > it->second.updated) {
@@ -530,7 +606,8 @@ void DisseminationT<RT>::maybe_challenge(NodeId target) {
   if (!inserted) return;  // this id is already probing another neighbor
   ++audits_sent_;
   rt_.send(self_, target,
-           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees()));
+           rt_.template make<PullRequestMsg>(id, overlay_.my_degrees(),
+                                             group_));
   rt_.schedule_after(params_.pull_retry_timeout, [this, target, id, epoch] {
     auto it = audit_pending_.find(id);
     // The epoch check pins the timeout to ITS challenge: after the original
@@ -675,6 +752,46 @@ void DisseminationT<RT>::gc_sweep() {
 // ---------------------------------------------------------------------------
 
 template <runtime::Context RT>
+void DisseminationT<RT>::set_gossip_peers(const std::vector<NodeId>& peers) {
+  // Departed peers first: recycles their pending capacity through the same
+  // path an overlay neighbor loss takes.
+  for (std::size_t i = rotation_.size(); i-- > 0;) {
+    NodeId peer = rotation_[i];
+    if (std::find(peers.begin(), peers.end(), peer) == peers.end()) {
+      on_neighbor_removed(peer);
+    }
+  }
+  std::vector<MsgId> held;  // filled lazily on the first genuinely new peer
+  for (NodeId peer : peers) {
+    if (peer == self_) continue;
+    if (std::find(rotation_.begin(), rotation_.end(), peer) !=
+        rotation_.end()) {
+      continue;
+    }
+    rotation_.push_back(peer);
+    // A fresh peer may have missed everything we still hold: queue the held
+    // ids so the next digest to it advertises them. Sorted — flat-map
+    // iteration order is capacity-dependent and must not leak into digest
+    // order (see readvertise_recent).
+    if (held.empty()) {
+      held.reserve(store_.size());
+      for (const auto& [id, stored] : store_) {
+        if (stored.payload_present) held.push_back(id);
+      }
+      std::sort(held.begin(), held.end(), [](MsgId a, MsgId b) {
+        return a.origin != b.origin ? a.origin < b.origin : a.seq < b.seq;
+      });
+    }
+    std::vector<MsgId>& slot = pending_slot(peer);
+    for (MsgId id : held) {
+      if (std::find(slot.begin(), slot.end(), id) == slot.end()) {
+        slot.push_back(id);
+      }
+    }
+  }
+}
+
+template <runtime::Context RT>
 void DisseminationT<RT>::on_neighbor_added(NodeId peer, overlay::LinkKind kind) {
   (void)kind;
   if (std::find(rotation_.begin(), rotation_.end(), peer) == rotation_.end()) {
@@ -703,9 +820,13 @@ void DisseminationT<RT>::on_neighbor_removed(NodeId peer) {
 
 template <runtime::Context RT>
 std::size_t DisseminationT<RT>::memory_bytes() const {
+  // A shared (node-global) suspicion ledger is accounted once by its owner,
+  // not once per group.
   std::size_t bytes = store_.memory_bytes() + pending_.memory_bytes() +
                       pull_pending_.memory_bytes() +
-                      suspicion_.memory_bytes() +
+                      (suspicion_ledger_ == &own_suspicion_
+                           ? own_suspicion_.memory_bytes()
+                           : 0) +
                       audit_countdown_.memory_bytes() +
                       audit_pending_.memory_bytes();
   for (const auto& [peer, ids] : pending_) {
@@ -718,7 +839,6 @@ std::size_t DisseminationT<RT>::memory_bytes() const {
   bytes += spare_pending_.capacity() * sizeof(std::vector<MsgId>);
   bytes += rotation_.capacity() * sizeof(NodeId);
   bytes += recent_ids_.capacity() * sizeof(std::pair<SimTime, MsgId>);
-  bytes += evictions_.capacity() * sizeof(Eviction);
   bytes += piggyback_buf_.capacity() * sizeof(membership::MemberEntry);
   bytes += digest_buf_.capacity() * sizeof(DigestEntry);
   return bytes;

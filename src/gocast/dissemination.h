@@ -19,6 +19,7 @@
 #include "common/types.h"
 #include "gocast/messages.h"
 #include "gocast/params.h"
+#include "gocast/suspicion.h"
 #include "membership/partial_view.h"
 #include "overlay/overlay_manager.h"
 #include "runtime/context.h"
@@ -36,6 +37,7 @@ struct DeliveryEvent {
   SimTime inject_time;
   SimTime deliver_time;
   DeliveryPath path;
+  GroupId group = kDefaultGroup;
 };
 
 using DeliveryHook = std::function<void(const DeliveryEvent&)>;
@@ -43,11 +45,15 @@ using DeliveryHook = std::function<void(const DeliveryEvent&)>;
 template <runtime::Context RT>
 class DisseminationT final : public overlay::OverlayListener {
  public:
-  /// `tree` may be null (gossip-only baselines).
+  /// `tree` may be null (gossip-only baselines). `group` scopes every
+  /// outgoing message; `shared_suspicion` (multi-group nodes) points at the
+  /// node-global ledger — when null, this instance keeps a private one.
   DisseminationT(NodeId self, RT rt, membership::PartialView& view,
                  overlay::OverlayManagerT<RT>& overlay,
                  tree::TreeManagerT<RT>* tree, DisseminationParams params,
-                 DefenseParams defense, Rng rng);
+                 DefenseParams defense, Rng rng,
+                 GroupId group = kDefaultGroup,
+                 SuspicionLedger* shared_suspicion = nullptr);
 
   DisseminationT(NodeId self, RT rt, membership::PartialView& view,
                  overlay::OverlayManagerT<RT>& overlay,
@@ -58,6 +64,43 @@ class DisseminationT final : public overlay::OverlayListener {
 
   void start(SimTime stagger);
   void stop();
+
+  /// Group-leave support: stops timers and drops transient per-run state
+  /// (pending digests, in-flight pulls) while keeping the instance alive —
+  /// scheduled callbacks capture `this`, so per-group state is deactivated,
+  /// never destroyed. reactivate() rejoins with a fresh slate.
+  void deactivate();
+  void reactivate(SimTime stagger);
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Multiplexed-gossip mode (multi-group nodes): the owning node drives one
+  /// grouped gossip per period instead of each group's private timer. Must
+  /// be set before start().
+  void set_external_gossip(bool on) { external_gossip_ = on; }
+
+  /// Replaces the gossip rotation with an explicitly chosen peer set.
+  /// Extra groups use this instead of the overlay listener: their peers are
+  /// co-subscribed overlay neighbors plus directory-sampled members — the
+  /// membership plane, not the overlay, decides who a sparse group gossips
+  /// with (the overlay keeps pruning toward its own degree targets, so
+  /// group-connectivity links would not survive there). Newly added peers
+  /// get every still-held message id queued so they can pull history;
+  /// departed peers' backlogs are recycled.
+  void set_gossip_peers(const std::vector<NodeId>& peers);
+  [[nodiscard]] const std::vector<NodeId>& gossip_peers() const {
+    return rotation_;
+  }
+
+  /// Drains and returns this group's digest backlog for `target` (the same
+  /// fill the private gossip timer performs; the buffer is valid until the
+  /// next call). Used by the node-level digest multiplexer.
+  [[nodiscard]] const std::vector<DigestEntry>& collect_digest_for(
+      NodeId target);
+
+  /// Entry point for one section of a multiplexed gossip (membership was
+  /// already integrated once at the node level).
+  void on_grouped_digest(NodeId from, const DigestEntry* entries,
+                         std::size_t count);
 
   void set_delivery_hook(DeliveryHook hook) { delivery_hook_ = std::move(hook); }
   void set_own_landmarks(const membership::LandmarkVector& landmarks) {
@@ -122,16 +165,21 @@ class DisseminationT final : public overlay::OverlayListener {
   /// suspicion tracking is disabled.
   [[nodiscard]] double suspicion_score(NodeId peer) const;
   /// Suspicion-threshold evictions this node performed, with timestamps
-  /// (time-to-evict analysis in bench/ext_byzantine).
-  struct Eviction {
-    NodeId peer;
-    SimTime at;
-  };
+  /// (time-to-evict analysis in bench/ext_byzantine). On a multi-group node
+  /// the ledger is shared: read it once per node, not once per group.
+  using Eviction = SuspicionLedger::Eviction;
   [[nodiscard]] const std::vector<Eviction>& evictions() const {
-    return evictions_;
+    return suspicion_ledger_->evictions;
   }
   [[nodiscard]] const DisseminationParams& params() const { return params_; }
   [[nodiscard]] const DefenseParams& defense() const { return defense_; }
+  [[nodiscard]] GroupId group() const { return group_; }
+
+  /// Fills and returns the reusable piggyback buffer (valid until the next
+  /// call); avoids a fresh vector per gossip tick. Public for the node-level
+  /// digest multiplexer, which piggybacks membership exactly once per
+  /// grouped gossip.
+  [[nodiscard]] const std::vector<membership::MemberEntry>& piggyback_members();
 
   /// Approximate heap bytes owned by the dissemination layer (message
   /// store, per-neighbor queues, pull/suspicion/audit trackers, scratch).
@@ -159,6 +207,10 @@ class DisseminationT final : public overlay::OverlayListener {
                       NodeId learned_from, DeliveryPath path);
 
   void forward_on_tree(MsgId id, const Stored& stored, NodeId except);
+  /// Shared body of on_gossip_digest and on_grouped_digest: the digest-liar
+  /// plant path plus the per-entry sanity/dedup/pull-scheduling loop.
+  void process_digest_entries(NodeId from, const DigestEntry* entries,
+                              std::size_t count);
   void on_gossip_timer();
   void gc_sweep();
   void issue_pull(NodeId target, MsgId id);
@@ -189,10 +241,6 @@ class DisseminationT final : public overlay::OverlayListener {
   /// when possible) on first use.
   std::vector<MsgId>& pending_slot(NodeId peer);
 
-  /// Fills and returns the reusable piggyback buffer (valid until the next
-  /// call); avoids a fresh vector per gossip tick.
-  [[nodiscard]] const std::vector<membership::MemberEntry>& piggyback_members();
-
   NodeId self_;
   RT rt_;
   membership::PartialView& view_;
@@ -201,6 +249,12 @@ class DisseminationT final : public overlay::OverlayListener {
   DisseminationParams params_;
   DefenseParams defense_;
   const FaultBehavior* behavior_ = nullptr;
+  GroupId group_ = kDefaultGroup;
+  /// Private ledger, used only when no shared one was injected.
+  SuspicionLedger own_suspicion_;
+  SuspicionLedger* suspicion_ledger_ = nullptr;
+  bool external_gossip_ = false;
+  bool active_ = true;
   Rng rng_;
   /// Separate stream for retry jitter so the backoff draws never perturb
   /// the piggyback-sampling stream.
@@ -223,11 +277,6 @@ class DisseminationT final : public overlay::OverlayListener {
   };
   common::FlatMap<MsgId, PullState> pull_pending_;
 
-  struct SuspicionState {
-    double score = 0.0;
-    SimTime updated = 0.0;
-  };
-  common::FlatMap<NodeId, SuspicionState> suspicion_;
   /// Parent data-silence watch: the tree parent under observation, and the
   /// last time it pushed any DataMsg (duplicates count — a parent pushing
   /// redundant copies is demonstrably forwarding).
@@ -248,7 +297,6 @@ class DisseminationT final : public overlay::OverlayListener {
   std::uint64_t audit_epoch_ = 0;
   std::vector<std::pair<SimTime, MsgId>> recent_ids_;
   std::size_t recent_head_ = 0;
-  std::vector<Eviction> evictions_;
   std::uint32_t next_seq_ = 0;
   std::vector<membership::MemberEntry> piggyback_buf_;
   std::vector<DigestEntry> digest_buf_;

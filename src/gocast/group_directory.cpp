@@ -1,0 +1,172 @@
+#include "gocast/group_directory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/assert.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+
+namespace gocast::core {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+GroupTopology GroupTopology::parse(const std::string& spec) {
+  GroupTopology t;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ';')) {
+    item = trim(item);
+    if (item.empty()) continue;
+    std::size_t eq = item.find('=');
+    GOCAST_ASSERT_MSG(eq != std::string::npos,
+                      "group spec item is not key=value");
+    const std::string key = trim(item.substr(0, eq));
+    const std::string value = trim(item.substr(eq + 1));
+    if (key == "groups") {
+      t.group_count = std::stoul(value);
+    } else if (key == "zipf") {
+      t.size_exponent = std::stod(value);
+    } else if (key == "pop") {
+      t.popularity_exponent = std::stod(value);
+    } else if (key == "min") {
+      t.min_group_size = std::stoul(value);
+    } else if (key == "base") {
+      t.base_fraction = std::stod(value);
+    } else if (key == "corr") {
+      t.correlation = std::stod(value);
+    } else if (key == "churn") {
+      t.churn_rate = std::stod(value);
+    } else {
+      GOCAST_ASSERT_MSG(false, "unknown group spec key");
+    }
+  }
+  GOCAST_ASSERT_MSG(t.group_count >= 1, "group spec needs groups>=1");
+  return t;
+}
+
+std::string GroupTopology::to_spec() const {
+  std::ostringstream out;
+  out << "groups=" << group_count << ";zipf=" << size_exponent
+      << ";pop=" << popularity_exponent << ";min=" << min_group_size
+      << ";base=" << base_fraction << ";corr=" << correlation
+      << ";churn=" << churn_rate;
+  return out.str();
+}
+
+GroupDirectory::GroupDirectory(const GroupTopology& topology,
+                               std::size_t node_count, std::uint64_t seed)
+    : topology_(topology),
+      members_(topology.group_count),
+      extra_groups_(node_count) {
+  GOCAST_ASSERT(topology.group_count >= 1);
+  GOCAST_ASSERT(node_count >= 1);
+  if (topology.group_count == 1) return;
+
+  Rng dir_rng = Rng(seed).fork("groups");
+  const std::uint64_t s_fixed =
+      common::zipf_exponent_fixed(topology.size_exponent);
+  const auto base_count = static_cast<std::size_t>(std::llround(
+      topology.base_fraction * static_cast<double>(node_count)));
+
+  std::vector<NodeId> population(node_count);
+  std::iota(population.begin(), population.end(), NodeId{0});
+
+  for (GroupId g = 1; g < topology.group_count; ++g) {
+    const std::uint64_t w = common::zipf_weight_fixed(g, s_fixed);
+    std::size_t size = static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(w) * base_count) >> 32);
+    size = std::clamp(size, topology.min_group_size, node_count);
+    Rng grng = dir_rng.fork(static_cast<std::uint64_t>(g));
+
+    std::vector<NodeId> chosen;
+    chosen.reserve(size);
+    std::vector<char> taken(node_count, 0);
+    // Correlated portion: a fraction of members is inherited from the
+    // previous extra group (group 1 has no predecessor among extra groups —
+    // group 0 is everyone, so correlating with it would be a no-op).
+    if (g >= 2 && topology.correlation > 0.0 && !members_[g - 1].empty()) {
+      auto corr_count = static_cast<std::size_t>(
+          std::llround(topology.correlation * static_cast<double>(size)));
+      std::vector<NodeId> prev = members_[g - 1];
+      grng.shuffle(prev);
+      corr_count = std::min({corr_count, size, prev.size()});
+      for (std::size_t i = 0; i < corr_count; ++i) {
+        chosen.push_back(prev[i]);
+        taken[prev[i]] = 1;
+      }
+    }
+    std::vector<NodeId> pool = population;
+    grng.shuffle(pool);
+    for (std::size_t i = 0; i < pool.size() && chosen.size() < size; ++i) {
+      if (!taken[pool[i]]) {
+        chosen.push_back(pool[i]);
+        taken[pool[i]] = 1;
+      }
+    }
+    std::sort(chosen.begin(), chosen.end());
+    for (NodeId id : chosen) extra_groups_[id].push_back(g);
+    members_[g] = std::move(chosen);
+  }
+  // extra_groups_ entries were appended in ascending g, so they are sorted.
+}
+
+const std::vector<NodeId>& GroupDirectory::members(GroupId g) const {
+  GOCAST_ASSERT(g >= 1 && g < members_.size());
+  return members_[g];
+}
+
+const std::vector<GroupId>& GroupDirectory::groups_of(NodeId id) const {
+  GOCAST_ASSERT(id < extra_groups_.size());
+  return extra_groups_[id];
+}
+
+bool GroupDirectory::subscribed(NodeId id, GroupId g) const {
+  if (g == kDefaultGroup) return id < extra_groups_.size();
+  if (id >= extra_groups_.size() || g >= members_.size()) return false;
+  const auto& gs = extra_groups_[id];
+  return std::binary_search(gs.begin(), gs.end(), g);
+}
+
+void GroupDirectory::subscribe(NodeId id, GroupId g) {
+  if (g == kDefaultGroup || g >= members_.size()) return;
+  GOCAST_ASSERT(id < extra_groups_.size());
+  auto& gs = extra_groups_[id];
+  auto it = std::lower_bound(gs.begin(), gs.end(), g);
+  if (it != gs.end() && *it == g) return;
+  gs.insert(it, g);
+  auto& ms = members_[g];
+  ms.insert(std::lower_bound(ms.begin(), ms.end(), id), id);
+}
+
+void GroupDirectory::unsubscribe(NodeId id, GroupId g) {
+  if (g == kDefaultGroup || g >= members_.size()) return;
+  GOCAST_ASSERT(id < extra_groups_.size());
+  auto& gs = extra_groups_[id];
+  auto it = std::lower_bound(gs.begin(), gs.end(), g);
+  if (it == gs.end() || *it != g) return;
+  gs.erase(it);
+  auto& ms = members_[g];
+  auto mit = std::lower_bound(ms.begin(), ms.end(), id);
+  if (mit != ms.end() && *mit == id) ms.erase(mit);
+}
+
+std::size_t GroupDirectory::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  for (const auto& m : members_) bytes += m.capacity() * sizeof(NodeId);
+  bytes += extra_groups_.capacity() * sizeof(std::vector<GroupId>);
+  for (const auto& g : extra_groups_) bytes += g.capacity() * sizeof(GroupId);
+  return bytes;
+}
+
+}  // namespace gocast::core

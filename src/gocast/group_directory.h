@@ -1,0 +1,86 @@
+// Deterministic multi-group topology: which nodes subscribe to which groups.
+//
+// Group 0 is the universal group — every node is implicitly a member, and a
+// single-group deployment is exactly "group 0 only". Extra groups (1..G-1)
+// get Zipf-distributed sizes (group 1 the largest) and optionally correlated
+// membership (a fraction of each group's members is drawn from the previous
+// group, modeling interest clustering). Everything derives from one seed via
+// the fork() discipline, so every process/harness that shares the seed
+// computes the identical directory — tools/gocastd relies on this to agree
+// on subscriptions without any coordination.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace gocast::core {
+
+/// Declarative multi-group workload shape. Parses from / serializes to a
+/// compact `key=value;...` spec (the `--faults`-grammar idiom), e.g.
+///   "groups=8;zipf=0.9;pop=0.6;min=8;base=0.5;corr=0.25;churn=1.0"
+struct GroupTopology {
+  /// Total number of groups including the universal group 0.
+  std::size_t group_count = 1;
+  /// Zipf exponent for extra-group sizes (group g has rank g).
+  double size_exponent = 0.9;
+  /// Zipf exponent for traffic popularity across groups (rank = GroupId).
+  double popularity_exponent = 0.6;
+  /// Floor on extra-group membership.
+  std::size_t min_group_size = 8;
+  /// Size of group 1 (the largest extra group) as a fraction of all nodes.
+  double base_fraction = 0.5;
+  /// Fraction of each extra group's members drawn from the previous group.
+  double correlation = 0.0;
+  /// Group join/leave events per simulated second (harness-driven churn,
+  /// independent of node churn).
+  double churn_rate = 0.0;
+
+  [[nodiscard]] static GroupTopology parse(const std::string& spec);
+  [[nodiscard]] std::string to_spec() const;
+
+  friend bool operator==(const GroupTopology&, const GroupTopology&) = default;
+};
+
+/// The materialized subscription table for a node universe [0, node_count).
+/// Construction is pure: (topology, node_count, seed) -> identical directory
+/// on every platform. Mutations (subscribe/unsubscribe) support group-churn
+/// scenarios; callers own keeping live nodes in sync.
+class GroupDirectory {
+ public:
+  GroupDirectory(const GroupTopology& topology, std::size_t node_count,
+                 std::uint64_t seed);
+
+  [[nodiscard]] std::size_t group_count() const { return members_.size(); }
+  [[nodiscard]] std::size_t node_count() const { return extra_groups_.size(); }
+
+  /// Sorted member list of group `g` (g >= 1; group 0 is implicit/universal).
+  [[nodiscard]] const std::vector<NodeId>& members(GroupId g) const;
+
+  /// Extra groups (>= 1) node `id` subscribes to, ascending. Group 0 is
+  /// implicit and never listed.
+  [[nodiscard]] const std::vector<GroupId>& groups_of(NodeId id) const;
+
+  /// True when `id` subscribes to `g` (always true for group 0).
+  [[nodiscard]] bool subscribed(NodeId id, GroupId g) const;
+
+  /// Adds/removes a subscription (no-ops on group 0 and on redundant calls).
+  void subscribe(NodeId id, GroupId g);
+  void unsubscribe(NodeId id, GroupId g);
+
+  [[nodiscard]] const GroupTopology& topology() const { return topology_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  GroupTopology topology_;
+  /// members_[g] sorted ascending; members_[0] stays empty (universal).
+  std::vector<std::vector<NodeId>> members_;
+  /// extra_groups_[id] sorted ascending, group 0 omitted.
+  std::vector<std::vector<GroupId>> extra_groups_;
+};
+
+}  // namespace gocast::core

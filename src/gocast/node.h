@@ -11,12 +11,16 @@
 
 #include <memory>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "common/fault_behavior.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "gocast/dissemination.h"
+#include "gocast/group_directory.h"
 #include "gocast/params.h"
+#include "gocast/suspicion.h"
 #include "membership/partial_view.h"
 #include "net/endpoint.h"
 #include "overlay/overlay_manager.h"
@@ -86,13 +90,58 @@ class GoCastNodeT final : public net::Endpoint {
 
   void set_delivery_hook(DeliveryHook hook);
 
+  // -- multi-group (DESIGN.md §10) --
+
+  /// Switches the node into multi-group mode against a shared directory.
+  /// Must be called before start(). Group 0 (the base group every node is in)
+  /// keeps the inline tree/dissemination instances; extra groups are joined
+  /// with join_group(). When config.multiplex_gossip is set, per-group gossip
+  /// timers are replaced by one node-level grouped gossip.
+  void enable_multigroup(std::shared_ptr<const GroupDirectory> directory);
+  [[nodiscard]] bool multigroup() const { return multigroup_; }
+
+  /// Creates (or reactivates, after leave_group) the per-group protocol
+  /// state for extra group `g` (g != 0). Safe before or after start().
+  void join_group(GroupId g);
+  /// Deactivates group `g`'s tree and dissemination. State is kept (never
+  /// destroyed — scheduled callbacks may still reference it) so a later
+  /// join_group resumes cleanly.
+  void leave_group(GroupId g);
+  [[nodiscard]] bool in_group(GroupId g) const;
+  /// Sorted ids of the extra groups this node has ever joined (including
+  /// currently-left ones; check in_group for liveness).
+  [[nodiscard]] const std::vector<GroupId>& extra_group_ids() const {
+    return extra_ids_;
+  }
+
+  /// Starts a multicast in a specific group this node subscribes to.
+  MsgId multicast_in(GroupId g, std::size_t payload_bytes);
+  /// Makes this node the root of group `g`'s tree.
+  void become_root_in(GroupId g);
+
+  /// Per-group subsystem lookup: group 0 -> the inline instances, else the
+  /// group table. Null when the node never joined `g`.
+  [[nodiscard]] DisseminationT<RT>* dissemination_for(GroupId g);
+  [[nodiscard]] const DisseminationT<RT>* dissemination_for(GroupId g) const;
+  [[nodiscard]] tree::TreeManagerT<RT>* tree_for(GroupId g);
+
+  /// Total gossip messages sent by this node: per-group gossips plus grouped
+  /// (multiplexed) gossips. The mux saving shows up here: one grouped gossip
+  /// replaces one gossip per co-subscribed group.
+  [[nodiscard]] std::uint64_t gossip_messages_sent() const;
+  [[nodiscard]] std::uint64_t mux_gossips_sent() const {
+    return mux_gossips_sent_;
+  }
+
+  /// Appends (group, heap bytes) for every extra group's tree+dissemination
+  /// state (memory_report per-group breakdown).
+  void append_group_memory(
+      std::vector<std::pair<GroupId, std::size_t>>& out) const;
+
   /// Protocol-agnostic counters (shared with the baselines by the harness).
-  [[nodiscard]] std::uint64_t deliveries_count() const {
-    return dissemination_.deliveries();
-  }
-  [[nodiscard]] std::uint64_t duplicates_count() const {
-    return dissemination_.duplicates();
-  }
+  /// In multi-group mode these aggregate across all groups.
+  [[nodiscard]] std::uint64_t deliveries_count() const;
+  [[nodiscard]] std::uint64_t duplicates_count() const;
 
   // -- subsystem access (tests, analysis) --
   [[nodiscard]] membership::PartialView& view() { return view_; }
@@ -117,10 +166,51 @@ class GoCastNodeT final : public net::Endpoint {
   void handle_send_failure(NodeId to, const net::MessagePtr& msg) override;
 
  private:
+  /// Per-extra-group protocol state: a tree and a dissemination instance
+  /// sharing the node-global overlay, view, and suspicion ledger. Never
+  /// destroyed once created (deactivate-not-destroy; see leave_group).
+  struct GroupState {
+    GroupState(NodeId id, RT rt, membership::PartialView& view,
+               overlay::OverlayManagerT<RT>& overlay,
+               const GoCastConfig& config, GroupId group,
+               SuspicionLedger* ledger, Rng rng)
+        : tree(id, rt, overlay, config.tree, group),
+          diss(id, rt, view, overlay, config.tree.enabled ? &tree : nullptr,
+               config.dissemination, config.defense,
+               rng.fork("dissemination"), group, ledger),
+          peer_rng(rng.fork("peers")) {}
+    tree::TreeManagerT<RT> tree;
+    DisseminationT<RT> diss;
+    /// Draws directory fallback gossip peers (refresh_group_peers).
+    Rng peer_rng;
+    /// Sticky directory-sampled peers, oldest first. Replaced slowly — a
+    /// fallback must outlive several gossip rotations or its queued digests
+    /// are recycled before its turn ever comes (see refresh_group_peers).
+    std::vector<NodeId> fallbacks;
+    /// Keeper ticks seen; paces fallback remixing.
+    std::uint64_t keeper_ticks = 0;
+    /// Recent gossip contacts (FIFO, newest last): members who sent us a
+    /// digest for this group but are not in our peer set. Reciprocating —
+    /// folding them into the next refresh — gives every member an in-edge:
+    /// a member nobody happened to sample still reaches the group through
+    /// its own out-edges, because those peers gossip back.
+    std::vector<NodeId> contacts;
+    /// Reused scratch for the refreshed peer set.
+    std::vector<NodeId> peer_buf;
+  };
+
   void measure_landmarks();
+  void apply_landmarks();
   void dispatch_message(NodeId from, const net::MessagePtr& msg);
   void on_join_request(NodeId from);
   void on_join_reply(const overlay::JoinReplyMsg& msg);
+  void on_grouped_gossip(NodeId from, const GroupedGossipMsg& msg);
+  void on_mux_timer();
+  void on_keeper_timer();
+  void refresh_group_peers(GroupId g, GroupState& st);
+  void note_group_contact(GroupId g, NodeId from);
+  [[nodiscard]] GroupState* find_group(GroupId g);
+  [[nodiscard]] const GroupState* find_group(GroupId g) const;
 
   NodeId id_;
   RT rt_;
@@ -128,11 +218,38 @@ class GoCastNodeT final : public net::Endpoint {
   /// Stable storage for the fault behavior; overlay and dissemination hold a
   /// const pointer to it, so a runtime flip is visible everywhere at once.
   FaultBehavior behavior_;
+  /// Node-global suspicion ledger (ISSUE: per-neighbor trust is a property
+  /// of the node pair, not of any one group) shared by every group's
+  /// dissemination instance.
+  SuspicionLedger suspicion_;
   membership::PartialView view_;
   overlay::OverlayManagerT<RT> overlay_;
   tree::TreeManagerT<RT> tree_;
   DisseminationT<RT> dissemination_;
   membership::LandmarkVector own_landmarks_;
+
+  // -- multi-group state (empty / inert unless enable_multigroup ran) --
+  std::shared_ptr<const GroupDirectory> directory_;
+  /// Sorted by group id (binary-search lookup). unique_ptr keeps each
+  /// GroupState heap-stable: scheduled callbacks and overlay listeners hold
+  /// raw pointers across vector growth. A node subscribes to a handful of
+  /// groups, so a sorted vector beats a hash table here.
+  std::vector<std::pair<GroupId, std::unique_ptr<GroupState>>> extra_groups_;
+  /// Sorted group ids mirroring extra_groups_ keys (cheap iteration and the
+  /// extra_group_ids() accessor).
+  std::vector<GroupId> extra_ids_;
+  Rng group_rng_;
+  DeliveryHook delivery_hook_;
+  std::unique_ptr<runtime::PeriodicTimer<RT>> mux_timer_;
+  std::unique_ptr<runtime::PeriodicTimer<RT>> keeper_timer_;
+  std::size_t mux_idx_ = 0;
+  /// Reused scratch: union of overlay neighbors and every active extra
+  /// group's gossip peers, rebuilt each mux period.
+  std::vector<NodeId> mux_rotation_;
+  std::uint64_t mux_gossips_sent_ = 0;
+  bool multigroup_ = false;
+  bool started_ = false;
+  SimTime start_stagger_ = 0.0;
 };
 
 /// The simulation-backed node used by the harness and tests.

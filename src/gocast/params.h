@@ -169,6 +169,23 @@ struct GoCastConfig {
   /// DefenseParams and DESIGN.md §9).
   DefenseParams defense;
 
+  /// Multi-group digest multiplexing (DESIGN.md §10): when a node subscribes
+  /// to several groups, ONE grouped gossip per period carries per-group
+  /// digest sections for every group it shares with the target neighbor, so
+  /// gossip message count stays O(fanout) instead of O(groups x fanout).
+  /// Only consulted once enable_multigroup() is called; single-group nodes
+  /// never multiplex and stay byte-identical to the pre-multigroup protocol.
+  bool multiplex_gossip = true;
+
+  /// Multi-group link keeper: how often a node checks that each subscribed
+  /// extra group still has co-subscribed overlay neighbors, requesting one
+  /// link per sparse group per check. Keeps every per-group subgraph
+  /// connected while node-global overlay maintenance churns links.
+  SimTime group_link_period = 2.0;
+  /// Minimum co-subscribed neighbors per extra group before the keeper asks
+  /// for more.
+  std::size_t group_min_neighbors = 2;
+
   /// Global landmark node ids used for triangulation estimates.
   std::vector<NodeId> landmarks;
 

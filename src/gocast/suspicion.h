@@ -1,0 +1,36 @@
+// Node-global suspicion/eviction state (DESIGN.md §9), factored out of the
+// dissemination layer so that every per-group Dissemination instance on a
+// multi-group node shares ONE ledger: evidence against a neighbor observed
+// in any group counts against it everywhere, and an eviction (an overlay
+// action) is naturally node-scoped. Single-group deployments keep a private
+// ledger inside their lone Dissemination — same behavior, same bytes.
+#pragma once
+
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/types.h"
+
+namespace gocast::core {
+
+struct SuspicionLedger {
+  struct State {
+    double score = 0.0;
+    SimTime updated = 0.0;
+  };
+  struct Eviction {
+    NodeId peer;
+    SimTime at;
+  };
+
+  common::FlatMap<NodeId, State> scores;
+  /// Suspicion-threshold evictions, with timestamps (time-to-evict analysis
+  /// in bench/ext_byzantine).
+  std::vector<Eviction> evictions;
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return scores.memory_bytes() + evictions.capacity() * sizeof(Eviction);
+  }
+};
+
+}  // namespace gocast::core

@@ -140,6 +140,47 @@ void System::start() {
     nodes_[root]->become_root();
   }
 
+  // Multi-group wiring. Deliberately placed after all init_rng draws and
+  // gated on group_count > 1: a single-group deployment takes none of these
+  // branches and consumes no extra randomness, keeping it byte-identical to
+  // the pre-multigroup simulator. The directory derives memberships from its
+  // own fork of the seed.
+  if (config_.groups.group_count > 1) {
+    directory_ = std::make_shared<GroupDirectory>(config_.groups, n,
+                                                  config_.seed);
+    std::shared_ptr<const GroupDirectory> shared_dir = directory_;
+    for (NodeId id = 0; id < n; ++id) {
+      nodes_[id]->enable_multigroup(shared_dir);
+    }
+    const bool trees = config_.node.tree.enabled &&
+                       config_.node.dissemination.use_tree;
+    for (GroupId g = 1; g < config_.groups.group_count; ++g) {
+      const std::vector<NodeId>& members = directory_->members(g);
+      if (members.empty()) continue;
+      for (NodeId m : members) nodes_[m]->join_group(g);
+      // Ring bootstrap over the (sorted) membership so every group's
+      // subgraph starts connected, plus one diameter chord on larger groups
+      // to halve the initial gossip distance. The link keeper takes over
+      // from there.
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        NodeId a = members[i];
+        NodeId b = members[(i + 1) % members.size()];
+        if (a == b || nodes_[a]->overlay().is_neighbor(b)) continue;
+        nodes_[a]->bootstrap_link(b, overlay::LinkKind::kRandom);
+        nodes_[b]->bootstrap_link(a, overlay::LinkKind::kRandom);
+      }
+      if (members.size() >= 6) {
+        NodeId a = members.front();
+        NodeId b = members[members.size() / 2];
+        if (!nodes_[a]->overlay().is_neighbor(b)) {
+          nodes_[a]->bootstrap_link(b, overlay::LinkKind::kRandom);
+          nodes_[b]->bootstrap_link(a, overlay::LinkKind::kRandom);
+        }
+      }
+      if (trees) nodes_[members.front()]->become_root_in(g);
+    }
+  }
+
   for (NodeId id = 0; id < n; ++id) {
     SimTime stagger =
         init_rng.next_range(0.0, config_.node.overlay.maintenance_period);
@@ -200,6 +241,22 @@ void System::set_delivery_hook(const DeliveryHook& hook) {
   for (auto& node : nodes_) node->set_delivery_hook(hook);
 }
 
+void System::group_join(NodeId id, GroupId g) {
+  GOCAST_ASSERT_MSG(directory_ != nullptr, "group_join without multigroup");
+  GOCAST_ASSERT(id < nodes_.size());
+  if (directory_->subscribed(id, g)) return;
+  directory_->subscribe(id, g);
+  nodes_[id]->join_group(g);
+}
+
+void System::group_leave(NodeId id, GroupId g) {
+  GOCAST_ASSERT_MSG(directory_ != nullptr, "group_leave without multigroup");
+  GOCAST_ASSERT(id < nodes_.size());
+  if (!directory_->subscribed(id, g)) return;
+  directory_->unsubscribe(id, g);
+  nodes_[id]->leave_group(g);
+}
+
 NodeId System::spawn_next() {
   GOCAST_ASSERT_MSG(started_, "System::spawn_next before start");
   if (spawned_ >= config_.deferred_nodes) return kInvalidNode;
@@ -223,12 +280,26 @@ System::MemoryReport System::memory_report() const {
   report.engine_bytes = engine_.memory_bytes();
   report.network_bytes = network_->memory_bytes();
   report.node_object_bytes = nodes_.size() * sizeof(GoCastNode);
+  std::map<GroupId, std::size_t> per_group;
   for (const auto& node : nodes_) {
     report.view_bytes += node->view().memory_bytes();
     report.dissemination_bytes += node->dissemination().memory_bytes();
     report.overlay_bytes += node->overlay().memory_bytes();
     report.tree_bytes += node->tree().memory_bytes();
+    if (directory_ != nullptr) {
+      per_group[kDefaultGroup] += node->dissemination().memory_bytes() +
+                                  node->tree().memory_bytes();
+      for (GroupId g : node->extra_group_ids()) {
+        const DisseminationT<runtime::SimRuntime>* diss =
+            node->dissemination_for(g);
+        tree::TreeManager* tree = node->tree_for(g);
+        report.dissemination_bytes += diss->memory_bytes();
+        report.tree_bytes += tree->memory_bytes();
+        per_group[g] += diss->memory_bytes() + tree->memory_bytes();
+      }
+    }
   }
+  report.group_bytes.assign(per_group.begin(), per_group.end());
   const auto& store = config_.node.landmark_store;
   if (store != nullptr) {
     report.landmark_store_bytes = store->memory_bytes();

@@ -5,9 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "gocast/group_directory.h"
 #include "gocast/node.h"
 #include "net/latency_model.h"
 #include "net/network.h"
@@ -39,6 +41,14 @@ struct SystemConfig {
   /// later through spawn_next() (churn experiments). They count as dead
   /// until spawned.
   std::size_t deferred_nodes = 0;
+
+  /// Multi-group topology (DESIGN.md §10). group_count == 1 (the default)
+  /// keeps the deployment single-group and byte-identical to the
+  /// pre-multigroup simulator: no directory is built and no multi-group code
+  /// path runs. With more groups, System derives a GroupDirectory from the
+  /// seed, subscribes members, bootstraps each group's subgraph, and
+  /// designates per-group roots.
+  GroupTopology groups;
 };
 
 class System {
@@ -84,6 +94,18 @@ class System {
   /// Installs the hook on every node.
   void set_delivery_hook(const DeliveryHook& hook);
 
+  // -- multi-group (only meaningful when config.groups.group_count > 1) --
+
+  /// The shared group directory; null for single-group deployments.
+  [[nodiscard]] const std::shared_ptr<GroupDirectory>& directory() const {
+    return directory_;
+  }
+  /// Subscribes `id` to extra group `g` at runtime (group churn): updates
+  /// the directory and spins up the node's per-group state.
+  void group_join(NodeId id, GroupId g);
+  /// Unsubscribes `id` from `g`: directory update plus node-side deactivate.
+  void group_leave(NodeId id, GroupId g);
+
   /// Ids of currently alive nodes.
   [[nodiscard]] std::vector<NodeId> alive_nodes() const;
 
@@ -109,6 +131,10 @@ class System {
     std::size_t dissemination_bytes = 0;   ///< digest store + trackers
     std::size_t overlay_bytes = 0;         ///< neighbor/pending tables
     std::size_t tree_bytes = 0;            ///< children + distance caches
+    /// Multi-group runs: (group id, tree+dissemination bytes summed over all
+    /// subscribers). Already included in the dissemination/tree fields —
+    /// this is a breakdown, not an addition. Empty for single-group runs.
+    std::vector<std::pair<GroupId, std::size_t>> group_bytes;
     [[nodiscard]] std::size_t total_bytes() const {
       return engine_bytes + network_bytes + node_object_bytes + view_bytes +
              landmark_store_bytes + dissemination_bytes + overlay_bytes +
@@ -124,6 +150,7 @@ class System {
   std::shared_ptr<const net::LatencyModel> latency_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<GoCastNode>> nodes_;
+  std::shared_ptr<GroupDirectory> directory_;
   bool started_ = false;
   std::size_t spawned_ = 0;
 };

@@ -9,6 +9,7 @@
 #include "common/assert.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/zipf.h"
 #include "fault/fault_injector.h"
 #include "fault/invariant_checker.h"
 #include "gocast/system.h"
@@ -105,7 +106,146 @@ ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
       for (const auto& eviction : diss.evictions()) {
         result.eviction_times.push_back(eviction.at);
       }
+      result.gossip_messages += system.node(id).gossip_messages_sent();
     }
+  }
+  return result;
+}
+
+/// Multi-group variant of drive(): per-group delivery trackers, Zipf group
+/// popularity for injected traffic, and optional group join/leave churn.
+/// GoCast-family only (needs System's group plumbing). `trackers` is filled
+/// by this function and owned by the caller so the hooks installed on the
+/// nodes stay valid while the caller reads results.
+ScenarioResult drive_multigroup(
+    core::System& system, const ScenarioConfig& config,
+    const core::GroupTopology& topology,
+    std::vector<std::unique_ptr<analysis::DeliveryTracker>>& trackers) {
+  const std::size_t group_count = topology.group_count;
+  trackers.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    trackers.push_back(
+        std::make_unique<analysis::DeliveryTracker>(config.node_count));
+  }
+  system.set_delivery_hook(
+      [&trackers, group_count](const core::DeliveryEvent& event) {
+        if (event.group < group_count) trackers[event.group]->on_delivery(event);
+      });
+  if (config.loss_probability > 0.0) {
+    system.network().set_loss_probability(config.loss_probability);
+  }
+  system.start();
+  system.run_for(config.warmup);
+  for (auto& tracker : trackers) tracker->set_recording(true);
+
+  const SimTime inject_start = system.now();
+  const double window =
+      static_cast<double>(config.message_count) / config.message_rate;
+  std::vector<sim::Engine::BatchEvent> events;
+
+  // Group churn: topology.churn_rate join/leave events per second during the
+  // traffic window, alternating by coin flip, never draining a group below
+  // three members (an empty group has no delivery semantics to measure).
+  Rng churn_rng = Rng(config.seed).fork("group-churn");
+  if (topology.churn_rate > 0.0 && group_count > 1) {
+    const std::size_t churn_events =
+        static_cast<std::size_t>(topology.churn_rate * window);
+    events.reserve(config.message_count + churn_events);
+    for (std::size_t i = 0; i < churn_events; ++i) {
+      SimTime at = inject_start +
+                   (static_cast<double>(i) + 0.5) / topology.churn_rate;
+      events.push_back({at, [&system, &churn_rng, group_count] {
+        const auto& dir = system.directory();
+        GroupId g = static_cast<GroupId>(
+            1 + churn_rng.next_below(group_count - 1));
+        const std::vector<NodeId>& members = dir->members(g);
+        const bool leave = churn_rng.next_below(2) == 0 && members.size() > 3;
+        if (leave) {
+          NodeId victim = members[churn_rng.next_below(members.size())];
+          system.group_leave(victim, g);
+        } else {
+          for (int guard = 0; guard < 64; ++guard) {
+            NodeId candidate = system.random_alive_node();
+            if (!dir->subscribed(candidate, g)) {
+              system.group_join(candidate, g);
+              break;
+            }
+          }
+        }
+      }});
+    }
+  }
+
+  // Traffic: each message targets a group drawn by Zipf popularity (rank 0 —
+  // the most popular — is group 0) and originates at a random alive member.
+  common::ZipfSampler popularity(group_count, topology.popularity_exponent,
+                                 config.seed ^ 0xa24baed4963ee407ULL);
+  Rng source_rng(config.seed ^ 0x9e3779b97f4a7c15ULL);
+  for (std::size_t i = 0; i < config.message_count; ++i) {
+    SimTime at = inject_start + static_cast<double>(i) / config.message_rate;
+    events.push_back({at, [&system, &config, &popularity, &source_rng] {
+      GroupId g = static_cast<GroupId>(popularity.next());
+      NodeId source = kInvalidNode;
+      if (g == kDefaultGroup) {
+        source = system.random_alive_node();
+      } else {
+        const std::vector<NodeId>& members = system.directory()->members(g);
+        for (int guard = 0; guard < 128 && !members.empty(); ++guard) {
+          NodeId candidate = members[source_rng.next_below(members.size())];
+          if (system.network().alive(candidate)) {
+            source = candidate;
+            break;
+          }
+        }
+        if (source == kInvalidNode) {
+          // Group fully dead/drained: fall back to the universal group so
+          // the injection schedule keeps its length.
+          g = kDefaultGroup;
+          source = system.random_alive_node();
+        }
+      }
+      system.node(source).multicast_in(g, config.payload_bytes);
+    }});
+  }
+  system.engine().schedule_batch(events);
+  system.run_until(inject_start + window + config.drain);
+
+  ScenarioResult result;
+  const std::vector<NodeId> alive = system.alive_nodes();
+  // Group 0 spans every node, so its report keeps the single-group meaning.
+  result.report = trackers[0]->report(alive);
+  result.curve = trackers[0]->pair_delay_curve(alive, kCurvePoints);
+  result.alive_nodes = alive.size();
+  result.sim_end = system.now();
+  result.traffic = system.network().traffic();
+  for (NodeId id : alive) {
+    result.deliveries += system.node(id).deliveries_count();
+    result.duplicates += system.node(id).duplicates_count();
+    const auto& diss = system.node(id).dissemination();
+    result.pulls_sent += diss.pulls_sent();
+    result.pull_retries_exhausted += diss.pull_retries_exhausted();
+    result.audits_sent += diss.audits_sent();
+    result.gossip_messages += system.node(id).gossip_messages_sent();
+  }
+  result.group_stats.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    ScenarioResult::GroupStats stats;
+    stats.group = static_cast<GroupId>(g);
+    std::vector<NodeId> live_members;
+    if (g == 0) {
+      live_members = alive;
+    } else {
+      for (NodeId m : system.directory()->members(static_cast<GroupId>(g))) {
+        if (system.network().alive(m)) live_members.push_back(m);
+      }
+    }
+    stats.members = live_members.size();
+    const auto report = trackers[g]->report(live_members);
+    stats.messages = report.messages;
+    stats.deliveries = trackers[g]->delivery_count();
+    stats.delivered_fraction = report.delivered_fraction;
+    stats.mean_delay = report.delay.mean();
+    result.group_stats.push_back(stats);
   }
   return result;
 }
@@ -144,6 +284,24 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
   }
   sys.bootstrap_links_per_node =
       static_cast<std::size_t>(node.overlay.target_degree() / 2);
+
+  // Multi-group runs branch to their own driver: per-group trackers, Zipf
+  // group popularity, group churn. An empty/singleton group_spec leaves sys
+  // untouched and the single-group path byte-identical.
+  core::GroupTopology topology;
+  if (!config.group_spec.empty()) {
+    topology = core::GroupTopology::parse(config.group_spec);
+  }
+  if (topology.group_count > 1) {
+    GOCAST_ASSERT_MSG(config.fault_spec.empty() && !config.check_invariants &&
+                          config.fail_fraction == 0.0,
+                      "multi-group runs do not compose with fault injection");
+    sys.groups = topology;
+    sys.node.multiplex_gossip = config.multiplex_gossip;
+    core::System system(sys);
+    std::vector<std::unique_ptr<analysis::DeliveryTracker>> trackers;
+    return drive_multigroup(system, config, topology, trackers);
+  }
 
   core::System system(sys);
 

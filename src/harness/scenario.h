@@ -100,6 +100,20 @@ struct ScenarioConfig {
   /// a silent drain there is no evidence against a re-connecting adversary,
   /// so an end-of-run snapshot understates what the defenses achieved.
   SimTime coverage_probe_at = 0.0;
+
+  /// Multi-group topology in the GroupTopology spec grammar (e.g.
+  /// "groups=8;zipf=0.9;pop=0.6;corr=0.25;churn=1.0" — see
+  /// core::GroupTopology::parse). Empty or groups=1 keeps the run
+  /// single-group and byte-identical to the pre-multigroup harness. Each
+  /// injected message targets a group drawn Zipf-style by popularity, from a
+  /// random alive member of that group. GoCast-family protocols only.
+  std::string group_spec;
+
+  /// Multi-group runs: multiplex co-subscribed groups' digests into one
+  /// grouped gossip per period (the §10 optimization). False sends one
+  /// gossip per group per period — the baseline ext_multigroup compares
+  /// against. Ignored for single-group runs.
+  bool multiplex_gossip = true;
 };
 
 struct ScenarioResult {
@@ -136,6 +150,25 @@ struct ScenarioResult {
   std::uint64_t adversary_evictions = 0;
   std::vector<SimTime> eviction_times;
   double adversary_free_fraction = 1.0;
+
+  /// Per-group delivery stats (multi-group runs only; group 0 first). The
+  /// aggregate `report`/`curve` above cover group 0 — the one group every
+  /// node subscribes to — so they stay comparable with single-group runs.
+  struct GroupStats {
+    GroupId group = kDefaultGroup;
+    std::size_t members = 0;  ///< live subscribers at the end of the run
+    std::size_t messages = 0;
+    std::uint64_t deliveries = 0;
+    double delivered_fraction = 0.0;
+    double mean_delay = 0.0;
+  };
+  std::vector<GroupStats> group_stats;
+
+  /// Total gossip messages sent across all nodes (per-group gossips plus
+  /// multiplexed grouped gossips). The ext_multigroup bench's headline
+  /// metric: with multiplexing this stays O(fanout) per node per period
+  /// regardless of group count. Zero for non-GoCast-family protocols.
+  std::uint64_t gossip_messages = 0;
 
   /// Mean receptions of a message per delivery: 1.0 is perfect (TXT6).
   [[nodiscard]] double redundancy() const {

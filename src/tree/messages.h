@@ -45,43 +45,60 @@ class TreeMessage : public net::Message {
 /// Flooded with distance-vector relaxation: each node forwards the heartbeat
 /// with its own cumulative latency to the root; tree links end up lying on
 /// shortest latency paths from the root (DVMRP-style, single tree).
+/// Extra wire bytes a non-default group id costs (group-0 frames omit the
+/// field, staying byte-identical to the single-group protocol).
+[[nodiscard]] constexpr std::size_t tree_group_wire_size(GroupId group) {
+  return group == kDefaultGroup ? 0 : 4;
+}
+
 struct HeartbeatMsg final : TreeMessage {
   HeartbeatMsg(Epoch epoch, std::uint32_t seq, SimTime cum_latency,
-               net::PeerDegrees degrees)
+               net::PeerDegrees degrees, GroupId group = kDefaultGroup)
       : TreeMessage(kPktHeartbeat, degrees),
         epoch(epoch),
         seq(seq),
-        cum_latency(cum_latency) {}
+        cum_latency(cum_latency),
+        group(group) {}
 
   Epoch epoch;
   std::uint32_t seq;
   SimTime cum_latency;  ///< latency from the root to the sender
+  GroupId group;        ///< which group's tree this heartbeat maintains
 
-  /// Frame + {term 4, root 4, seq 4, cum_latency f64 8, degrees 8}.
+  /// Frame + {term 4, root 4, seq 4, cum_latency f64 8, degrees 8}
+  /// [+ group 4 when non-default].
   [[nodiscard]] std::size_t wire_size() const override {
-    return net::kFrameOverheadBytes + 20 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 20 + net::PeerDegrees::wire_size() +
+           tree_group_wire_size(group);
   }
 };
 
 struct ChildJoinMsg final : TreeMessage {
-  ChildJoinMsg(Epoch epoch, net::PeerDegrees degrees)
-      : TreeMessage(kPktChildJoin, degrees), epoch(epoch) {}
+  ChildJoinMsg(Epoch epoch, net::PeerDegrees degrees,
+               GroupId group = kDefaultGroup)
+      : TreeMessage(kPktChildJoin, degrees), epoch(epoch), group(group) {}
 
   Epoch epoch;
+  GroupId group;
 
-  /// Frame + {term 4, root 4, degrees 8}.
+  /// Frame + {term 4, root 4, degrees 8} [+ group 4 when non-default].
   [[nodiscard]] std::size_t wire_size() const override {
-    return net::kFrameOverheadBytes + 8 + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + 8 + net::PeerDegrees::wire_size() +
+           tree_group_wire_size(group);
   }
 };
 
 struct ChildLeaveMsg final : TreeMessage {
-  ChildLeaveMsg(net::PeerDegrees degrees)
-      : TreeMessage(kPktChildLeave, degrees) {}
+  explicit ChildLeaveMsg(net::PeerDegrees degrees,
+                         GroupId group = kDefaultGroup)
+      : TreeMessage(kPktChildLeave, degrees), group(group) {}
 
-  /// Frame + {degrees 8}.
+  GroupId group;
+
+  /// Frame + {degrees 8} [+ group 4 when non-default].
   [[nodiscard]] std::size_t wire_size() const override {
-    return net::kFrameOverheadBytes + net::PeerDegrees::wire_size();
+    return net::kFrameOverheadBytes + net::PeerDegrees::wire_size() +
+           tree_group_wire_size(group);
   }
 };
 

@@ -16,11 +16,12 @@ constexpr double kRelaxEpsilon = 1e-9;
 template <runtime::Context RT>
 TreeManagerT<RT>::TreeManagerT(NodeId self, RT rt,
                                overlay::OverlayManagerT<RT>& overlay,
-                               TreeParams params)
+                               TreeParams params, GroupId group)
     : self_(self),
       rt_(rt),
       overlay_(overlay),
       params_(params),
+      group_(group),
       root_timer_(rt_, params.heartbeat_period, [this] { flood_heartbeat(); }),
       watchdog_(rt_, params.heartbeat_period, [this] { watchdog_check(); }) {
   GOCAST_ASSERT(params_.heartbeat_period > 0.0);
@@ -49,6 +50,24 @@ void TreeManagerT<RT>::freeze() {
 }
 
 template <runtime::Context RT>
+void TreeManagerT<RT>::leave() {
+  set_parent(kInvalidNode);
+  children_.clear();
+  neighbor_dist_.clear();
+  best_dist_ = kNever;
+  frozen_ = true;
+  stop();
+}
+
+template <runtime::Context RT>
+void TreeManagerT<RT>::rejoin(SimTime stagger) {
+  if (!frozen_) return;
+  frozen_ = false;
+  current_seq_ = 0;
+  start(stagger);
+}
+
+template <runtime::Context RT>
 void TreeManagerT<RT>::become_root() {
   GOCAST_ASSERT(params_.enabled);
   adopt_epoch(Epoch{epoch_.term + 1, self_});
@@ -64,7 +83,7 @@ void TreeManagerT<RT>::flood_heartbeat() {
   ++flood_seq_;
   last_heartbeat_ = rt_.now();
   auto msg = rt_.template make<HeartbeatMsg>(epoch_, flood_seq_, 0.0,
-                                             overlay_.my_degrees());
+                                             overlay_.my_degrees(), group_);
   const std::vector<NodeId> peers = overlay_.neighbor_ids();
   rt_.send_multi(self_, peers.data(), peers.size(), kInvalidNode,
                  std::move(msg));
@@ -100,7 +119,7 @@ void TreeManagerT<RT>::on_heartbeat(NodeId from, const HeartbeatMsg& msg) {
     best_dist_ = candidate;
     set_parent(from);
     auto fwd = rt_.template make<HeartbeatMsg>(msg.epoch, msg.seq, candidate,
-                                               overlay_.my_degrees());
+                                               overlay_.my_degrees(), group_);
     const std::vector<NodeId> peers = overlay_.neighbor_ids();
     rt_.send_multi(self_, peers.data(), peers.size(), from, std::move(fwd));
   }
@@ -165,7 +184,8 @@ void TreeManagerT<RT>::set_parent(NodeId new_parent) {
     // rejected during a link-handshake window) the original ChildJoin.
     if (new_parent != kInvalidNode) {
       rt_.send(self_, new_parent,
-               rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+               rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees(),
+                                               group_));
     }
     return;
   }
@@ -173,11 +193,12 @@ void TreeManagerT<RT>::set_parent(NodeId new_parent) {
   parent_ = new_parent;
   if (old_parent != kInvalidNode && rt_.alive(self_)) {
     rt_.send(self_, old_parent,
-             rt_.template make<ChildLeaveMsg>(overlay_.my_degrees()));
+             rt_.template make<ChildLeaveMsg>(overlay_.my_degrees(), group_));
   }
   if (new_parent != kInvalidNode) {
     rt_.send(self_, new_parent,
-             rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees()));
+             rt_.template make<ChildJoinMsg>(epoch_, overlay_.my_degrees(),
+                                               group_));
   }
 }
 

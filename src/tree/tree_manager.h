@@ -40,12 +40,20 @@ struct TreeParams {
 template <runtime::Context RT>
 class TreeManagerT final : public overlay::OverlayListener {
  public:
+  /// `group` scopes every outgoing tree message: a multi-group node embeds
+  /// one independent tree per group in the shared overlay.
   TreeManagerT(NodeId self, RT rt, overlay::OverlayManagerT<RT>& overlay,
-               TreeParams params);
+               TreeParams params, GroupId group = kDefaultGroup);
 
   /// Starts heartbeat/watchdog timers. `stagger` de-synchronizes nodes.
   void start(SimTime stagger);
   void stop();
+
+  /// Group-leave: deregisters from the parent, forgets children, and stops
+  /// all repair (the instance stays alive — scheduled callbacks capture
+  /// `this`). rejoin() re-arms the watchdog with a clean slate.
+  void leave();
+  void rejoin(SimTime stagger);
 
   /// Stops all repair: no heartbeats, no takeover, no parent re-selection.
   /// Existing tree links persist except those lost to dead neighbors
@@ -77,6 +85,7 @@ class TreeManagerT final : public overlay::OverlayListener {
   // -- queries --
   [[nodiscard]] bool is_root() const { return epoch_.root == self_; }
   [[nodiscard]] Epoch epoch() const { return epoch_; }
+  [[nodiscard]] GroupId group() const { return group_; }
   [[nodiscard]] NodeId parent() const { return parent_; }
   [[nodiscard]] const std::unordered_set<NodeId>& children() const {
     return children_;
@@ -109,6 +118,7 @@ class TreeManagerT final : public overlay::OverlayListener {
   RT rt_;
   overlay::OverlayManagerT<RT>& overlay_;
   TreeParams params_;
+  GroupId group_ = kDefaultGroup;
 
   Epoch epoch_;
   std::uint32_t current_seq_ = 0;

@@ -193,8 +193,50 @@ bool get_link_kind(Reader& r, LinkKind& out) {
 
 // ---- per-type body sizes -----------------------------------------------
 
+constexpr std::size_t kSectionBytes = 8;  // group u32 + count u32
+static_assert(kSectionBytes == core::GroupSection::wire_size());
+
+/// Types whose bodies are scoped to one multicast group (and therefore gain
+/// a leading u32 group id under version-2 framing).
+bool group_scoped(int type) {
+  switch (type) {
+    case tree::kPktHeartbeat:
+    case tree::kPktChildJoin:
+    case tree::kPktChildLeave:
+    case core::kPktData:
+    case core::kPktGossipDigest:
+    case core::kPktPullRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// The group id of a group-scoped message (kDefaultGroup for all others).
+GroupId group_of(const net::Message& msg) {
+  switch (msg.packet_type()) {
+    case tree::kPktHeartbeat:
+      return static_cast<const tree::HeartbeatMsg&>(msg).group;
+    case tree::kPktChildJoin:
+      return static_cast<const tree::ChildJoinMsg&>(msg).group;
+    case tree::kPktChildLeave:
+      return static_cast<const tree::ChildLeaveMsg&>(msg).group;
+    case core::kPktData:
+      return static_cast<const core::DataMsg&>(msg).group;
+    case core::kPktGossipDigest:
+      return static_cast<const core::GossipDigestMsg&>(msg).group;
+    case core::kPktPullRequest:
+      return static_cast<const core::PullRequestMsg&>(msg).group;
+    default:
+      return kDefaultGroup;
+  }
+}
+
 /// Body length for a message, or SIZE_MAX for types outside the grammar.
+/// Group-scoped types add 4 bytes for the group prefix when (and only when)
+/// the group is non-default, matching each message's wire_size().
 std::size_t body_size(const net::Message& msg) {
+  const std::size_t group_bytes = core::group_wire_size(group_of(msg));
   switch (msg.packet_type()) {
     case overlay::kPktNeighborRequest: return 10 + kDegreesBytes;
     case overlay::kPktNeighborAccept: return 9 + kDegreesBytes;
@@ -208,27 +250,40 @@ std::size_t body_size(const net::Message& msg) {
       const auto& m = static_cast<const overlay::JoinReplyMsg&>(msg);
       return 4 + m.members.size() * kMemberBytes;
     }
-    case tree::kPktHeartbeat: return 20 + kDegreesBytes;
-    case tree::kPktChildJoin: return 8 + kDegreesBytes;
-    case tree::kPktChildLeave: return kDegreesBytes;
+    case tree::kPktHeartbeat: return 20 + kDegreesBytes + group_bytes;
+    case tree::kPktChildJoin: return 8 + kDegreesBytes + group_bytes;
+    case tree::kPktChildLeave: return kDegreesBytes + group_bytes;
     case core::kPktData: {
       const auto& m = static_cast<const core::DataMsg&>(msg);
-      return 21 + kDegreesBytes + m.payload_bytes;
+      return 21 + kDegreesBytes + group_bytes + m.payload_bytes;
     }
     case core::kPktGossipDigest: {
       const auto& m = static_cast<const core::GossipDigestMsg&>(msg);
-      return 8 + kDegreesBytes + m.entries.size() * kDigestEntryBytes +
+      return 8 + kDegreesBytes + group_bytes +
+             m.entries.size() * kDigestEntryBytes +
              m.members.size() * kMemberBytes;
     }
     case core::kPktPullRequest: {
       const auto& m = static_cast<const core::PullRequestMsg&>(msg);
-      return 4 + kDegreesBytes + m.ids.size() * 8;
+      return 4 + kDegreesBytes + group_bytes + m.ids.size() * 8;
+    }
+    case core::kPktGroupedGossip: {
+      const auto& m = static_cast<const core::GroupedGossipMsg&>(msg);
+      return 12 + kDegreesBytes + m.sections.size() * kSectionBytes +
+             m.entries.size() * kDigestEntryBytes +
+             m.members.size() * kMemberBytes;
     }
     default: return static_cast<std::size_t>(-1);
   }
 }
 
 void encode_body(Writer& w, const net::Message& msg, SimTime now) {
+  // Version-2 group prefix: a group-scoped body for a non-default group
+  // leads with its u32 group id. Group-0 bodies stay prefix-free (and the
+  // whole frame stays version 1).
+  if (const GroupId group = group_of(msg); group != kDefaultGroup) {
+    w.u32(group);
+  }
   switch (msg.packet_type()) {
     case overlay::kPktNeighborRequest: {
       const auto& m = static_cast<const overlay::NeighborRequestMsg&>(msg);
@@ -330,6 +385,20 @@ void encode_body(Writer& w, const net::Message& msg, SimTime now) {
       }
       return;
     }
+    case core::kPktGroupedGossip: {
+      const auto& m = static_cast<const core::GroupedGossipMsg&>(msg);
+      w.u32(static_cast<std::uint32_t>(m.sections.size()));
+      w.u32(static_cast<std::uint32_t>(m.entries.size()));
+      w.u32(static_cast<std::uint32_t>(m.members.size()));
+      put_degrees(w, m.degrees);
+      for (const auto& s : m.sections) {
+        w.u32(s.group);
+        w.u32(s.count);
+      }
+      for (const auto& e : m.entries) put_digest_entry(w, e, now);
+      for (const auto& member : m.members) put_member(w, member, now);
+      return;
+    }
     default: GOCAST_ASSERT_MSG(false, "unencodable type " << msg.packet_type());
   }
 }
@@ -353,9 +422,24 @@ bool counts_fit(std::size_t remaining, std::size_t count_a, std::size_t size_a,
   return count_a * size_a + count_b * size_b == remaining;
 }
 
-DecodeStatus decode_body(int type, Reader& r,
+DecodeStatus decode_body(int type, std::uint8_t version, Reader& r,
                          const std::shared_ptr<net::MessageArena>& arena,
                          SimTime now, net::MessagePtr& out) {
+  // Version-2 framing: group-scoped bodies lead with a non-default group id;
+  // GroupedGossip is v2-only; every other type must stay on v1 (and a v1
+  // group-scoped body is implicitly group 0). Enforcing the canonical
+  // version per message keeps encode/decode a bijection.
+  GroupId group = kDefaultGroup;
+  if (version == kVersionGrouped) {
+    if (group_scoped(type)) {
+      group = r.u32();
+      if (!r.ok() || group == kDefaultGroup) return DecodeStatus::kMalformed;
+    } else if (type != core::kPktGroupedGossip) {
+      return DecodeStatus::kMalformed;
+    }
+  } else if (type == core::kPktGroupedGossip) {
+    return DecodeStatus::kMalformed;  // grouped gossip requires version 2
+  }
   net::PeerDegrees degrees;
   switch (type) {
     case overlay::kPktNeighborRequest: {
@@ -442,18 +526,18 @@ DecodeStatus decode_body(int type, Reader& r,
         return DecodeStatus::kMalformed;
       }
       out = net::make_pooled<tree::HeartbeatMsg>(arena, epoch, seq, cum,
-                                                 degrees);
+                                                 degrees, group);
       return DecodeStatus::kOk;
     }
     case tree::kPktChildJoin: {
       tree::Epoch epoch{r.u32(), r.u32()};
       if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
-      out = net::make_pooled<tree::ChildJoinMsg>(arena, epoch, degrees);
+      out = net::make_pooled<tree::ChildJoinMsg>(arena, epoch, degrees, group);
       return DecodeStatus::kOk;
     }
     case tree::kPktChildLeave: {
       if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
-      out = net::make_pooled<tree::ChildLeaveMsg>(arena, degrees);
+      out = net::make_pooled<tree::ChildLeaveMsg>(arena, degrees, group);
       return DecodeStatus::kOk;
     }
     case core::kPktData: {
@@ -470,7 +554,7 @@ DecodeStatus decode_body(int type, Reader& r,
       if (r.remaining() != payload) return DecodeStatus::kMalformed;
       r.skip(payload);
       out = net::make_pooled<core::DataMsg>(arena, id, now - age, payload,
-                                            via_tree, degrees);
+                                            via_tree, degrees, group);
       return DecodeStatus::kOk;
     }
     case core::kPktGossipDigest: {
@@ -482,7 +566,7 @@ DecodeStatus decode_body(int type, Reader& r,
         return DecodeStatus::kMalformed;
       }
       auto msg = make_mutable<core::GossipDigestMsg>(
-          arena, net::WireDecodeTag{}, arena, degrees);
+          arena, net::WireDecodeTag{}, arena, degrees, group);
       msg->entries.reserve(n_entries);
       for (std::size_t i = 0; i < n_entries; ++i) {
         core::DigestEntry e;
@@ -504,12 +588,58 @@ DecodeStatus decode_body(int type, Reader& r,
         return DecodeStatus::kMalformed;
       }
       auto msg = make_mutable<core::PullRequestMsg>(
-          arena, net::WireDecodeTag{}, arena, degrees);
+          arena, net::WireDecodeTag{}, arena, degrees, group);
       msg->ids.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
         msg->ids.push_back(MsgId{r.u32(), r.u32()});
       }
       if (!r.ok()) return DecodeStatus::kMalformed;
+      out = std::move(msg);
+      return DecodeStatus::kOk;
+    }
+    case core::kPktGroupedGossip: {
+      std::size_t n_sections = r.u32();
+      std::size_t n_entries = r.u32();
+      std::size_t n_members = r.u32();
+      if (!get_degrees(r, degrees)) return DecodeStatus::kMalformed;
+      // Three tables share the remaining bytes; validate the exact fit
+      // before reserving anything (64-bit math, no overflow for u32 counts).
+      if (n_sections * kSectionBytes + n_entries * kDigestEntryBytes +
+              n_members * kMemberBytes !=
+          r.remaining()) {
+        return DecodeStatus::kMalformed;
+      }
+      auto msg = make_mutable<core::GroupedGossipMsg>(
+          arena, net::WireDecodeTag{}, arena, degrees);
+      msg->sections.reserve(n_sections);
+      std::size_t claimed_entries = 0;
+      for (std::size_t i = 0; i < n_sections; ++i) {
+        core::GroupSection s;
+        s.group = r.u32();
+        s.count = r.u32();
+        claimed_entries += s.count;
+        // Sections must name distinct groups in ascending order — the
+        // canonical form the mux emits; rejecting the rest keeps the
+        // section->dissemination routing unambiguous.
+        if (i > 0 && s.group <= msg->sections.back().group) {
+          return DecodeStatus::kMalformed;
+        }
+        msg->sections.push_back(s);
+      }
+      // Section counts must partition the entry table exactly.
+      if (claimed_entries != n_entries) return DecodeStatus::kMalformed;
+      msg->entries.reserve(n_entries);
+      for (std::size_t i = 0; i < n_entries; ++i) {
+        core::DigestEntry e;
+        if (!get_digest_entry(r, e, now)) return DecodeStatus::kMalformed;
+        msg->entries.push_back(e);
+      }
+      msg->members.reserve(n_members);
+      for (std::size_t i = 0; i < n_members; ++i) {
+        MemberEntry m;
+        if (!get_member(r, m, now)) return DecodeStatus::kMalformed;
+        msg->members.push_back(m);
+      }
       out = std::move(msg);
       return DecodeStatus::kOk;
     }
@@ -530,11 +660,17 @@ std::size_t encode(const net::Message& msg, NodeId src, NodeId dst,
   std::size_t total = encoded_size(msg);
   if (total == 0 || total > kMaxFrameBytes) return 0;
 
+  // Lowest version that can carry the message: group-0 traffic stays v1
+  // (byte-identical to pre-multigroup builds); non-default groups and the
+  // GroupedGossip type need the v2 grouped framing.
+  const bool grouped = msg.packet_type() == core::kPktGroupedGossip ||
+                       group_of(msg) != kDefaultGroup;
+
   std::size_t base = out.size();
   out.resize(base + total);
   Writer w(out.data() + base);
   w.u16(kMagic);
-  w.u8(kVersion);
+  w.u8(grouped ? kVersionGrouped : kVersion);
   w.u8(0);  // flags
   w.u16(static_cast<std::uint16_t>(msg.packet_type()));
   w.u16(0);  // reserved
@@ -558,7 +694,10 @@ DecodeStatus decode(const std::uint8_t* data, std::size_t len,
 
   Reader header(data, data + kHeaderBytes);
   if (header.u16() != kMagic) return DecodeStatus::kBadMagic;
-  if (header.u8() != kVersion) return DecodeStatus::kBadVersion;
+  const std::uint8_t version = header.u8();
+  if (version != kVersion && version != kVersionGrouped) {
+    return DecodeStatus::kBadVersion;
+  }
   if (header.u8() != 0) return DecodeStatus::kMalformed;  // flags
   std::uint16_t type = header.u16();
   if (header.u16() != 0) return DecodeStatus::kMalformed;  // reserved
@@ -571,7 +710,7 @@ DecodeStatus decode(const std::uint8_t* data, std::size_t len,
 
   Reader body(data + kHeaderBytes, data + len);
   net::MessagePtr msg;
-  DecodeStatus status = decode_body(type, body, arena, now, msg);
+  DecodeStatus status = decode_body(type, version, body, arena, now, msg);
   if (status != DecodeStatus::kOk) return status;
   // A body that parsed but left unread bytes is a length lie.
   if (!body.exhausted()) return DecodeStatus::kMalformed;

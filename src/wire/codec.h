@@ -51,6 +51,13 @@ namespace gocast::wire {
 
 inline constexpr std::uint16_t kMagic = 0x4347;  // bytes 'G' 'C' on the wire
 inline constexpr std::uint8_t kVersion = 1;
+/// Version 2 = grouped frames (multi-group multicast): group-scoped bodies
+/// (heartbeat, child join/leave, data, gossip digest, pull request) gain a
+/// leading u32 group id, and the GroupedGossip type becomes encodable. The
+/// encoder picks the lowest version that can carry the message — group-0
+/// traffic stays version 1, byte-for-byte identical to pre-multigroup
+/// builds — and the decoder accepts both. See PROTOCOL.md "Version policy".
+inline constexpr std::uint8_t kVersionGrouped = 2;
 inline constexpr std::size_t kHeaderBytes = 20;
 static_assert(kHeaderBytes == net::kFrameOverheadBytes,
               "wire_size() overrides assume this frame header size");

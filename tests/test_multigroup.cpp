@@ -1,0 +1,255 @@
+// Multi-group coverage (DESIGN.md §10): directory determinism (the property
+// distributed gocastd processes rely on to agree on subscriptions without
+// coordination), topology spec round-trips, runtime group churn through the
+// System facade, per-group delivery invariants under harness-driven churn,
+// the single-group regression guard (groups=1 must not engage any
+// multi-group machinery), and the headline mux property — multiplexed
+// gossip traffic strictly below the one-gossip-per-group baseline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gocast/group_directory.h"
+#include "gocast/system.h"
+#include "harness/scenario.h"
+
+namespace gocast {
+namespace {
+
+using core::GroupDirectory;
+using core::GroupTopology;
+
+GroupTopology sample_topology(std::size_t groups) {
+  GroupTopology t;
+  t.group_count = groups;
+  t.size_exponent = 0.9;
+  t.popularity_exponent = 0.6;
+  t.min_group_size = 8;
+  t.base_fraction = 0.5;
+  t.correlation = 0.25;
+  return t;
+}
+
+TEST(GroupDirectory, SameInputsProduceTheIdenticalDirectory) {
+  // Two processes constructing from the same (topology, n, seed) must agree
+  // on every subscription — gocastd --groups depends on exactly this.
+  GroupTopology topology = sample_topology(6);
+  GroupDirectory a(topology, 200, 99);
+  GroupDirectory b(topology, 200, 99);
+  ASSERT_EQ(a.group_count(), b.group_count());
+  for (GroupId g = 1; g < a.group_count(); ++g) {
+    EXPECT_EQ(a.members(g), b.members(g)) << "group " << g;
+  }
+  for (NodeId id = 0; id < 200; ++id) {
+    EXPECT_EQ(a.groups_of(id), b.groups_of(id)) << "node " << id;
+  }
+
+  // A different seed must actually reshuffle membership.
+  GroupDirectory c(topology, 200, 100);
+  bool any_diff = false;
+  for (GroupId g = 1; g < a.group_count() && !any_diff; ++g) {
+    any_diff = a.members(g) != c.members(g);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GroupDirectory, TablesAreWellFormed) {
+  GroupTopology topology = sample_topology(8);
+  GroupDirectory dir(topology, 256, 7);
+  ASSERT_EQ(dir.group_count(), 8u);
+  ASSERT_EQ(dir.node_count(), 256u);
+
+  std::size_t prev_size = dir.members(1).size();
+  EXPECT_LE(prev_size, static_cast<std::size_t>(256 * 0.5 + 1));
+  for (GroupId g = 1; g < 8; ++g) {
+    const auto& members = dir.members(g);
+    // Zipf sizes: group 1 largest, never below the floor, monotone down.
+    EXPECT_GE(members.size(), topology.min_group_size) << "group " << g;
+    EXPECT_LE(members.size(), prev_size) << "group " << g;
+    prev_size = members.size();
+    // Sorted, unique, in range, and mirrored by groups_of.
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      ASSERT_LT(members[i], 256u);
+      if (i > 0) {
+        EXPECT_LT(members[i - 1], members[i]);
+      }
+      EXPECT_TRUE(dir.subscribed(members[i], g));
+    }
+  }
+  for (NodeId id = 0; id < 256; ++id) {
+    EXPECT_TRUE(dir.subscribed(id, kDefaultGroup));  // group 0 is universal
+    for (GroupId g : dir.groups_of(id)) {
+      const auto& members = dir.members(g);
+      EXPECT_TRUE(std::binary_search(members.begin(), members.end(), id))
+          << "node " << id << " group " << g;
+    }
+  }
+}
+
+TEST(GroupDirectory, SubscribeUnsubscribeKeepBothTablesInSync) {
+  GroupDirectory dir(sample_topology(4), 64, 3);
+  // Pick a node outside group 2 and churn it in and out.
+  NodeId outsider = kInvalidNode;
+  for (NodeId id = 0; id < 64; ++id) {
+    if (!dir.subscribed(id, 2)) {
+      outsider = id;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, kInvalidNode);
+
+  std::size_t before = dir.members(2).size();
+  dir.subscribe(outsider, 2);
+  EXPECT_TRUE(dir.subscribed(outsider, 2));
+  EXPECT_EQ(dir.members(2).size(), before + 1);
+  dir.subscribe(outsider, 2);  // redundant: no double entry
+  EXPECT_EQ(dir.members(2).size(), before + 1);
+  dir.unsubscribe(outsider, 2);
+  EXPECT_FALSE(dir.subscribed(outsider, 2));
+  EXPECT_EQ(dir.members(2).size(), before);
+  // Group 0 churn is a no-op: the universal group has no explicit table.
+  dir.unsubscribe(outsider, kDefaultGroup);
+  EXPECT_TRUE(dir.subscribed(outsider, kDefaultGroup));
+}
+
+TEST(GroupTopology, SpecRoundTrips) {
+  GroupTopology t = sample_topology(8);
+  t.churn_rate = 1.5;
+  EXPECT_EQ(GroupTopology::parse(t.to_spec()), t);
+
+  GroupTopology parsed =
+      GroupTopology::parse("groups=4;zipf=0.8;pop=0.5;min=4;corr=0.1");
+  EXPECT_EQ(parsed.group_count, 4u);
+  EXPECT_DOUBLE_EQ(parsed.size_exponent, 0.8);
+  EXPECT_DOUBLE_EQ(parsed.popularity_exponent, 0.5);
+  EXPECT_EQ(parsed.min_group_size, 4u);
+  EXPECT_DOUBLE_EQ(parsed.correlation, 0.1);
+  EXPECT_DOUBLE_EQ(parsed.churn_rate, 0.0);
+}
+
+TEST(MultiGroupSystem, RuntimeJoinLeaveTracksTheDirectory) {
+  core::SystemConfig config;
+  config.node_count = 48;
+  config.seed = 11;
+  config.groups = sample_topology(3);
+  core::System system(config);
+  system.start();
+  system.run_for(5.0);
+
+  ASSERT_NE(system.directory(), nullptr);
+  NodeId outsider = kInvalidNode;
+  for (NodeId id = 0; id < 48; ++id) {
+    if (!system.directory()->subscribed(id, 2)) {
+      outsider = id;
+      break;
+    }
+  }
+  ASSERT_NE(outsider, kInvalidNode);
+  EXPECT_FALSE(system.node(outsider).in_group(2));
+
+  system.group_join(outsider, 2);
+  EXPECT_TRUE(system.directory()->subscribed(outsider, 2));
+  EXPECT_TRUE(system.node(outsider).in_group(2));
+  system.run_for(5.0);
+
+  system.group_leave(outsider, 2);
+  EXPECT_FALSE(system.directory()->subscribed(outsider, 2));
+  EXPECT_FALSE(system.node(outsider).in_group(2));
+  // Deactivate-not-destroy: the group id stays known to the node.
+  const auto& ids = system.node(outsider).extra_group_ids();
+  EXPECT_TRUE(std::find(ids.begin(), ids.end(), GroupId{2}) != ids.end());
+
+  // The per-group memory breakdown sees the extra groups.
+  auto report = system.memory_report();
+  EXPECT_FALSE(report.group_bytes.empty());
+}
+
+TEST(MultiGroupScenario, SingleGroupSpecStaysOnTheSingleGroupPath) {
+  // groups=1 must be indistinguishable from no group spec at all: same
+  // deliveries, same traffic, no per-group stats. This is the regression
+  // guard for "single-group runs stay byte-identical".
+  harness::ScenarioConfig config;
+  config.node_count = 64;
+  config.seed = 21;
+  config.warmup = 40.0;
+  config.message_count = 20;
+  config.message_rate = 10.0;
+  config.payload_bytes = 256;
+
+  harness::ScenarioResult plain = harness::run_scenario(config);
+  config.group_spec = "groups=1;zipf=0.9;pop=0.6";
+  harness::ScenarioResult spec = harness::run_scenario(config);
+
+  EXPECT_EQ(plain.deliveries, spec.deliveries);
+  EXPECT_EQ(plain.duplicates, spec.duplicates);
+  EXPECT_EQ(plain.gossip_messages, spec.gossip_messages);
+  EXPECT_DOUBLE_EQ(plain.report.delivered_fraction,
+                   spec.report.delivered_fraction);
+  EXPECT_DOUBLE_EQ(plain.sim_end, spec.sim_end);
+  EXPECT_TRUE(plain.group_stats.empty());
+  EXPECT_TRUE(spec.group_stats.empty());
+}
+
+TEST(MultiGroupScenario, ChurnRunDeliversEveryGroupsTraffic) {
+  // Group join/leave churn during the traffic window; the per-group
+  // delivery invariant: every group that saw traffic delivers it to the
+  // members subscribed for the message's lifetime (the tracker only counts
+  // eligible subscribers).
+  harness::ScenarioConfig config;
+  config.node_count = 96;
+  config.seed = 33;
+  config.warmup = 80.0;
+  config.message_count = 40;
+  config.message_rate = 10.0;
+  config.payload_bytes = 256;
+  config.group_spec = "groups=4;zipf=0.9;pop=0.6;corr=0.25;churn=0.5";
+  config.multiplex_gossip = true;
+
+  harness::ScenarioResult r = harness::run_scenario(config);
+  ASSERT_EQ(r.group_stats.size(), 4u);
+  EXPECT_EQ(r.group_stats.front().group, kDefaultGroup);
+  std::size_t groups_with_traffic = 0;
+  for (const auto& g : r.group_stats) {
+    EXPECT_GT(g.members, 0u) << "group " << g.group;
+    if (g.messages == 0) continue;
+    ++groups_with_traffic;
+    EXPECT_GE(g.delivered_fraction, 0.99)
+        << "group " << g.group << " lost traffic under churn";
+  }
+  // Popularity is Zipf but with 40 messages over 4 groups every group
+  // should see at least one.
+  EXPECT_GE(groups_with_traffic, 3u);
+  EXPECT_GT(r.gossip_messages, 0u);
+}
+
+TEST(MultiGroupScenario, MultiplexingBeatsOneGossipPerGroup) {
+  harness::ScenarioConfig config;
+  config.node_count = 64;
+  config.seed = 17;
+  config.warmup = 60.0;
+  config.message_count = 24;
+  config.message_rate = 10.0;
+  config.payload_bytes = 256;
+  config.group_spec = "groups=4;zipf=0.9;pop=0.6;corr=0.25";
+
+  config.multiplex_gossip = false;
+  harness::ScenarioResult off = harness::run_scenario(config);
+  config.multiplex_gossip = true;
+  harness::ScenarioResult on = harness::run_scenario(config);
+
+  ASSERT_GT(off.gossip_messages, 0u);
+  ASSERT_GT(on.gossip_messages, 0u);
+  // The point of the mux: strictly less gossip traffic, no delivery loss.
+  EXPECT_LT(on.gossip_messages, off.gossip_messages);
+  for (const harness::ScenarioResult* r : {&off, &on}) {
+    for (const auto& g : r->group_stats) {
+      if (g.messages > 0) {
+        EXPECT_GE(g.delivered_fraction, 0.99) << "group " << g.group;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gocast

@@ -81,6 +81,27 @@ std::vector<net::MessagePtr> all_messages() {
   msgs.push_back(std::make_shared<GossipDigestMsg>(entries, members, degrees));
   msgs.push_back(std::make_shared<PullRequestMsg>(
       std::vector<MsgId>{{3, 9}, {5, 1}}, degrees));
+  // v2 grouped framing: group-scoped singles for every scoped type, plus the
+  // multiplexed gossip — including a zero-count section, which is valid (the
+  // mux emits those as contact beacons for sparse groups).
+  msgs.push_back(std::make_shared<DataMsg>(MsgId{kSrc, 13}, kNow - 0.001, 256,
+                                           false, degrees, GroupId{3}));
+  msgs.push_back(
+      std::make_shared<GossipDigestMsg>(entries, members, degrees, GroupId{2}));
+  msgs.push_back(std::make_shared<PullRequestMsg>(std::vector<MsgId>{{3, 9}},
+                                                  degrees, GroupId{5}));
+  msgs.push_back(std::make_shared<tree::HeartbeatMsg>(
+      tree::Epoch{4, 0}, 78, 0.013, degrees, GroupId{2}));
+  msgs.push_back(std::make_shared<tree::ChildJoinMsg>(tree::Epoch{4, 0},
+                                                      degrees, GroupId{7}));
+  msgs.push_back(
+      std::make_shared<tree::ChildLeaveMsg>(degrees, GroupId{7}));
+  std::vector<core::GroupSection> sections{{1, 2}, {4, 0}, {6, 1}};
+  std::vector<DigestEntry> flat{{MsgId{2, 1}, kNow - 0.5},
+                                {MsgId{2, 2}, kNow - 0.25},
+                                {MsgId{9, 3}, kNow - 1.0}};
+  msgs.push_back(std::make_shared<core::GroupedGossipMsg>(sections, flat,
+                                                          members, degrees));
   return msgs;
 }
 
@@ -227,7 +248,11 @@ TEST_F(WireCodecTest, RejectsBadHeaders) {
   };
 
   EXPECT_EQ(corrupted(0, 0x00), wire::DecodeStatus::kBadMagic);
-  EXPECT_EQ(corrupted(2, wire::kVersion + 1), wire::DecodeStatus::kBadVersion);
+  EXPECT_EQ(corrupted(2, wire::kVersionGrouped + 1),
+            wire::DecodeStatus::kBadVersion);
+  // Version 2 parses at the header but only carries grouped bodies — a ping
+  // re-tagged v2 is malformed, not merely an unknown version.
+  EXPECT_EQ(corrupted(2, wire::kVersionGrouped), wire::DecodeStatus::kMalformed);
   EXPECT_EQ(corrupted(3, 0x80), wire::DecodeStatus::kMalformed);  // flags
   EXPECT_EQ(corrupted(4, 0xFF), wire::DecodeStatus::kBadType);
   EXPECT_EQ(corrupted(6, 0x01), wire::DecodeStatus::kMalformed);  // reserved
@@ -317,6 +342,96 @@ TEST_F(WireCodecTest, EncodeRefusesOversizedAndForeignMessages) {
   EXPECT_EQ(wire::encoded_size(foreign), 0u);
 }
 
+// ---- v2 grouped framing --------------------------------------------------
+
+TEST_F(WireCodecTest, EncoderPicksTheLowestVersionPerMessage) {
+  net::PeerDegrees degrees = sample_degrees();
+  // Group-0 traffic must stay version 1, byte-identical to the
+  // pre-multigroup grammar; the same type in a non-default group gets the
+  // v2 frame with the 4-byte group prefix.
+  DataMsg base(MsgId{1, 1}, kNow, 64, true, degrees);
+  DataMsg scoped(MsgId{1, 1}, kNow, 64, true, degrees, GroupId{6});
+  wire::FrameBuffer v1 = encode_frame(base);
+  wire::FrameBuffer v2 = encode_frame(scoped);
+  EXPECT_EQ(v1[2], wire::kVersion);
+  EXPECT_EQ(v2[2], wire::kVersionGrouped);
+  EXPECT_EQ(v2.size(), v1.size() + 4);
+
+  wire::Decoded out;
+  ASSERT_EQ(decode_frame(v2, out), wire::DecodeStatus::kOk);
+  EXPECT_EQ(static_cast<const DataMsg&>(*out.msg).group, GroupId{6});
+}
+
+TEST_F(WireCodecTest, GroupedGossipSectionsSurviveTheRoundTrip) {
+  net::PeerDegrees degrees = sample_degrees();
+  // Middle section has count 0: a contact beacon for a group with nothing
+  // fresh to advertise — must round-trip, not be dropped or rejected.
+  std::vector<core::GroupSection> sections{{1, 1}, {3, 0}, {8, 2}};
+  std::vector<DigestEntry> flat{{MsgId{4, 2}, kNow - 0.25},
+                                {MsgId{6, 1}, kNow - 0.5},
+                                {MsgId{6, 2}, kNow - 0.75}};
+  core::GroupedGossipMsg mux(sections, flat, sample_members(), degrees);
+  ASSERT_EQ(mux.section_entry_total(), flat.size());
+
+  wire::FrameBuffer frame = encode_frame(mux);
+  EXPECT_EQ(frame[2], wire::kVersionGrouped);
+  wire::Decoded out;
+  ASSERT_EQ(decode_frame(frame, out), wire::DecodeStatus::kOk);
+  const auto& m = static_cast<const core::GroupedGossipMsg&>(*out.msg);
+  ASSERT_EQ(m.sections.size(), 3u);
+  EXPECT_EQ(m.sections[0], (core::GroupSection{1, 1}));
+  EXPECT_EQ(m.sections[1], (core::GroupSection{3, 0}));
+  EXPECT_EQ(m.sections[2], (core::GroupSection{8, 2}));
+  ASSERT_EQ(m.entries.size(), 3u);
+  EXPECT_EQ(m.entries[1].id, (MsgId{6, 1}));
+  EXPECT_EQ(m.members.size(), 3u);
+}
+
+TEST_F(WireCodecTest, RejectsMalformedGroupedBodies) {
+  net::PeerDegrees degrees = sample_degrees();
+  wire::Decoded out;
+
+  // A v2 group-scoped body whose group field says 0 is non-canonical (group
+  // 0 must travel as v1) and is rejected, keeping encode/decode a bijection.
+  DataMsg scoped(MsgId{1, 1}, kNow, 32, true, degrees, GroupId{2});
+  wire::FrameBuffer f = encode_frame(scoped);
+  std::uint32_t zero = 0;
+  std::memcpy(f.data() + wire::kHeaderBytes, &zero, sizeof zero);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // GroupedGossip re-tagged v1: the type does not exist in the v1 grammar.
+  std::vector<core::GroupSection> sections{{2, 1}, {5, 1}};
+  std::vector<DigestEntry> flat{{MsgId{4, 2}, kNow - 0.25},
+                                {MsgId{6, 1}, kNow - 0.5}};
+  core::GroupedGossipMsg mux(sections, flat, sample_members(), degrees);
+  f = encode_frame(mux);
+  f[2] = wire::kVersion;
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Sections out of ascending order (swap the two group ids in the bytes:
+  // section table starts after the three u32 counts + degrees).
+  const std::size_t sections_at = wire::kHeaderBytes + 12 + 8;
+  f = encode_frame(mux);
+  std::uint32_t g2 = 0, g5 = 0;
+  std::memcpy(&g2, f.data() + sections_at, 4);
+  std::memcpy(&g5, f.data() + sections_at + 8, 4);
+  std::memcpy(f.data() + sections_at, &g5, 4);
+  std::memcpy(f.data() + sections_at + 8, &g2, 4);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Duplicate group in consecutive sections.
+  f = encode_frame(mux);
+  std::memcpy(f.data() + sections_at + 8, &g2, 4);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+
+  // Section counts that do not partition the entry table (1+2 != 2).
+  f = encode_frame(mux);
+  std::uint32_t lie = 2;
+  std::memcpy(f.data() + sections_at + 12, &lie, 4);
+  EXPECT_EQ(decode_frame(f, out), wire::DecodeStatus::kMalformed);
+  EXPECT_EQ(out.msg, nullptr);
+}
+
 // ---- deterministic corruption fuzz --------------------------------------
 
 TEST_F(WireCodecTest, SeededBitFlipFuzzNeverCrashesTheDecoder) {
@@ -366,7 +481,9 @@ TEST_F(WireCodecTest, SeededLengthLieFuzzNeverCrashesTheDecoder) {
     wire::DecodeStatus status =
         wire::decode(frame.data(), len, arena_, kNow, out);
     ASSERT_LT(static_cast<std::size_t>(status), wire::kDecodeStatusCount);
-    if (status != wire::DecodeStatus::kOk) EXPECT_EQ(out.msg, nullptr);
+    if (status != wire::DecodeStatus::kOk) {
+      EXPECT_EQ(out.msg, nullptr);
+    }
   }
 }
 

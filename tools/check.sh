@@ -7,6 +7,9 @@
 #   tools/check.sh byzantine-smoke # adversarial-defense gate (ext_byzantine)
 #   tools/check.sh udp-smoke       # 8 gocastd processes over loopback UDP,
 #                                  # clean run + kill -9 chaos run
+#   tools/check.sh multigroup-smoke # multi-group gate: sim sweep
+#                                  # (ext_multigroup --smoke) + an 8-process
+#                                  # gocastd --groups UDP run
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -142,6 +145,54 @@ if [[ "${1:-}" == "udp-smoke" ]]; then
   reap_swarm chaos 2
   grep -h "^OK:" "${logdir}"/chaos-*.log
   echo "=== udp-smoke passed ==="
+  exit 0
+fi
+
+# multigroup-smoke: the multi-group plane end to end. Phase 1 is the sim
+# gate (ext_multigroup --smoke): 8 groups, multiplexing on vs off — digest
+# multiplexing must cut gossip messages below 0.7x the one-gossip-per-group
+# baseline while every group delivers everything. Phase 2 runs 8 gocastd
+# processes over loopback UDP with --groups 4: every process derives the
+# same subscription table from the seed, the injector (node 2, a 3-group
+# subscriber under seed 7) round-robins its groups, and each process exits
+# 0 only after delivering every multicast in every group it subscribes to.
+if [[ "${1:-}" == "multigroup-smoke" ]]; then
+  cmake -B "${root}/build" -S "${root}"
+  cmake --build "${root}/build" -j "${jobs}" --target ext_multigroup gocastd
+  echo "=== multigroup-smoke: sim sweep (mux on vs off) ==="
+  "${root}/build/bench/ext_multigroup" --smoke
+
+  echo "=== multigroup-smoke: 8 gocastd processes, --groups 4 over UDP ==="
+  bin="${root}/build/tools/gocastd"
+  n=8
+  logdir="$(mktemp -d)"
+  base="$((27000 + RANDOM % 20000))"
+  peers=""
+  for ((i = 0; i < n; ++i)); do
+    peers+="${peers:+,}${i}@127.0.0.1:$((base + i))"
+  done
+  epoch="$(date +%s)"
+  pids=()
+  for ((i = 0; i < n; ++i)); do
+    "${bin}" --node-id "${i}" --listen "127.0.0.1:$((base + i))" \
+      --peers "${peers}" --inject-at 2 --messages 6 --payload 512 \
+      --warmup 2.0 --timeout 25 --drain 1.5 --epoch "${epoch}" --seed 7 \
+      --groups 4 >"${logdir}/mg-${i}.log" 2>&1 &
+    pids+=("$!")
+  done
+  status=0
+  for ((i = 0; i < n; ++i)); do
+    rc=0
+    wait "${pids[i]}" || rc=$?
+    if [[ "${rc}" != 0 ]]; then
+      status=1
+      echo "--- multigroup: node ${i} exited ${rc}"
+      tail -4 "${logdir}/mg-${i}.log"
+    fi
+  done
+  grep -h "^OK:" "${logdir}"/mg-*.log
+  [[ "${status}" == 0 ]] || exit 1
+  echo "=== multigroup-smoke passed ==="
   exit 0
 fi
 

@@ -18,6 +18,12 @@
 //   bind/config errors. SIGTERM/SIGINT interrupt the reactor, drain
 //   briefly, and exit with the delivery status so far.
 //
+//   --groups G (UDP mode) derives a deterministic multi-group subscription
+//   table from the shared seed (every process computes the same directory,
+//   no coordination), the injector round-robins its multicasts over its
+//   subscribed groups, and the exit code covers delivery in every group
+//   this process subscribes to.
+//
 // Exit status is 0 only when delivery was complete — the quickstart doubles
 // as a smoke test (tools/check.sh and CI run both modes).
 //
@@ -37,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "gocast/group_directory.h"
 #include "gocast/node.h"
 #include "harness/args.h"
 #include "harness/table.h"
@@ -220,9 +227,57 @@ int run_udp_mode(const gocast::harness::Args& args) {
   }
   if (self == root) node.become_root();
 
-  std::map<MsgId, std::size_t> delivered;
-  node.set_delivery_hook(
-      [&delivered](const core::DeliveryEvent& e) { ++delivered[e.id]; });
+  // Keyed by (group, id): per-group MsgId sequences overlap, so the group
+  // is part of a delivery's identity.
+  std::map<std::pair<GroupId, MsgId>, std::size_t> delivered;
+  node.set_delivery_hook([&delivered](const core::DeliveryEvent& e) {
+    ++delivered[{e.group, e.id}];
+  });
+
+  // Multi-group deployment (--groups G): the directory derives from
+  // (topology, n, seed) over the dense universe [0, n), so every process
+  // computes identical subscriptions with zero coordination. The injector
+  // round-robins its multicasts over its own subscribed groups, and each
+  // process's exit code covers every group it subscribes to.
+  const std::size_t group_count =
+      static_cast<std::size_t>(args.get_int("groups", 1));
+  std::shared_ptr<core::GroupDirectory> directory;
+  std::vector<GroupId> inject_groups{kDefaultGroup};
+  if (group_count > 1) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] != static_cast<NodeId>(i)) {
+        std::cerr << "gocastd: --groups needs dense node ids 0.."
+                  << ids.size() - 1 << "\n";
+        return 3;
+      }
+    }
+    core::GroupTopology topology;
+    topology.group_count = group_count;
+    topology.min_group_size = 2;  // swarms are small; keep every group real
+    directory = std::make_shared<core::GroupDirectory>(topology, ids.size(),
+                                                       rt_config.seed);
+    node.enable_multigroup(directory);
+    for (GroupId g : directory->groups_of(self)) node.join_group(g);
+    // Ring-bootstrap each extra group over its sorted member list (every
+    // process derives the same ring and installs the links incident to
+    // itself); the lowest member roots the group's tree.
+    for (GroupId g = 1; g < static_cast<GroupId>(group_count); ++g) {
+      const std::vector<NodeId>& members = directory->members(g);
+      if (members.size() >= 2) {
+        const std::size_t ring = members.size() == 2 ? 1 : members.size();
+        for (std::size_t i = 0; i < ring; ++i) {
+          NodeId a = members[i];
+          NodeId b = members[(i + 1) % members.size()];
+          if (a == self) node.bootstrap_link(b, overlay::LinkKind::kRandom);
+          if (b == self) node.bootstrap_link(a, overlay::LinkKind::kRandom);
+        }
+      }
+      if (!members.empty() && members.front() == self) node.become_root_in(g);
+    }
+    for (GroupId g : directory->groups_of(inject_at)) {
+      inject_groups.push_back(g);
+    }
+  }
 
   node.start(init_rng.next_range(0.0, 0.1));
   std::cout << "gocastd: node " << self << " on " << rt_config.listen_host
@@ -233,23 +288,39 @@ int run_udp_mode(const gocast::harness::Args& args) {
 
   if (self == inject_at && !g_stop) {
     for (std::size_t k = 0; k < messages; ++k) {
-      rt->schedule_after(0.05 * static_cast<double>(k), [&node, &rt, payload] {
-        MsgId id = node.multicast(payload);
-        std::cout << "  t=" << rt->now() << " s: multicast " << id.origin
-                  << ":" << id.seq << "\n";
-      });
+      const GroupId group = inject_groups[k % inject_groups.size()];
+      rt->schedule_after(0.05 * static_cast<double>(k),
+                         [&node, &rt, payload, group] {
+                           MsgId id = node.multicast_in(group, payload);
+                           std::cout << "  t=" << rt->now()
+                                     << " s: multicast " << id.origin << ":"
+                                     << id.seq << " group " << group << "\n";
+                         });
     }
   }
 
-  // Count multicasts from the injector that reached this node; every
-  // process (the injector included, via its own delivery hook) must see
-  // all of them.
+  // Count multicasts from the injector that reached this node, per group;
+  // every process must see all of them in every group it subscribes to
+  // (the injector included, via its own delivery hook).
   auto delivered_all = [&] {
-    std::size_t seen = 0;
-    for (const auto& [id, count] : delivered) {
-      if (id.origin == inject_at && count > 0) ++seen;
+    std::map<GroupId, std::size_t> expect;
+    for (std::size_t k = 0; k < messages; ++k) {
+      const GroupId g = inject_groups[k % inject_groups.size()];
+      if (g == kDefaultGroup ||
+          (directory != nullptr && directory->subscribed(self, g))) {
+        ++expect[g];
+      }
     }
-    return seen >= messages;
+    for (const auto& [g, want] : expect) {
+      std::size_t seen = 0;
+      for (const auto& [key, count] : delivered) {
+        if (key.first == g && key.second.origin == inject_at && count > 0) {
+          ++seen;
+        }
+      }
+      if (seen < want) return false;
+    }
+    return true;
   };
 
   const SimTime deadline = rt->now() + timeout;
@@ -275,7 +346,13 @@ int run_udp_mode(const gocast::harness::Args& args) {
     std::cout << "FAILED: incomplete delivery\n";
     return 2;
   }
-  std::cout << "OK: node " << self << " delivered every multicast\n";
+  if (group_count > 1) {
+    std::cout << "OK: node " << self << " delivered every multicast in all "
+              << (1 + directory->groups_of(self).size())
+              << " subscribed groups\n";
+  } else {
+    std::cout << "OK: node " << self << " delivered every multicast\n";
+  }
   return 0;
 }
 
@@ -292,6 +369,11 @@ int run_loopback_mode(const gocast::harness::Args& args) {
       static_cast<std::uint64_t>(args.get_int("seed", 1));
   if (n < 2) {
     std::cerr << "gocastd: need at least 2 nodes\n";
+    return 3;
+  }
+  if (args.get_int("groups", 1) > 1) {
+    std::cerr << "gocastd: --groups is a UDP-mode flag (use --node-id / "
+                 "--listen / --peers)\n";
     return 3;
   }
 
@@ -413,7 +495,8 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv,
                      {"nodes", "messages", "payload", "warmup", "latency-us",
                       "jitter-us", "seed", "node-id", "listen", "peers",
-                      "inject-at", "timeout", "drain", "epoch", "help"});
+                      "inject-at", "timeout", "drain", "epoch", "groups",
+                      "help"});
   if (args.get_bool("help", false)) {
     std::cout
         << "gocastd — run live GoCast nodes (loopback or UDP mode)\n"
@@ -426,7 +509,12 @@ int main(int argc, char** argv) {
            "          --inject-at I --messages K [4] --payload BYTES [512]\n"
            "          --warmup SECS [2.0] --timeout SECS [20] --drain SECS "
            "[1.0]\n"
-           "          --epoch UNIX_SECS --seed S [1]\n"
+           "          --epoch UNIX_SECS --seed S [1] --groups G [1]\n"
+           "          (--groups: deterministic multi-group subscriptions "
+           "from the\n"
+           "           shared seed; the injector round-robins its groups "
+           "and exit\n"
+           "           status covers every subscribed group)\n"
            "exit: 0 full delivery, 2 timeout/incomplete, 3 bind/config "
            "error\n";
     return 0;
