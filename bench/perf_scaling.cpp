@@ -6,7 +6,7 @@
 // changes are visible in review instead of anecdotal.
 //
 //   perf_scaling [--nodes N] [--seconds S] [--messages M] [--seed X]
-//                [--mem-report] [--groups G]
+//                [--mem-report] [--groups G] [--shards K]
 //   perf_scaling --sweep [--threads T] [--reps R] [--nodes N] [--seed X]
 //   perf_scaling --curve [--seed X] [--curve-points N1,N2,...]
 //
@@ -22,6 +22,12 @@
 // deployment is multi-group and the breakdown gains a per-group
 // dissemination+tree byte table ("group_bytes"), answering what each extra
 // group costs on top of the shared substrate.
+//
+// --shards K runs the deployment on the sharded conservative-PDES engine
+// (DESIGN.md §11). The JSON gains "shards" (requested), "effective_shards"
+// (after fallbacks) and a deterministic "checksum" over per-node delivery
+// counters plus traffic totals — identical at every shard count, which
+// tools/bench.sh asserts when it records the pdes_scaling section.
 //
 // --curve runs one single-run point per node count (default 8k/32k/128k/512k,
 // sim horizon scaled down as the deployment grows) and emits a JSON array of
@@ -211,6 +217,7 @@ int main(int argc, char** argv) {
   bool nodes_set = false;
   bool mem_report = false;
   std::size_t groups = 1;
+  std::size_t shards = 1;
   bool curve = false;
   std::vector<std::size_t> curve_points{8192, 32768, 131072, 524288};
 
@@ -242,6 +249,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--groups") == 0) {
       groups = static_cast<std::size_t>(
           std::strtoull(need_value("--groups"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<std::size_t>(
+          std::strtoull(need_value("--shards"), nullptr, 10));
+      if (shards == 0) shards = 1;
     } else if (std::strcmp(argv[i], "--curve") == 0) {
       curve = true;
     } else if (std::strcmp(argv[i], "--curve-points") == 0) {
@@ -255,7 +266,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--nodes N] [--seconds S] [--messages M] "
-                   "[--seed X] [--mem-report] [--sweep [--threads T] "
+                   "[--seed X] [--mem-report] [--shards K] "
+                   "[--sweep [--threads T] "
                    "[--reps R]] [--curve [--curve-points N1,N2,...]]\n",
                    argv[0]);
       return 2;
@@ -278,6 +290,7 @@ int main(int argc, char** argv) {
   config.seed = seed;
   config.latency = core::default_latency_model(seed);
   config.groups.group_count = groups;
+  config.shard_count = shards;
   core::System system(config);
   system.start();
   const double setup_wall = seconds_since(setup_start);
@@ -298,9 +311,22 @@ int main(int argc, char** argv) {
   system.run_until(sim_seconds);
   const double run_wall = seconds_since(run_start);
 
-  const std::uint64_t events = system.engine().processed();
-  const auto& pool = system.network().pool();
+  const std::uint64_t events = system.events_processed();
+  const auto pool = system.network().pool_counters();
   const double rss = peak_rss_mib();
+
+  // Shard-count-invariant digest: per-node delivery counters in id order plus
+  // the folded traffic totals. bench.sh asserts this across --shards values.
+  std::uint64_t checksum = 0xcbf29ce484222325ULL;
+  for (std::size_t id = 0; id < nodes; ++id) {
+    checksum = mix(checksum, system.node(static_cast<gocast::NodeId>(id))
+                                 .deliveries_count());
+    checksum = mix(checksum, system.node(static_cast<gocast::NodeId>(id))
+                                 .duplicates_count());
+  }
+  checksum = mix(checksum, system.network().traffic().total_sent().messages);
+  checksum = mix(checksum, system.network().traffic().total_sent().bytes);
+
   std::printf(
       "{\n"
       "  \"build_type\": \"%s\",\n"
@@ -308,6 +334,9 @@ int main(int argc, char** argv) {
       "  \"sim_seconds\": %.1f,\n"
       "  \"messages\": %zu,\n"
       "  \"seed\": %llu,\n"
+      "  \"shards\": %zu,\n"
+      "  \"effective_shards\": %zu,\n"
+      "  \"checksum\": \"%016llx\",\n"
       "  \"setup_wall_seconds\": %.3f,\n"
       "  \"run_wall_seconds\": %.3f,\n"
       "  \"events_processed\": %llu,\n"
@@ -318,14 +347,15 @@ int main(int argc, char** argv) {
       "  \"pool\": {\"reused\": %llu, \"fresh\": %llu, \"oversized\": %llu, "
       "\"chunks\": %zu}",
       build_type(), nodes, sim_seconds, messages,
-      static_cast<unsigned long long>(seed), setup_wall, run_wall,
+      static_cast<unsigned long long>(seed), shards, system.shard_count(),
+      static_cast<unsigned long long>(checksum), setup_wall, run_wall,
       static_cast<unsigned long long>(events),
       run_wall > 0.0 ? static_cast<double>(events) / run_wall : 0.0,
-      system.engine().pending(), rss,
+      system.events_pending(), rss,
       rss * 1024.0 * 1024.0 / static_cast<double>(nodes),
-      static_cast<unsigned long long>(pool.reused()),
-      static_cast<unsigned long long>(pool.fresh()),
-      static_cast<unsigned long long>(pool.oversized()), pool.chunks());
+      static_cast<unsigned long long>(pool.reused),
+      static_cast<unsigned long long>(pool.fresh),
+      static_cast<unsigned long long>(pool.oversized), pool.chunks);
   if (mem_report) {
     const auto mem = system.memory_report();
     std::printf(

@@ -1,6 +1,7 @@
 #include "analysis/delivery_tracker.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.h"
 
@@ -35,6 +36,47 @@ void DeliveryTracker::on_delivery(const core::DeliveryEvent& event) {
   node.delay_sum += delay;
   node.delay_max = std::max(node.delay_max, delay);
   node.delays.push_back(static_cast<float>(delay));
+}
+
+void DeliveryTracker::merge_from(const DeliveryTracker& other) {
+  GOCAST_ASSERT(other.node_count_ == node_count_);
+  for (const auto& [id, other_index] : other.msg_index_) {
+    auto it = msg_index_.find(id);
+    if (it == msg_index_.end()) {
+      auto index = static_cast<std::uint32_t>(inject_times_.size());
+      it = msg_index_.emplace(id, index).first;
+      inject_times_.push_back(other.inject_times_[other_index]);
+      per_message_deliveries_.push_back(0);
+    }
+    per_message_deliveries_[it->second] +=
+        other.per_message_deliveries_[other_index];
+  }
+  for (std::size_t n = 0; n < node_count_; ++n) {
+    const PerNode& src = other.per_node_[n];
+    if (src.delivered == 0) continue;
+    GOCAST_ASSERT_MSG(per_node_[n].delivered == 0,
+                      "merge_from with overlapping node rows (node " << n
+                                                                     << ")");
+    per_node_[n] = src;
+  }
+  deliveries_ += other.deliveries_;
+}
+
+std::uint64_t DeliveryTracker::checksum() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(inject_times_.size());
+  mix(deliveries_);
+  for (const PerNode& node : per_node_) {
+    mix(node.delivered);
+    for (float d : node.delays) {
+      mix(std::bit_cast<std::uint32_t>(d));
+    }
+  }
+  return h;
 }
 
 std::vector<double> DeliveryTracker::gather_sorted_delays(

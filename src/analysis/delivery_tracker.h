@@ -53,6 +53,18 @@ class DeliveryTracker {
   /// none failed).
   [[nodiscard]] Report report(const std::vector<NodeId>& live_nodes) const;
 
+  /// Folds another tracker into this one. Sharded runs (DESIGN.md §11) keep
+  /// one tracker per shard — each node's deliveries land in its shard's
+  /// tracker, single-writer — and merge them at the end. Node rows must be
+  /// disjoint; message sets may overlap (counts are summed).
+  void merge_from(const DeliveryTracker& other);
+
+  /// FNV-1a digest of everything the delay reports derive from: message and
+  /// delivery counts plus, per node in id order, the delivered count and the
+  /// delay bit patterns in delivery order. Two runs with equal checksums
+  /// produce identical reports; the shard-invariance goldens compare this.
+  [[nodiscard]] std::uint64_t checksum() const;
+
   struct CurvePoint {
     double delay;
     double fraction;

@@ -39,9 +39,12 @@ void FaultInjector::arm() {
   GOCAST_ASSERT_MSG(!armed_, "FaultInjector::arm called twice");
   armed_ = true;
   for (const FaultEvent& event : plan_.events()) {
-    GOCAST_ASSERT_MSG(event.at >= system_.engine().now(),
+    GOCAST_ASSERT_MSG(event.at >= system_.now(),
                       "fault event at t=" << event.at << " is in the past");
-    system_.engine().schedule_at(event.at, [this, event] { apply(event); });
+    // Control events: on sharded runs (DESIGN.md §11) these fire
+    // single-threaded at a window barrier at the exact scripted time, so
+    // victim selection and the fault log are shard-count-invariant.
+    system_.schedule_control(event.at, [this, event] { apply(event); });
   }
 }
 

@@ -29,6 +29,65 @@ std::shared_ptr<const net::LatencyModel> default_latency_model(
   return model;
 }
 
+void System::init_sharding() {
+  std::size_t shards = config_.shard_count;
+  if (shards <= 1) return;
+  if (config_.groups.group_count > 1) {
+    GOCAST_WARN("shard_count " << shards
+                               << " unsupported with multi-group topologies; "
+                                  "falling back to the serial engine");
+    return;
+  }
+  if (config_.net.record_site_pairs) {
+    GOCAST_WARN("shard_count " << shards
+                               << " unsupported with site-pair accounting; "
+                                  "falling back to the serial engine");
+    return;
+  }
+  if (config_.node_count >= (std::size_t{1} << 20)) {
+    GOCAST_WARN("shard_count " << shards
+                               << " unsupported at >= 2^20 nodes (ordering-key "
+                                  "width); falling back to the serial engine");
+    return;
+  }
+  const std::size_t sites = latency_->site_count();
+  shards = std::min(shards, sites);
+  if (shards <= 1) {
+    GOCAST_WARN("single-site topology cannot be sharded; "
+                "falling back to the serial engine");
+    return;
+  }
+  // Contiguous site ranges: site s -> shard s*K/S. Nodes are placed on sites
+  // round-robin, so the shards stay balanced in node count as well.
+  std::vector<std::uint32_t> site_shard(sites);
+  for (std::size_t s = 0; s < sites; ++s) {
+    site_shard[s] = static_cast<std::uint32_t>(s * shards / sites);
+  }
+  const SimTime lookahead = latency_->min_cross_partition_one_way(site_shard);
+  if (!(lookahead >= config_.pdes_lookahead_floor) || lookahead == kNever) {
+    GOCAST_WARN("minimum cross-partition latency "
+                << lookahead << "s is below the lookahead floor "
+                << config_.pdes_lookahead_floor
+                << "s; falling back to the serial engine");
+    return;
+  }
+  sharded_ = std::make_unique<sim::ShardedEngine>(sim::ShardedEngine::Config{
+      shards, lookahead, config_.pdes_serial});
+  std::vector<std::uint16_t> shard_of(config_.node_count);
+  for (NodeId id = 0; id < config_.node_count; ++id) {
+    shard_of[id] = static_cast<std::uint16_t>(site_shard[network_->site_of(id)]);
+  }
+  // Stateless draw seed derived directly from the run seed (not from rng_:
+  // the system's own stream must keep consuming exactly as it does
+  // unsharded, so barrier-context draws stay byte-identical).
+  std::uint64_t state = config_.seed ^ 0x70646573'64726177ULL;  // "pdesdraw"
+  network_->enable_sharding(*sharded_, std::move(shard_of), splitmix64(state));
+  GOCAST_INFO("sharded PDES: " << shards << " shards, lookahead "
+                               << lookahead * 1000.0 << " ms"
+                               << (config_.pdes_serial ? " (serial windows)"
+                                                       : ""));
+}
+
 System::System(SystemConfig config)
     : config_(std::move(config)), rng_(config_.seed) {
   GOCAST_ASSERT(config_.node_count >= 2);
@@ -39,13 +98,24 @@ System::System(SystemConfig config)
   network_ = std::make_unique<net::Network>(engine_, latency_, config_.net,
                                             rng_.fork("network"));
   network_->add_nodes_round_robin(config_.node_count);
+  init_sharding();
 
   // One landmark-interning store for the whole deployment — sharing across
   // views is what collapses the duplicated member records (a node known to v
   // views costs one 32-byte vector instead of v of them). Stored back into
-  // config_ so memory_report() can reach it.
-  if (config_.node.landmark_store == nullptr) {
-    config_.node.landmark_store = std::make_shared<membership::LandmarkStore>();
+  // config_ so memory_report() can reach it. Sharded runs use one store per
+  // shard instead (the intern tables are single-threaded; landmark vectors
+  // cross shards by value on the wire, never as handles).
+  if (sharded_ == nullptr) {
+    if (config_.node.landmark_store == nullptr) {
+      config_.node.landmark_store =
+          std::make_shared<membership::LandmarkStore>();
+    }
+  } else {
+    shard_stores_.resize(sharded_->shard_count());
+    for (auto& store : shard_stores_) {
+      store = std::make_shared<membership::LandmarkStore>();
+    }
   }
   // Landmarks: the first k nodes (the bootstrap set a deployment would use).
   GoCastConfig node_config = config_.node;
@@ -59,16 +129,30 @@ System::System(SystemConfig config)
 
   GOCAST_ASSERT(config_.deferred_nodes < config_.node_count - 1);
 
-  // Uniform deployments share one immutable config across all nodes;
+  // Uniform deployments share one immutable config across all nodes (one per
+  // shard when sharded — the copies differ only in landmark_store);
   // capacity-aware ones need a per-node copy for the scaled degree target.
   std::shared_ptr<const GoCastConfig> shared_config;
+  std::vector<std::shared_ptr<const GoCastConfig>> shard_configs;
   if (!config_.capacity_of) {
-    shared_config = std::make_shared<const GoCastConfig>(node_config);
+    if (sharded_ == nullptr) {
+      shared_config = std::make_shared<const GoCastConfig>(node_config);
+    } else {
+      shard_configs.resize(sharded_->shard_count());
+      for (std::size_t k = 0; k < shard_configs.size(); ++k) {
+        GoCastConfig copy = node_config;
+        copy.landmark_store = shard_stores_[k];
+        shard_configs[k] = std::make_shared<const GoCastConfig>(copy);
+      }
+    }
   }
 
   nodes_.reserve(config_.node_count);
   for (NodeId id = 0; id < config_.node_count; ++id) {
-    std::shared_ptr<const GoCastConfig> this_config = shared_config;
+    std::shared_ptr<const GoCastConfig> this_config =
+        sharded_ != nullptr && !config_.capacity_of
+            ? shard_configs[network_->shard_of(id)]
+            : shared_config;
     if (config_.capacity_of) {
       // Capacity-aware degrees: scale the nearby target per node.
       double capacity = config_.capacity_of(id);
@@ -77,10 +161,15 @@ System::System(SystemConfig config)
           std::lround(node_config.overlay.target_near_degree * capacity));
       GoCastConfig scaled_config = node_config;
       scaled_config.overlay.target_near_degree = std::max(1, scaled);
+      if (sharded_ != nullptr) {
+        scaled_config.landmark_store = shard_stores_[network_->shard_of(id)];
+      }
       this_config = std::make_shared<const GoCastConfig>(scaled_config);
     }
+    // Owner-aware runtimes bind each node to its shard engine; the implicit
+    // Network& conversion keeps the unsharded path byte-identical.
     nodes_.push_back(std::make_unique<GoCastNode>(
-        id, *network_, std::move(this_config),
+        id, runtime::SimRuntime(*network_, id), std::move(this_config),
         rng_.fork(static_cast<std::uint64_t>(id))));
   }
 }
@@ -277,7 +366,8 @@ NodeId System::spawn_next() {
 
 System::MemoryReport System::memory_report() const {
   MemoryReport report;
-  report.engine_bytes = engine_.memory_bytes();
+  report.engine_bytes = sharded_ != nullptr ? sharded_->memory_bytes()
+                                            : engine_.memory_bytes();
   report.network_bytes = network_->memory_bytes();
   report.node_object_bytes = nodes_.size() * sizeof(GoCastNode);
   std::map<GroupId, std::size_t> per_group;
@@ -304,6 +394,10 @@ System::MemoryReport System::memory_report() const {
   if (store != nullptr) {
     report.landmark_store_bytes = store->memory_bytes();
     report.landmark_unique = store->unique_count();
+  }
+  for (const auto& shard_store : shard_stores_) {
+    report.landmark_store_bytes += shard_store->memory_bytes();
+    report.landmark_unique += shard_store->unique_count();
   }
   return report;
 }

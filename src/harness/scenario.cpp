@@ -39,7 +39,26 @@ template <typename SystemT>
 ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
                      analysis::DeliveryTracker& tracker,
                      const std::vector<NodeId>* excluded_sources = nullptr) {
-  system.set_delivery_hook(tracker.hook());
+  // Sharded runs (DESIGN.md §11) keep one tracker per shard so each hook has
+  // a single writer — its shard's window thread — and merge into the caller's
+  // tracker at the end. Unsharded runs install the caller's tracker directly.
+  std::vector<std::unique_ptr<analysis::DeliveryTracker>> shard_trackers;
+  bool sharded = false;
+  if constexpr (requires { system.sharded(); }) {
+    sharded = system.sharded();
+    if (sharded) {
+      shard_trackers.reserve(system.shard_count());
+      for (std::size_t s = 0; s < system.shard_count(); ++s) {
+        shard_trackers.push_back(
+            std::make_unique<analysis::DeliveryTracker>(config.node_count));
+      }
+      for (NodeId id = 0; id < config.node_count; ++id) {
+        system.node(id).set_delivery_hook(
+            shard_trackers[system.network().shard_of(id)]->hook());
+      }
+    }
+  }
+  if (!sharded) system.set_delivery_hook(tracker.hook());
   if (config.loss_probability > 0.0) {
     system.network().set_loss_probability(config.loss_probability);
   }
@@ -55,6 +74,7 @@ ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
   }
 
   tracker.set_recording(true);
+  for (auto& shard_tracker : shard_trackers) shard_tracker->set_recording(true);
   // Link-stress comparisons measure the message workload, not warmup
   // control traffic: restart site-pair accounting at injection time.
   if (config.record_site_pairs) system.network().traffic().clear_site_pairs();
@@ -82,12 +102,26 @@ ScenarioResult drive(SystemT& system, const ScenarioConfig& config,
                         system.node(source).multicast(config.payload_bytes);
                       }});
   }
-  system.engine().schedule_batch(inject);
+  // Injection is a simulation-global action: sharded systems admit it at
+  // window barriers (single-threaded, exact times); unsharded systems get the
+  // classic schedule_batch admission byte-for-byte.
+  if constexpr (requires { system.schedule_control_batch(inject); }) {
+    system.schedule_control_batch(inject);
+  } else {
+    system.engine().schedule_batch(inject);
+  }
   SimTime inject_end = inject_start + static_cast<double>(config.message_count) /
                                           config.message_rate;
   system.run_until(inject_end + config.drain);
 
+  // Fold per-shard deliveries back into the caller's tracker (node rows are
+  // disjoint by construction). The run is over, so no hook fires again.
+  for (auto& shard_tracker : shard_trackers) {
+    tracker.merge_from(*shard_tracker);
+  }
+
   ScenarioResult result;
+  result.delivery_checksum = tracker.checksum();
   std::vector<NodeId> alive = system.alive_nodes();
   result.report = tracker.report(alive);
   result.curve = tracker.pair_delay_curve(alive, kCurvePoints);
@@ -292,6 +326,29 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
   if (!config.group_spec.empty()) {
     topology = core::GroupTopology::parse(config.group_spec);
   }
+
+  // Sharded-PDES gating: combinations the window protocol does not support
+  // fall back to the serial engine with a warning rather than changing
+  // semantics (System applies further model-level fallbacks — see
+  // System::init_sharding).
+  std::size_t shards = config.shards;
+  if (shards > 1 && topology.group_count > 1) {
+    GOCAST_WARN("sharded run requested with multi-group topology; "
+                "falling back to 1 shard");
+    shards = 1;
+  }
+  if (shards > 1 && config.check_invariants) {
+    GOCAST_WARN("sharded run requested with invariant checking (global "
+                "engine probes); falling back to 1 shard");
+    shards = 1;
+  }
+  if (shards > 1 && config.record_site_pairs) {
+    GOCAST_WARN("sharded run requested with site-pair recording (shared "
+                "traffic map); falling back to 1 shard");
+    shards = 1;
+  }
+  sys.shard_count = shards;
+
   if (topology.group_count > 1) {
     GOCAST_ASSERT_MSG(config.fault_spec.empty() && !config.check_invariants &&
                           config.fail_fraction == 0.0,
@@ -348,7 +405,7 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
   };
   std::optional<double> probed_coverage;
   if (config.coverage_probe_at > 0.0 && injector.has_value()) {
-    system.engine().schedule_at(config.coverage_probe_at, [&] {
+    system.schedule_control(config.coverage_probe_at, [&] {
       if (!injector->adversaries().empty()) probed_coverage = coverage_now();
     });
   }
@@ -402,6 +459,10 @@ ScenarioResult run_gocast_family(const ScenarioConfig& config) {
 }
 
 ScenarioResult run_push_gossip(const ScenarioConfig& config) {
+  if (config.shards > 1) {
+    GOCAST_WARN("sharded runs are GoCast-family only; gossip baseline "
+                "runs on the serial engine");
+  }
   baselines::PushGossipSystemConfig sys;
   sys.node_count = config.node_count;
   sys.seed = config.seed;

@@ -69,6 +69,14 @@ struct ScenarioConfig {
   /// Collect per site-pair traffic for link-stress analysis (TXT4).
   bool record_site_pairs = false;
 
+  /// Sharded conservative-PDES execution (DESIGN.md §11): run the system on
+  /// this many engines synchronized in lookahead windows. 1 (the default) is
+  /// the classic serial path. GoCast-family, single-group only; unsupported
+  /// combinations (multi-group, invariant checking, site-pair recording,
+  /// baseline protocols) warn and fall back to 1. Results are byte-identical
+  /// at any shard count.
+  std::size_t shards = 1;
+
   /// Scripted fault timeline in the compact spec grammar (see
   /// fault::FaultPlan::parse); times are absolute sim times, so events meant
   /// for the injection phase go after `warmup`. Empty = no faults.
@@ -124,6 +132,10 @@ struct ScenarioResult {
   net::TrafficStats traffic;      ///< full traffic accounting
   std::size_t alive_nodes = 0;
   SimTime sim_end = 0.0;
+
+  /// DeliveryTracker::checksum() over the recorded deliveries — the
+  /// shard-invariance gates compare this across shard counts.
+  std::uint64_t delivery_checksum = 0;
 
   /// Fault-injection results (empty unless fault_spec / check_invariants
   /// were set): the injector's deterministic log and the checker's findings.

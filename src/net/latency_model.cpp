@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -35,6 +36,34 @@ SimTime LatencyModel::max_one_way() const {
     }
   }
   return best;
+}
+
+SimTime LatencyModel::min_cross_partition_one_way(
+    std::span<const std::uint32_t> partition_of_site) const {
+  const std::size_t n = site_count();
+  GOCAST_ASSERT(partition_of_site.size() == n);
+  SimTime best = kNever;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) {
+      if (partition_of_site[i] == partition_of_site[j]) continue;
+      best = std::min(best, one_way(i, j));
+    }
+  }
+  return best;
+}
+
+SimTime MatrixLatencyModel::min_cross_partition_one_way(
+    std::span<const std::uint32_t> partition_of_site) const {
+  GOCAST_ASSERT(partition_of_site.size() == sites_);
+  float best = std::numeric_limits<float>::infinity();
+  for (std::size_t i = 0; i < sites_; ++i) {
+    const float* row = matrix_.data() + i * sites_;
+    const std::uint32_t pi = partition_of_site[i];
+    for (std::size_t j = i + 1; j < sites_; ++j) {
+      if (partition_of_site[j] != pi && row[j] < best) best = row[j];
+    }
+  }
+  return std::isinf(best) ? kNever : static_cast<SimTime>(best);
 }
 
 MatrixLatencyModel::MatrixLatencyModel(std::size_t sites,

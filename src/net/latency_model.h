@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,15 @@ class LatencyModel {
 
   /// Maximum one-way latency over all pairs.
   [[nodiscard]] SimTime max_one_way() const;
+
+  /// Minimum one-way latency over site pairs that `partition_of_site`
+  /// (size site_count()) assigns to different partitions — the conservative
+  /// lookahead bound for sharded PDES runs (DESIGN.md §11): a message between
+  /// shards can never arrive sooner than this. Returns kNever when every site
+  /// shares one partition. Default is an O(sites^2) scan through one_way();
+  /// MatrixLatencyModel overrides it with a direct matrix sweep.
+  [[nodiscard]] virtual SimTime min_cross_partition_one_way(
+      std::span<const std::uint32_t> partition_of_site) const;
 };
 
 /// Dense symmetric matrix of one-way latencies.
@@ -45,6 +55,9 @@ class MatrixLatencyModel final : public LatencyModel {
   [[nodiscard]] SimTime one_way(std::uint32_t a, std::uint32_t b) const override {
     return matrix_[static_cast<std::size_t>(a) * sites_ + b];
   }
+
+  [[nodiscard]] SimTime min_cross_partition_one_way(
+      std::span<const std::uint32_t> partition_of_site) const override;
 
   /// Parses the p2psim "king data" text format: one "i j rtt_microseconds"
   /// triple per line (1-based indices). RTTs are halved to one-way latencies,

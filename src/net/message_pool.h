@@ -12,12 +12,17 @@
 // if the owning Network is destroyed first (e.g. events still queued in an
 // engine that outlives the network).
 //
-// Single-threaded by design, like the rest of the simulator.
+// Single-threaded by design, like the rest of the simulator — except when
+// set_shared(true) arms a mutex around allocate/deallocate: sharded PDES runs
+// (DESIGN.md §11) allocate every message on its sender's shard but may drop
+// the last reference on the receiver's shard, so cross-thread deallocation
+// must be safe. The flag is set once before any worker starts.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -38,36 +43,25 @@ class MessageArena {
   MessageArena& operator=(const MessageArena&) = delete;
 
   void* allocate(std::size_t bytes, std::size_t alignment) {
-    if (bytes == 0) bytes = 1;
-    if (bytes > kMaxPooled || alignment > alignof(std::max_align_t)) {
-      ++oversized_;
-      return ::operator new(bytes, std::align_val_t(alignment));
+    if (shared_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      return allocate_impl(bytes, alignment);
     }
-    std::size_t cls = size_class(bytes);
-    auto& list = free_[cls];
-    if (!list.empty()) {
-      void* p = list.back();
-      list.pop_back();
-      ++reused_;
-      return p;
-    }
-    std::size_t chunk_size = (cls + 1) * kGranularity;
-    if (bump_left_ < chunk_size) refill();
-    void* p = bump_;
-    bump_ += chunk_size;
-    bump_left_ -= chunk_size;
-    ++fresh_;
-    return p;
+    return allocate_impl(bytes, alignment);
   }
 
   void deallocate(void* p, std::size_t bytes, std::size_t alignment) {
-    if (bytes == 0) bytes = 1;
-    if (bytes > kMaxPooled || alignment > alignof(std::max_align_t)) {
-      ::operator delete(p, std::align_val_t(alignment));
+    if (shared_) {
+      std::lock_guard<std::mutex> lock(mu_);
+      deallocate_impl(p, bytes, alignment);
       return;
     }
-    free_[size_class(bytes)].push_back(p);
+    deallocate_impl(p, bytes, alignment);
   }
+
+  /// Arms the mutex for cross-thread use (sharded runs; see file comment).
+  /// Must be called before any concurrent access; never disarmed.
+  void set_shared(bool shared) { shared_ = shared; }
 
   /// Blocks served from a free list (steady-state hits).
   [[nodiscard]] std::uint64_t reused() const { return reused_; }
@@ -90,6 +84,38 @@ class MessageArena {
     return (bytes - 1) / kGranularity;
   }
 
+  void* allocate_impl(std::size_t bytes, std::size_t alignment) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > kMaxPooled || alignment > alignof(std::max_align_t)) {
+      ++oversized_;
+      return ::operator new(bytes, std::align_val_t(alignment));
+    }
+    std::size_t cls = size_class(bytes);
+    auto& list = free_[cls];
+    if (!list.empty()) {
+      void* p = list.back();
+      list.pop_back();
+      ++reused_;
+      return p;
+    }
+    std::size_t chunk_size = (cls + 1) * kGranularity;
+    if (bump_left_ < chunk_size) refill();
+    void* p = bump_;
+    bump_ += chunk_size;
+    bump_left_ -= chunk_size;
+    ++fresh_;
+    return p;
+  }
+
+  void deallocate_impl(void* p, std::size_t bytes, std::size_t alignment) {
+    if (bytes == 0) bytes = 1;
+    if (bytes > kMaxPooled || alignment > alignof(std::max_align_t)) {
+      ::operator delete(p, std::align_val_t(alignment));
+      return;
+    }
+    free_[size_class(bytes)].push_back(p);
+  }
+
   void refill() {
     // max_align_t-aligned chunk; all size classes are kGranularity multiples,
     // so every carved block stays max_align_t-aligned.
@@ -110,6 +136,8 @@ class MessageArena {
   std::uint64_t reused_ = 0;
   std::uint64_t fresh_ = 0;
   std::uint64_t oversized_ = 0;
+  std::mutex mu_;
+  bool shared_ = false;
 };
 
 /// std-compatible allocator over a shared MessageArena; used with

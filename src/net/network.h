@@ -19,6 +19,7 @@
 #include "net/trace.h"
 #include "net/traffic_stats.h"
 #include "sim/engine.h"
+#include "sim/sharded_engine.h"
 
 namespace gocast::net {
 
@@ -107,7 +108,31 @@ class Network {
     return make_pooled<M>(pool_, std::forward<Args>(args)...);
   }
 
+  /// Owner-routed variant: sharded runs allocate each message from its
+  /// owner's shard pool (one single-writer arena per shard; cross-thread
+  /// frees go through the arena's shared-mode mutex). Unsharded — or with
+  /// kInvalidNode — this is exactly make().
+  template <class M, class... Args>
+  [[nodiscard]] std::shared_ptr<const M> make_for(NodeId owner,
+                                                  Args&&... args) {
+    const std::shared_ptr<MessageArena>& pool =
+        (sharded_engine_ != nullptr && owner != kInvalidNode)
+            ? shard_pools_[shard_of_[owner]]
+            : pool_;
+    return make_pooled<M>(pool, std::forward<Args>(args)...);
+  }
+
   [[nodiscard]] const MessageArena& pool() const { return *pool_; }
+
+  /// Pool telemetry summed over the main pool and any shard pools (bench
+  /// reporting; individual arenas stay accessible via pool()).
+  struct PoolCounters {
+    std::uint64_t reused = 0;
+    std::uint64_t fresh = 0;
+    std::uint64_t oversized = 0;
+    std::size_t chunks = 0;
+  };
+  [[nodiscard]] PoolCounters pool_counters() const;
 
   /// Reports that a transfer from `from` to `to` was aborted after `bytes`
   /// of its recorded size turned out redundant (the receiver already had
@@ -115,8 +140,55 @@ class Network {
   void report_aborted_transfer(NodeId from, NodeId to, std::size_t bytes);
 
   /// Installs (or clears, with nullptr) a message-flow observer. The sink
-  /// must outlive the network.
-  void set_trace(TraceSink* sink) { trace_ = sink; }
+  /// must outlive the network. Unsharded runs only (a sink would observe
+  /// events out of global order across shard threads).
+  void set_trace(TraceSink* sink) {
+    GOCAST_ASSERT_MSG(sharded_engine_ == nullptr || sink == nullptr,
+                      "trace sinks are unsupported in sharded runs");
+    trace_ = sink;
+  }
+
+  // -- sharded PDES mode (DESIGN.md §11) --
+
+  /// Switches the network into sharded mode: node `i` lives on shard
+  /// `shard_of_node[i]` of `sharded`, sends route onto the owning shard's
+  /// engine (same shard) or through the cross-shard mailboxes, and stats /
+  /// message pools become per-shard (folded back via fold_shard_traffic).
+  /// Must be called after all add_node calls and before any traffic; trace
+  /// sinks and site-pair recording are unsupported. `draw_seed` keys the
+  /// stateless per-sender loss/jitter draws that replace the serial rng_
+  /// stream (see DESIGN.md §11 for why draws must be per-origin).
+  void enable_sharding(sim::ShardedEngine& sharded,
+                       std::vector<std::uint16_t> shard_of_node,
+                       std::uint64_t draw_seed);
+  [[nodiscard]] bool sharded() const { return sharded_engine_ != nullptr; }
+  [[nodiscard]] std::uint16_t shard_of(NodeId node) const {
+    return sharded_engine_ != nullptr ? shard_of_[node] : 0;
+  }
+
+  /// The engine that runs `node`'s events: its shard engine when sharded,
+  /// else the network's single engine.
+  [[nodiscard]] sim::Engine& engine_of(NodeId node) {
+    return sharded_engine_ != nullptr ? sharded_engine_->shard(shard_of_[node])
+                                      : engine_;
+  }
+
+  /// Next cross-shard ordering key for an event caused by `origin`:
+  /// (origin << 20) | per-origin counter. Each origin's admissions happen in
+  /// its own program order — which is shard-count-invariant — so the packed
+  /// (time, key) order the engines pop in is byte-identical at any K.
+  /// Counter wrap at 2^20 is benign for correctness (the engine's slot bits
+  /// keep tags unique) and unreachable for same-(origin, time) pairs.
+  [[nodiscard]] std::uint64_t next_order_key(NodeId origin) {
+    GOCAST_ASSERT(origin < nodes_.size());
+    NodeRecord& rec = nodes_[origin];
+    return (static_cast<std::uint64_t>(origin) << 20) |
+           (rec.order_ctr++ & 0xFFFFFu);
+  }
+
+  /// Folds per-shard traffic counters into the main TrafficStats (barrier
+  /// context only). No-op when unsharded.
+  void fold_shard_traffic();
 
   /// Installs (or clears, with nullptr) a per-link policy consulted on every
   /// send (partitions, degraded links — see net/link_policy.h). The policy
@@ -136,8 +208,12 @@ class Network {
   /// Approximate heap bytes owned by the network (node records, message
   /// pool slabs, batch scratch). The engine is counted separately.
   [[nodiscard]] std::size_t memory_bytes() const {
-    return nodes_.capacity() * sizeof(NodeRecord) + pool_->memory_bytes() +
-           batch_scratch_.capacity() * sizeof(sim::Engine::BatchEvent);
+    std::size_t bytes = nodes_.capacity() * sizeof(NodeRecord) +
+                        pool_->memory_bytes() +
+                        batch_scratch_.capacity() * sizeof(sim::Engine::BatchEvent);
+    for (const auto& pool : shard_pools_) bytes += pool->memory_bytes();
+    bytes += shard_of_.capacity() * sizeof(std::uint16_t);
+    return bytes;
   }
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -153,6 +229,11 @@ class Network {
     bool alive = true;
     /// When the node's uplink frees up (fluid queueing model).
     SimTime uplink_free_at = 0.0;
+    /// Sharded mode only; both written exclusively by the owning shard's
+    /// thread (or at barriers). Cross-shard ordering-key counter and
+    /// stateless-draw counter (see next_order_key / prf_uniform).
+    std::uint32_t order_ctr = 0;
+    std::uint32_t draw_ctr = 0;
   };
 
   /// Computes a target's admission — stats, trace, site pairs, link policy
@@ -164,6 +245,18 @@ class Network {
   /// Delivery-time handling: hand to the endpoint, or account the dead
   /// receiver and schedule the TCP-reset-analogue notification.
   void deliver(NodeId from, NodeId to, const MessagePtr& msg);
+
+  // -- sharded-mode internals (network.cpp) --
+  void send_sharded(NodeId from, NodeId to, MessagePtr msg);
+  bool admit_sharded(NodeId from, NodeId to, const MessagePtr& msg,
+                     SimTime& delay);
+  /// Schedules `cb` at `at` on `dst_shard` with `origin`'s next order key —
+  /// directly when the origin owns the shard, via the mailbox otherwise.
+  void route_sharded(NodeId origin, std::uint16_t dst_shard, SimTime at,
+                     sim::InlineCallback cb);
+  /// Stateless uniform [0,1) draw keyed by (draw_seed, origin, counter):
+  /// per-origin streams make loss/jitter draws shard-count-invariant.
+  [[nodiscard]] double prf_uniform(NodeId origin);
 
   sim::Engine& engine_;
   std::shared_ptr<const LatencyModel> latency_;
@@ -178,6 +271,17 @@ class Network {
   TrafficStats traffic_;
   TraceSink* trace_ = nullptr;
   const LinkPolicy* policy_ = nullptr;
+
+  // -- sharded mode (null/empty when unsharded) --
+  sim::ShardedEngine* sharded_engine_ = nullptr;
+  std::vector<std::uint16_t> shard_of_;
+  /// One stats object per shard, written only by the owning shard's thread;
+  /// folded into traffic_ at barriers. Senders account into their own
+  /// shard's stats, deliveries into the receiver's.
+  std::vector<TrafficStats> shard_traffic_;
+  /// One arena per shard (shared-mode mutex armed for cross-thread frees).
+  std::vector<std::shared_ptr<MessageArena>> shard_pools_;
+  std::uint64_t draw_seed_ = 0;
 };
 
 }  // namespace gocast::net

@@ -76,6 +76,27 @@ class TrafficStats {
 
   [[nodiscard]] std::uint64_t aborted_bytes() const { return aborted_bytes_; }
 
+  /// Folds another stats object into this one (sharded runs keep one
+  /// TrafficStats per shard and fold them into the Network's main stats at
+  /// window barriers; see net::Network::fold_shard_traffic).
+  void merge_from(const TrafficStats& other) {
+    sent_.messages += other.sent_.messages;
+    sent_.bytes += other.sent_.bytes;
+    for (std::size_t k = 0; k < per_kind_.size(); ++k) {
+      per_kind_[k].messages += other.per_kind_[k].messages;
+      per_kind_[k].bytes += other.per_kind_[k].bytes;
+    }
+    delivered_ += other.delivered_;
+    dropped_dead_ += other.dropped_dead_;
+    lost_ += other.lost_;
+    sender_dead_ += other.sender_dead_;
+    policy_dropped_ += other.policy_dropped_;
+    aborted_bytes_ += other.aborted_bytes_;
+    for (const auto& [key, bytes] : other.site_pair_bytes_) {
+      site_pair_bytes_[key] += bytes;
+    }
+  }
+
   [[nodiscard]] static std::uint64_t pack_pair(std::uint32_t a, std::uint32_t b) {
     if (a > b) std::swap(a, b);
     return (static_cast<std::uint64_t>(a) << 32) | b;

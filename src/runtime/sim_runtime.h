@@ -36,9 +36,26 @@ class SimRuntime final {
   SimRuntime(net::Network& network)  // NOLINT(google-explicit-constructor)
       : engine_(&network.engine()), network_(&network) {}
 
+  /// Owner-aware binding for sharded runs (DESIGN.md §11): schedules on the
+  /// owner's shard engine and tags every timer with the owner's next
+  /// ordering key, so timer pop order is shard-count-invariant. Unsharded
+  /// networks get the classic single-engine behavior byte-for-byte.
+  SimRuntime(net::Network& network, NodeId owner)
+      : engine_(&network.engine_of(owner)),
+        network_(&network),
+        owner_(owner) {}
+
   [[nodiscard]] SimTime now() const { return engine_->now(); }
 
   TimerId schedule_after(SimTime delay, sim::InlineCallback cb) {
+    if (network_->sharded()) {
+      GOCAST_ASSERT_MSG(owner_ != kInvalidNode,
+                        "sharded runs need owner-bound runtimes");
+      GOCAST_ASSERT_MSG(delay >= 0.0, "negative delay " << delay);
+      return engine_->schedule_at_ordered(engine_->now() + delay,
+                                          network_->next_order_key(owner_),
+                                          std::move(cb));
+    }
     return engine_->schedule_after(delay, std::move(cb));
   }
 
@@ -55,7 +72,7 @@ class SimRuntime final {
 
   template <class M, class... Args>
   [[nodiscard]] std::shared_ptr<const M> make(Args&&... args) {
-    return network_->make<M>(std::forward<Args>(args)...);
+    return network_->make_for<M>(owner_, std::forward<Args>(args)...);
   }
 
   [[nodiscard]] bool alive(NodeId node) const { return network_->alive(node); }
@@ -91,6 +108,9 @@ class SimRuntime final {
  private:
   sim::Engine* engine_;
   net::Network* network_;
+  /// Set by the owner-aware constructor; kInvalidNode routes make() to the
+  /// network's main pool and is rejected by sharded schedule_after.
+  NodeId owner_ = kInvalidNode;
 };
 
 static_assert(Context<SimRuntime>,

@@ -147,6 +147,25 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   return EventId{slot, m.generation};
 }
 
+EventId Engine::schedule_at_ordered(SimTime t, std::uint64_t order_key,
+                                    Callback cb) {
+  GOCAST_ASSERT_MSG(t >= now_, "scheduling into the past: t=" << t
+                                                              << " now=" << now_);
+  GOCAST_ASSERT(static_cast<bool>(cb));
+  GOCAST_ASSERT_MSG(order_key < kMaxSeq, "order key " << order_key
+                                                      << " overflows seq bits");
+
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t tag = (order_key << kSlotBits) | slot;
+  SlotMeta& m = meta_ref(slot);
+  m.live_tag = tag;
+  callback_ref(slot) = std::move(cb);
+
+  heap_push(make_entry(time_key(t), tag));
+  ++live_events_;
+  return EventId{slot, m.generation};
+}
+
 void Engine::schedule_batch(std::span<BatchEvent> batch) {
   if (batch.empty()) return;
   const std::size_t old_size = heap_.size();
@@ -284,6 +303,18 @@ std::size_t Engine::run_until(SimTime t) {
   const std::uint64_t key_limit = time_key(t);
   std::size_t n = 0;
   while (prune_dead_top() && entry_key(heap_top()) <= key_limit) {
+    fire_top();
+    ++n;
+  }
+  now_ = t;
+  return n;
+}
+
+std::size_t Engine::run_before(SimTime t) {
+  GOCAST_ASSERT(t >= now_);
+  const std::uint64_t key_limit = time_key(t);
+  std::size_t n = 0;
+  while (prune_dead_top() && entry_key(heap_top()) < key_limit) {
     fire_top();
     ++n;
   }

@@ -83,6 +83,17 @@ class Engine {
     return schedule_at(now_ + delay, std::move(cb));
   }
 
+  /// Schedules `cb` at absolute time `t` with an explicit ordering key
+  /// instead of the engine-local admission sequence. Events pop in
+  /// (time, order_key) order regardless of admission order, so callers that
+  /// derive keys from run-invariant state (e.g. a per-origin counter in a
+  /// sharded run — see sim/sharded_engine.h) get a pop order that does not
+  /// depend on how admissions interleave. Mixing ordered and plain
+  /// admissions in one engine interleaves their key spaces; a deployment
+  /// should pick one discipline. Ordered events are fire-and-forget in
+  /// spirit but still return a cancelable handle.
+  EventId schedule_at_ordered(SimTime t, std::uint64_t order_key, Callback cb);
+
   /// One event of a schedule_batch admission.
   struct BatchEvent {
     SimTime at = 0.0;
@@ -111,6 +122,12 @@ class Engine {
   /// Runs all events with timestamp <= t, then advances now() to t.
   /// Returns the number of events processed.
   std::size_t run_until(SimTime t);
+
+  /// Runs all events with timestamp strictly < t, then advances now() to t.
+  /// The conservative-PDES window primitive (sim/sharded_engine.h): events at
+  /// exactly the window edge are left for the next window so barrier-time
+  /// admissions order ahead of them. Returns the number of events processed.
+  std::size_t run_before(SimTime t);
 
   /// Runs until the queue drains. Returns the number of events processed.
   std::size_t run();

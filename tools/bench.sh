@@ -11,6 +11,8 @@
 #   SWEEP_REPS=8 SWEEP_THREADS=4 tools/bench.sh       # sweep knobs
 #   CURVE=0 tools/bench.sh                            # skip the scaling curve
 #   CURVE_POINTS=8192,32768 tools/bench.sh            # custom curve points
+#   PDES=0 tools/bench.sh                             # skip the shard scaling
+#   PDES_SECONDS=10 tools/bench.sh                    # shorter shard points
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -29,6 +31,12 @@ SWEEP_THREADS="${SWEEP_THREADS:-$(nproc)}"
 # horizons shrink with scale so the 512k point stays a minutes-long run.
 CURVE="${CURVE:-1}"
 CURVE_POINTS="${CURVE_POINTS:-8192,32768,131072,524288}"
+# Sharded-PDES scaling: the 8k-node scenario at shards=1/2/4, one fresh
+# process per point. Checksums must match across shard counts or nothing is
+# recorded.
+PDES="${PDES:-1}"
+PDES_SECONDS="${PDES_SECONDS:-30}"
+PDES_SHARDS="${PDES_SHARDS:-1 2 4}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target micro_core perf_scaling -j "$(nproc)" >/dev/null
@@ -38,7 +46,8 @@ SCALING_JSON="$(mktemp)"
 SWEEP_SERIAL_JSON="$(mktemp)"
 SWEEP_PARALLEL_JSON="$(mktemp)"
 CURVE_JSON="$(mktemp)"
-trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON"' EXIT
+PDES_JSON="$(mktemp)"
+trap 'rm -f "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON" "$PDES_JSON"' EXIT
 
 # Fail loudly if the benchmark binary was not compiled optimized: the
 # distro's libbenchmark reports its *own* build type, so the binary embeds a
@@ -73,17 +82,41 @@ else
   echo "[]" >"$CURVE_JSON"
 fi
 
+if [ "$PDES" = "1" ]; then
+  echo "== pdes_scaling ($NODES nodes x ${PDES_SECONDS}s at shards $PDES_SHARDS) =="
+  # One fresh process per shard count; the merge step below asserts the
+  # checksums agree before recording anything. Like sweep_parallel, the
+  # wall-clock ratio is only meaningful relative to nproc (recorded per
+  # point): on a 1-CPU host the shard workers time-slice one core, so the
+  # honest expectation is parity at best, not speedup.
+  {
+    echo "["
+    first=1
+    for k in $PDES_SHARDS; do
+      [ "$first" = "1" ] || echo ","
+      first=0
+      "$BUILD_DIR/bench/perf_scaling" \
+        --nodes "$NODES" --seconds "$PDES_SECONDS" --messages "$MESSAGES" \
+        --shards "$k"
+    done
+    echo "]"
+  } | tee "$PDES_JSON"
+else
+  echo "== pdes_scaling skipped (PDES=$PDES) =="
+  echo "[]" >"$PDES_JSON"
+fi
+
 echo "== sweep_parallel ($SWEEP_REPS reps x $SWEEP_NODES nodes: 1 vs $SWEEP_THREADS threads) =="
 "$BUILD_DIR/bench/perf_scaling" --sweep --threads 1 \
   --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_SERIAL_JSON"
 "$BUILD_DIR/bench/perf_scaling" --sweep --threads "$SWEEP_THREADS" \
   --reps "$SWEEP_REPS" --nodes "$SWEEP_NODES" | tee "$SWEEP_PARALLEL_JSON"
 
-python3 - "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON" "$OUT" <<'PY'
-import json, sys
+python3 - "$MICRO_JSON" "$SCALING_JSON" "$SWEEP_SERIAL_JSON" "$SWEEP_PARALLEL_JSON" "$CURVE_JSON" "$PDES_JSON" "$OUT" <<'PY'
+import json, os, sys
 
 (micro_path, scaling_path, sweep_serial_path, sweep_parallel_path,
- curve_path, out_path) = sys.argv[1:7]
+ curve_path, pdes_path, out_path) = sys.argv[1:8]
 with open(micro_path) as f:
     micro = json.load(f)
 with open(scaling_path) as f:
@@ -94,6 +127,18 @@ with open(sweep_parallel_path) as f:
     sweep_parallel = json.load(f)
 with open(curve_path) as f:
     curve = json.load(f)
+with open(pdes_path) as f:
+    pdes = json.load(f)
+
+# Sharded runs must reproduce the serial run byte for byte; a checksum
+# mismatch is an ordering bug in the sharded engine and the numbers must
+# not be recorded (same policy as the sweep checksum below).
+if pdes:
+    sums = {p["shards"]: p["checksum"] for p in pdes}
+    if len(set(sums.values())) != 1:
+        sys.exit(f"FATAL: pdes_scaling checksum mismatch across shard "
+                 f"counts: {sums} — sharded engine is not deterministic, "
+                 "refusing to write BENCH_core.json")
 
 # The merged sweep output must not depend on thread count; a checksum
 # mismatch means a determinism bug, and the numbers must not be recorded.
@@ -138,6 +183,30 @@ result = {
         "checksums_match": True,
     },
 }
+if pdes:
+    base = next((p for p in pdes if p["shards"] == 1), pdes[0])
+    result["pdes_scaling"] = {
+        # Wall clock vs shard count for the same scenario. Every point ran
+        # on this host with `nproc` CPUs: on a 1-CPU box the shard worker
+        # threads time-slice a single core, so speedup <= 1 is the honest
+        # expectation there (windows add barrier overhead without adding
+        # parallel hardware) — same caveat as sweep_parallel above.
+        "nproc": os.cpu_count(),
+        "checksum": base["checksum"],
+        "checksums_match": True,
+        "points": [
+            {
+                "shards": p["shards"],
+                "effective_shards": p["effective_shards"],
+                "run_wall_seconds": p["run_wall_seconds"],
+                "events_per_second": p["events_per_second"],
+                "speedup_vs_serial": (
+                    base["run_wall_seconds"] / p["run_wall_seconds"]
+                    if p["run_wall_seconds"] > 0 else 0.0),
+            }
+            for p in pdes
+        ],
+    }
 with open(out_path, "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")

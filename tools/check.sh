@@ -10,6 +10,9 @@
 #   tools/check.sh multigroup-smoke # multi-group gate: sim sweep
 #                                  # (ext_multigroup --smoke) + an 8-process
 #                                  # gocastd --groups UDP run
+#   tools/check.sh pdes-smoke      # sharded-PDES determinism gate: 2k-node
+#                                  # scenario, shards=1 vs shards=4 delivery
+#                                  # checksums must be byte-identical
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -196,14 +199,46 @@ if [[ "${1:-}" == "multigroup-smoke" ]]; then
   exit 0
 fi
 
+# pdes-smoke: the sharded-PDES determinism gate — the same 2048-node
+# scenario at shards=1 (the historical serial engine) and shards=4 (four
+# engines in conservative lookahead windows) must report byte-identical
+# delivery checksums. Any divergence is an ordering bug in the sharded
+# runtime (see DESIGN.md §11), never acceptable noise.
+if [[ "${1:-}" == "pdes-smoke" ]]; then
+  cmake -B "${root}/build" -S "${root}"
+  cmake --build "${root}/build" -j "${jobs}" --target gocast_sim
+  bin="${root}/build/tools/gocast_sim"
+  sim_args=(--nodes 2048 --messages 60 --warmup 60 --drain 10)
+  checksum() { # $1 = shard count
+    "${bin}" "${sim_args[@]}" --shards "$1" |
+      sed -n 's/.*delivery checksum *| *\([0-9a-f]*\).*/\1/p'
+  }
+  echo "=== pdes-smoke: 2048 nodes, shards=1 vs shards=4 ==="
+  sum1="$(checksum 1)"
+  sum4="$(checksum 4)"
+  echo "shards=1 checksum: ${sum1}"
+  echo "shards=4 checksum: ${sum4}"
+  if [[ -z "${sum1}" || "${sum1}" != "${sum4}" ]]; then
+    echo "FATAL: delivery checksums differ across shard counts" >&2
+    exit 1
+  fi
+  echo "=== pdes-smoke passed ==="
+  exit 0
+fi
+
 # tsan: the concurrency surface under ThreadSanitizer — the runner/parallel
-# unit tests plus a real 2-thread sweep through a converted bench driver.
+# unit tests, the sharded-PDES tests (shards=4 scenario runs exercise the
+# window barrier protocol under real threads), and a 2-thread sweep through
+# a converted bench driver.
 if [[ "${1:-}" == "tsan" ]]; then
   cmake -B "${root}/build-tsan" -S "${root}" -DGOCAST_SANITIZE=thread
   cmake --build "${root}/build-tsan" -j "${jobs}" --target gocast_tests fig4_scalability
   echo "=== tsan: runner unit tests ==="
   (cd "${root}/build-tsan" && ctest --output-on-failure \
     -R 'Runner|Sweep|Parallel|DeriveJobSeed|EngineBatch')
+  echo "=== tsan: sharded-PDES tests ==="
+  (cd "${root}/build-tsan" && ctest --output-on-failure \
+    -R 'ScheduleAtOrdered|MinCrossPartition|Sharded')
   echo "=== tsan: 2-thread mini-sweep ==="
   GOCAST_BENCH_SCALE=0.05 GOCAST_WARMUP=40 \
     "${root}/build-tsan/bench/fig4_scalability" --threads 2

@@ -7,7 +7,10 @@
 //   gocast_sim --protocol gocast --nodes 1024 --messages 1000
 //   gocast_sim --protocol gossip --fanout 5 --nodes 1024 --fail 0.2
 //   gocast_sim --protocol gocast --f 0.3 --csv run.csv --curve curve.csv
+#include <cstdlib>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "harness/args.h"
@@ -33,6 +36,9 @@ void usage() {
       "  --f         pull-delay threshold seconds (GoCast)           [0]\n"
       "  --fanout    gossip fanout (baselines)                       [5]\n"
       "  --drain     seconds to run after the last injection         [30]\n"
+      "  --shards    sharded-PDES engines (GoCast-family; results are\n"
+      "              byte-identical at any count — DESIGN.md §11);\n"
+      "              default from GOCAST_SHARDS                      [1]\n"
       "  --faults    scripted fault plan (GoCast-family), e.g.\n"
       "              \"330:crash:frac=0.2; 400:partition:frac=0.3; 460:heal\"\n"
       "              or \"130:mute_forwarder:frac=0.1; 300:cure\"\n"
@@ -53,7 +59,8 @@ int main(int argc, char** argv) {
   harness::Args args(argc, argv,
                      {"protocol", "nodes", "seed", "warmup", "messages", "rate",
                       "payload", "fail", "repair", "f", "fanout", "drain",
-                      "faults", "invariants", "csv", "curve", "help"});
+                      "shards", "faults", "invariants", "csv", "curve",
+                      "help"});
   if (args.get_bool("help", false)) {
     usage();
     return 0;
@@ -90,10 +97,17 @@ int main(int argc, char** argv) {
   config.drain = args.get_double("drain", 30.0);
   config.fault_spec = args.get("faults", "");
   config.check_invariants = args.get_bool("invariants", false);
+  long shards_default = 1;
+  if (const char* env = std::getenv("GOCAST_SHARDS"); env != nullptr) {
+    shards_default = std::atol(env);
+    if (shards_default < 1) shards_default = 1;
+  }
+  config.shards = static_cast<std::size_t>(args.get_int("shards", shards_default));
 
   std::cout << "running " << harness::protocol_name(config.protocol) << ", "
             << config.node_count << " nodes, " << config.message_count
             << " messages";
+  if (config.shards > 1) std::cout << ", " << config.shards << " shards";
   if (config.fail_fraction > 0.0) {
     std::cout << ", " << harness::fmt_pct(config.fail_fraction, 0)
               << " failures (" << (config.freeze_after_failure ? "no repair" : "repair on")
@@ -125,6 +139,14 @@ int main(int argc, char** argv) {
                         result.traffic.kind(net::MsgKind::kGossipDigest).bytes) /
                         (1024.0 * 1024.0),
                     2)});
+  {
+    // Hex digest of the recorded deliveries; the pdes-smoke check greps this
+    // row and asserts it is identical across shard counts.
+    std::ostringstream checksum;
+    checksum << std::hex << std::setw(16) << std::setfill('0')
+             << result.delivery_checksum;
+    table.add_row({"delivery checksum", checksum.str()});
+  }
   table.print(std::cout);
 
   if (!result.fault_log.empty()) {
